@@ -1,0 +1,116 @@
+"""EXP-S7 — time to recover from a module crash (supplementary).
+
+The paper's future work names "IoT devices that can dynamically join /
+leave the network". This repository implements crash detection (MQTT
+last-will + directory TTL) and automatic re-assignment of orphaned
+sub-tasks; this bench measures the end-to-end **recovery time**: from the
+instant a module hosting a judge pipeline dies to the first record judged
+on its replacement.
+
+Recovery decomposes into (a) detection — the dead session's keep-alive
+must expire before the broker fires the will — and (b) re-deployment —
+split state is re-assigned and the deploy command reaches the new host.
+With 2 s keep-alives, detection dominates: asserted below.
+"""
+
+from __future__ import annotations
+
+from repro.core.middleware import IFoTCluster
+from repro.core.recipe import Recipe, TaskSpec
+from repro.runtime.sim import SimRuntime
+from repro.sensors.devices import FixedPayloadModel
+
+from conftest import record_rows
+
+KEEPALIVE_S = 2.0
+SWEEP_S = 5.0  # broker session sweep cadence (default)
+
+
+def run_failover(seed: int) -> dict:
+    runtime = SimRuntime(seed=seed)
+    runtime.tracer.enabled = False
+    cluster = IFoTCluster(runtime, heartbeat_s=2.0, auto_failover=True)
+    sensor_module = cluster.add_module("pi-sense")
+    sensor_module.attach_sensor("sample", FixedPayloadModel())
+    cluster.add_module("pi-w1")
+    cluster.add_module("pi-w2")
+    for module in cluster.modules.values():
+        module.client.keepalive_s = KEEPALIVE_S
+        module.client.refresh_session()
+    judged_on: list[tuple[float, str]] = []
+    moved_at: list[float] = []
+    runtime.tracer.tap("ml.judged", lambda r: judged_on.append((r.time, r.source)))
+    runtime.tracer.tap("mgmt.failover_moved", lambda r: moved_at.append(r.time))
+    cluster.settle(2.0)
+
+    recipe = Recipe(
+        "app",
+        [
+            TaskSpec(
+                "sense",
+                "sensor",
+                outputs=["raw"],
+                params={"device": "sample", "rate_hz": 20},
+                capabilities=["sensor:sample"],
+            ),
+            TaskSpec(
+                "judge",
+                "predict",
+                inputs=["raw"],
+                params={
+                    "model": "classifier",
+                    "label_key": "label",
+                    "train_on_stream": True,
+                },
+            ),
+        ],
+    )
+    app = cluster.submit(recipe)
+    cluster.settle(2.0)
+    runtime.run(until=runtime.now + 3.0)
+    victim = app.assignment.module_for("judge")
+    kill_time = runtime.now
+    cluster.module(victim).node.fail()
+    runtime.run(until=runtime.now + 30.0)
+
+    first_after = next(
+        (t for t, source in judged_on if t > (moved_at[0] if moved_at else 1e18)),
+        None,
+    )
+    assert moved_at and first_after is not None
+    return {
+        "kill_time": kill_time,
+        "detect_redeploy_s": moved_at[0] - kill_time,
+        "recovery_s": first_after - kill_time,
+    }
+
+
+def bench_failover_recovery_time(benchmark):
+    outcomes = benchmark.pedantic(
+        lambda: [run_failover(seed) for seed in (31, 32, 33)],
+        rounds=1,
+        iterations=1,
+    )
+    recovery = [o["recovery_s"] for o in outcomes]
+    detect = [o["detect_redeploy_s"] for o in outcomes]
+    print("\nfailover recovery (module death -> first judged record on new host):")
+    for o in outcomes:
+        print(
+            f"  detect+redeploy {o['detect_redeploy_s']:6.2f} s, "
+            f"full recovery {o['recovery_s']:6.2f} s"
+        )
+    record_rows(
+        benchmark,
+        {
+            "mean_recovery_s": sum(recovery) / len(recovery),
+            "mean_detect_s": sum(detect) / len(detect),
+        },
+    )
+    # Detection is bounded by keep-alive expiry + broker sweep + directory
+    # rescan; recovery adds one deploy round-trip and the first record.
+    for value in recovery:
+        assert value < KEEPALIVE_S * 1.5 + SWEEP_S + 10.0
+        assert value > KEEPALIVE_S  # cannot beat the keep-alive silence
+    # Redeployment overhead is small next to detection.
+    for o in outcomes:
+        assert o["recovery_s"] - o["detect_redeploy_s"] < 2.0

@@ -1,0 +1,126 @@
+"""Microbenchmarks of the substrates.
+
+Not paper artifacts — these guard the performance of the pieces everything
+else stands on (event kernel, topic matching, serialization, online
+learners, broker routing), so a regression in simulator throughput is
+caught here rather than as a mysteriously slow table run.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ml.classifier import OnlineClassifier
+from repro.ml.features import Datum
+from repro.mqtt.broker import Broker
+from repro.mqtt.client import MqttClient
+from repro.mqtt.topics import TopicTree
+from repro.runtime.sim import SimRuntime
+from repro.sim.kernel import SimKernel
+from repro.util.serialization import encode_payload
+
+
+def bench_kernel_event_throughput(benchmark):
+    """Schedule and drain 10k chained events."""
+
+    def run():
+        kernel = SimKernel()
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                kernel.schedule(0.001, tick)
+
+        kernel.schedule(0.0, tick)
+        kernel.run()
+        return kernel.events_processed
+
+    events = benchmark(run)
+    assert events >= 10_000
+
+
+def bench_topic_tree_match(benchmark):
+    """Match against 1000 mixed filters."""
+    tree = TopicTree()
+    rng = random.Random(0)
+    for i in range(1000):
+        parts = [rng.choice("abcde") for _ in range(rng.randint(1, 4))]
+        if rng.random() < 0.3:
+            parts[rng.randrange(len(parts))] = "+"
+        if rng.random() < 0.2:
+            parts.append("#")
+        tree.insert("/".join(parts), i)
+    result = benchmark(lambda: tree.match("a/b/c/d"))
+    assert isinstance(result, list)
+
+
+def bench_payload_encode(benchmark):
+    record = {
+        "id": "sample-123",
+        "src": "module-a",
+        "ts": 12.3456,
+        "datum": {"s": {"label": "hi"}, "n": {"v0": 0.1, "v1": -0.2, "v2": 0.9}},
+        "path": ["sense"],
+        "merged": [],
+        "attrs": {},
+    }
+    data = benchmark(lambda: encode_payload(record))
+    assert len(data) > 50
+
+
+def bench_classifier_train(benchmark):
+    clf = OnlineClassifier(algorithm="pa1")
+    rng = random.Random(1)
+    datums = [
+        (Datum.from_mapping({"x": rng.gauss(0, 1), "y": rng.gauss(0, 1)}),
+         "a" if rng.random() < 0.5 else "b")
+        for _ in range(256)
+    ]
+    index = [0]
+
+    def train_one():
+        datum, label = datums[index[0] % len(datums)]
+        index[0] += 1
+        clf.train(datum, label)
+
+    benchmark(train_one)
+
+
+def bench_classifier_predict(benchmark):
+    clf = OnlineClassifier(algorithm="pa1")
+    rng = random.Random(2)
+    for _ in range(200):
+        x = rng.gauss(0, 1)
+        clf.train(Datum.from_mapping({"x": x}), "p" if x > 0 else "n")
+    probe = Datum.from_mapping({"x": 0.3})
+    result = benchmark(lambda: clf.classify(probe))
+    assert result.label in ("p", "n")
+
+
+def bench_broker_fanout_routing(benchmark):
+    """Simulated time to route 200 messages to 10 subscribers each."""
+
+    def run():
+        runtime = SimRuntime(seed=0)
+        runtime.tracer.enabled = False
+        broker = Broker(runtime.add_node("hub"))
+        publisher = MqttClient(runtime.add_node("pub"), broker.address, client_id="pub")
+        publisher.connect()
+        received = [0]
+        for i in range(10):
+            sub = MqttClient(
+                runtime.add_node(f"sub{i}"), broker.address, client_id=f"sub{i}"
+            )
+            sub.connect()
+            sub.subscribe(
+                "t/#", lambda _t, _p, _pkt: received.__setitem__(0, received[0] + 1)
+            )
+        runtime.run(until=1.0)
+        for i in range(200):
+            publisher.publish(f"t/{i % 5}", {"n": i})
+        runtime.run(until=30.0)
+        return received[0]
+
+    delivered = benchmark(run)
+    assert delivered == 2000

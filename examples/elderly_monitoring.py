@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Elderly monitoring (paper §III-A-1): detect falls from a worn sensor.
+
+A wearable accelerometer module streams 3-axis readings; an analysis module
+computes the acceleration magnitude and scores it with a streaming anomaly
+detector; alerts are delivered to a caregiver pager on a third module. The
+whole pipeline is one declarative recipe; nothing is stored; every hop is
+MQTT — exactly the architecture of the paper's Fig. 5 recipe example
+("Anomaly detection" feeding "Alert messaging").
+
+Ground truth: two falls are planted in the event schedule. The script
+reports whether both were detected and the sensing-to-alert latency.
+
+Run:  python examples/elderly_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.calibration import pi_cost_model, pi_wlan_config
+from repro.core import IFoTCluster, Recipe, TaskSpec
+from repro.runtime import SimRuntime
+from repro.sensors import AccelerometerModel, AlertActuator, EventSchedule
+
+FALLS = [(12.0, 1.5), (31.0, 1.5)]  # (start_s, duration_s)
+
+
+def build_recipe() -> Recipe:
+    return Recipe(
+        "elderly-monitoring",
+        [
+            TaskSpec(
+                "wearable",
+                "sensor",
+                outputs=["accel-raw"],
+                params={"device": "accel", "rate_hz": 20},
+                capabilities=["sensor:accel"],
+            ),
+            TaskSpec(
+                "magnitude",
+                "map",
+                inputs=["accel-raw"],
+                outputs=["accel-mag"],
+                params={"fn": "magnitude", "keys": ["ax", "ay", "az"], "out": "mag"},
+            ),
+            TaskSpec(
+                "fall-detector",
+                "predict",
+                inputs=["accel-mag"],
+                outputs=["scored"],
+                params={
+                    "model": "anomaly",
+                    "detector": "zscore",
+                    "min_samples": 30,
+                    "threshold": 6.0,
+                    "train_on_stream": True,
+                },
+            ),
+            TaskSpec(
+                "alert-rule",
+                "command",
+                inputs=["scored"],
+                outputs=["alerts"],
+                params={
+                    "rules": [
+                        {
+                            "when": {"key": "anomalous", "eq": True},
+                            "command": {"message": "possible fall", "severity": "high"},
+                        }
+                    ]
+                },
+            ),
+            TaskSpec(
+                "caregiver-pager",
+                "actuator",
+                inputs=["alerts"],
+                params={"device": "pager"},
+                capabilities=["actuator:pager"],
+            ),
+        ],
+    )
+
+
+def main(duration_s: float = 45.0) -> int:
+    events = EventSchedule()
+    for start, duration in FALLS:
+        events.add(start, duration, "fall", intensity=1.0)
+
+    runtime = SimRuntime(seed=20, wlan_config=pi_wlan_config(), cost_model=pi_cost_model())
+    cluster = IFoTCluster(runtime)
+
+    wearable = cluster.add_module("pi-wearable")
+    wearable.attach_sensor("accel", AccelerometerModel(events))
+    cluster.add_module("pi-analysis")
+    pager_module = cluster.add_module("pi-caregiver")
+    pager = AlertActuator()
+    pager_module.attach_actuator("pager", pager)
+
+    cluster.settle(2.0)
+    app = cluster.submit(build_recipe())
+    print(f"deployed: {app.assignment.placements}")
+    runtime.run(until=runtime.now + duration_s)
+
+    # Score the detection against the planted ground truth (events are on
+    # absolute simulation time, as are the actuator's alert timestamps).
+    detections = []
+    for start, duration in FALLS:
+        window_alerts = [
+            t for t, _m, _c in pager.alerts
+            if start <= t <= start + duration + 2.0
+        ]
+        if window_alerts:
+            latency = window_alerts[0] - start
+            detections.append(latency)
+            print(f"fall at t={start:5.1f}s detected, alert latency {latency*1000:.0f} ms")
+        else:
+            print(f"fall at t={start:5.1f}s MISSED")
+    false_alarms = [
+        t for t, _m, _c in pager.alerts
+        if not any(s <= t <= s + d + 2.0 for s, d in FALLS)
+    ]
+    print(f"alerts total: {len(pager.alerts)}, false alarms: {len(false_alarms)}")
+
+    app.stop()
+    return 0 if len(detections) == len(FALLS) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Context-aware mobility support (paper §III-A-3).
+
+Three points of interest (a riverside park, a temple and a market) each
+host a crowd-sensing module. The middleware:
+
+* estimates each PoI's crowdedness with two **distributed learners joined
+  by MIX** — each learner sees only the PoI streams hashed to its shard,
+  yet both converge to one shared model (the Jubatus capability the paper
+  builds on);
+* a navigation module subscribes to the judged streams and ranks PoIs for
+  a visitor who wants scenery without crowds — the paper's "navigate users
+  to a good PoI taking into account its current conditions".
+
+A crowd surge is planted at the most scenic PoI mid-run; the ranking must
+switch away from it while the surge lasts.
+
+Run:  python examples/mobility_support.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.bench.calibration import pi_cost_model, pi_wlan_config
+from repro.core import IFoTCluster, Recipe, TaskSpec
+from repro.core.flow import FlowRecord, topic_for_stream
+from repro.runtime import SimRuntime
+from repro.sensors import CrowdSensorModel, EventSchedule
+
+POIS = {
+    "riverside": {"popularity": 1.2, "scenic": 0.9},
+    "temple": {"popularity": 0.8, "scenic": 0.7},
+    "market": {"popularity": 2.0, "scenic": 0.3},
+}
+SURGE = (60.0, 60.0)  # the riverside gets swamped for a minute
+DAY_LENGTH_S = 600.0
+
+
+def crowd_label(people_count: float) -> str:
+    if people_count < 10:
+        return "calm"
+    if people_count < 25:
+        return "busy"
+    return "packed"
+
+
+def build_recipe() -> Recipe:
+    tasks = []
+    for poi in POIS:
+        tasks.append(
+            TaskSpec(
+                f"sense-{poi}",
+                "sensor",
+                outputs=[f"crowd-{poi}"],
+                params={"device": f"crowd-{poi}", "rate_hz": 2},
+                capabilities=[f"sensor:crowd-{poi}"],
+            )
+        )
+    crowd_streams = [f"crowd-{poi}" for poi in POIS]
+    # Two data-parallel learners share the stream by sample-id hash and
+    # converge through MIX rounds; each also judges its shard.
+    tasks.append(
+        TaskSpec(
+            "crowd-model",
+            "predict",
+            inputs=crowd_streams,
+            outputs=["judged"],
+            params={
+                "model": "classifier",
+                "label_key": "crowd_label",
+                # Judges load the snapshots the MIXed learners publish.
+                "model_from": "crowd-learn",
+            },
+            parallelism=2,
+        )
+    )
+    tasks.append(
+        TaskSpec(
+            "crowd-learn",
+            "train",
+            inputs=crowd_streams,
+            params={
+                "model": "classifier",
+                "label_key": "crowd_label",
+                "mix_group": "crowd",
+                "publish_model_every": 20,
+                "emit_info": False,
+            },
+            parallelism=2,
+        )
+    )
+    tasks.append(
+        TaskSpec(
+            "mix-manager",
+            "mix",
+            params={
+                "group": "crowd",
+                "participants": ["crowd-learn#0", "crowd-learn#1"],
+                "interval_s": 10.0,
+                "timeout_s": 4.0,
+            },
+        )
+    )
+    return Recipe("mobility", tasks)
+
+
+class LabellingCrowdSensor(CrowdSensorModel):
+    """Crowd sensor that annotates each sample with its coarse label and
+    PoI name (the label is derived from the reading itself — a curated
+    training signal, not an oracle)."""
+
+    def __init__(self, poi: str, **kwargs):
+        super().__init__(**kwargs)
+        self.poi = poi
+
+    def sample(self, t, rng):
+        reading = super().sample(t, rng)
+        reading["crowd_label"] = crowd_label(reading["people_count"])
+        reading["poi"] = self.poi
+        return reading
+
+
+def main(duration_s: float = 180.0) -> int:
+    events = EventSchedule()
+    events.add(SURGE[0], SURGE[1], "surge", intensity=1.5)
+
+    runtime = SimRuntime(seed=9, wlan_config=pi_wlan_config(), cost_model=pi_cost_model())
+    cluster = IFoTCluster(runtime)
+
+    for poi, conf in POIS.items():
+        module = cluster.add_module(f"pi-{poi}")
+        module.attach_sensor(
+            f"crowd-{poi}",
+            LabellingCrowdSensor(
+                poi,
+                events=events if poi == "riverside" else EventSchedule(),
+                popularity=conf["popularity"],
+                scenic_level=conf["scenic"],
+                day_length_s=DAY_LENGTH_S,
+            ),
+        )
+    cluster.add_module("pi-learner-1")
+    cluster.add_module("pi-learner-2")
+    nav_module = cluster.add_module("pi-navigation")
+    cluster.settle(2.0)
+
+    app = cluster.submit(build_recipe())
+    print(f"deployed: {app.assignment.placements}")
+
+    # The navigation service: rank PoIs by scenic level minus crowd level.
+    latest: dict[str, dict] = {}
+    ranking_log: list[tuple[float, str]] = []
+    crowd_level = {"calm": 0.0, "busy": 0.5, "packed": 1.0}
+
+    def on_judged(_topic, payload, _packet):
+        record = FlowRecord.from_payload(payload)
+        if not record.attributes.get("judged"):
+            return
+        poi = record.datum.string_values.get("poi")
+        if poi is None:
+            return
+        latest[poi] = {
+            "crowd": record.attributes["label"],
+            "scenic": record.datum.num_values.get("scenic_level", 0.0),
+        }
+        if len(latest) == len(POIS):
+            best = max(
+                latest,
+                key=lambda p: latest[p]["scenic"] - crowd_level[latest[p]["crowd"]],
+            )
+            ranking_log.append((runtime.now, best))
+
+    nav_module.client.subscribe(topic_for_stream("mobility", "judged"), on_judged)
+    runtime.run(until=runtime.now + duration_s)
+
+    def recommended_during(start: float, end: float) -> dict[str, int]:
+        votes: dict[str, int] = defaultdict(int)
+        for t, best in ranking_log:
+            if start <= t < end:
+                votes[best] += 1
+        return dict(votes)
+
+    before = recommended_during(30.0, SURGE[0])
+    during = recommended_during(SURGE[0] + 15.0, SURGE[0] + SURGE[1])
+    after = recommended_during(SURGE[0] + SURGE[1] + 20.0, duration_s)
+    top = lambda votes: max(votes, key=votes.get) if votes else "n/a"  # noqa: E731
+    print(f"recommendation before surge: {top(before)}  {before}")
+    print(f"recommendation during surge: {top(during)}  {during}")
+    print(f"recommendation after surge:  {top(after)}  {after}")
+
+    mix_rounds = runtime.tracer.count("mix.round_done")
+    mix_applied = runtime.tracer.count("ml.mix_applied")
+    print(f"MIX rounds completed: {mix_rounds}, broadcasts applied: {mix_applied}")
+
+    app.stop()
+    ok = (
+        top(before) == "riverside"
+        and top(during) != "riverside"
+        and top(after) == "riverside"
+        and mix_rounds >= 3
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

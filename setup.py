@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works on offline
+machines whose pip/setuptools lack the ``wheel`` package required by the
+PEP 660 editable path (pip then falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""IFoT middleware reproduction (ICDCSW 2016).
+
+Public entry points:
+
+* :mod:`repro.core` — the middleware (clusters, recipes, the four
+  mechanisms);
+* :mod:`repro.runtime` — simulated and real runtimes;
+* :mod:`repro.mqtt` / :mod:`repro.ml` / :mod:`repro.sensors` — the
+  substrates;
+* :mod:`repro.bench` — the paper's testbed and experiment harness;
+* ``python -m repro`` — command-line interface.
+"""
+
+__version__ = "1.0.0"

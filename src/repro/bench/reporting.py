@@ -1,0 +1,111 @@
+"""Reporting: paper-vs-measured tables, CSV and JSON exports."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.bench.harness import ExperimentResult
+
+__all__ = [
+    "format_result_table",
+    "format_comparison_table",
+    "write_results_csv",
+    "write_results_json",
+]
+
+
+def format_result_table(results: list[ExperimentResult], which: str) -> str:
+    """Render results in the paper's table layout (rate / avg / max)."""
+    lines = [
+        f"{'Rate(Hz)':>9} | {'Avg(ms)':>10} | {'Max(ms)':>10} | {'N':>6}",
+        "-" * 45,
+    ]
+    for result in results:
+        row = result.row(which)
+        lines.append(
+            f"{row['rate_hz']:>9.0f} | {row['avg_ms']:>10.3f} | "
+            f"{row['max_ms']:>10.3f} | {row['count']:>6.0f}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    results: list[ExperimentResult],
+    paper: dict[int, dict[str, float]],
+    which: str,
+    title: str,
+) -> str:
+    """Side-by-side paper vs measured, with ratios."""
+    lines = [
+        title,
+        f"{'Rate(Hz)':>9} | {'paper avg':>10} {'ours avg':>10} {'ratio':>6} | "
+        f"{'paper max':>10} {'ours max':>10} {'ratio':>6}",
+        "-" * 80,
+    ]
+    for result in results:
+        row = result.row(which)
+        reference = paper.get(int(result.rate_hz))
+        if reference is None:
+            continue
+        avg_ratio = row["avg_ms"] / reference["avg"] if reference["avg"] else float("nan")
+        max_ratio = row["max_ms"] / reference["max"] if reference["max"] else float("nan")
+        lines.append(
+            f"{result.rate_hz:>9.0f} | {reference['avg']:>10.3f} {row['avg_ms']:>10.3f} "
+            f"{avg_ratio:>6.2f} | {reference['max']:>10.3f} {row['max_ms']:>10.3f} "
+            f"{max_ratio:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def write_results_csv(
+    results: list[ExperimentResult], path: str | Path
+) -> Path:
+    """Write one row per rate with both processes' summary columns."""
+    path = Path(path)
+    columns = [
+        "rate_hz",
+        "duration_s",
+        "samples_sensed",
+        "train_count",
+        "train_avg_ms",
+        "train_max_ms",
+        "train_p95_ms",
+        "predict_count",
+        "predict_avg_ms",
+        "predict_max_ms",
+        "predict_p95_ms",
+        "wlan_utilization",
+    ]
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(columns)
+        for result in results:
+            writer.writerow(
+                [
+                    result.rate_hz,
+                    result.duration_s,
+                    result.samples_sensed,
+                    result.training.count,
+                    round(result.training.average, 3),
+                    round(result.training.maximum, 3),
+                    round(result.training.percentile(95), 3),
+                    result.predicting.count,
+                    round(result.predicting.average, 3),
+                    round(result.predicting.maximum, 3),
+                    round(result.predicting.percentile(95), 3),
+                    round(result.wlan_utilization, 4),
+                ]
+            )
+    return path
+
+
+def write_results_json(
+    results: list[ExperimentResult], path: str | Path
+) -> Path:
+    """Write the full summaries (including drop counters) as JSON."""
+    path = Path(path)
+    payload = [result.summary() for result in results]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path

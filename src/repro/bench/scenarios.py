@@ -1,0 +1,150 @@
+"""Testbed builders: the paper's Fig. 7/9 system and its variants.
+
+The paper's evaluation system: six Raspberry Pi neuron modules on one
+wireless LAN plus a management laptop. Modules A-C generate sensor data at
+a fixed rate; module D runs the Mosquitto broker; module E subscribes to
+all three sensor flows, aggregates them into ``[data]`` batches, and
+trains; module F does the same but predicts (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.calibration import (
+    BROKER_QUEUE_LIMIT,
+    PI_QUEUE_LIMIT,
+    pi_cost_model,
+    pi_wlan_config,
+)
+from repro.core.middleware import Application, IFoTCluster
+from repro.core.recipe import Recipe, TaskSpec
+from repro.runtime.sim import SimRuntime
+from repro.sensors.devices import FixedPayloadModel
+
+__all__ = ["PaperTestbed", "build_paper_testbed", "build_paper_recipe"]
+
+#: Module names of Fig. 7 (the management node is created by the cluster).
+SENSOR_MODULES = ("module-a", "module-b", "module-c")
+BROKER_MODULE = "module-d"
+TRAIN_MODULE = "module-e"
+PREDICT_MODULE = "module-f"
+
+
+@dataclass
+class PaperTestbed:
+    """A ready-to-run instance of the paper's evaluation system."""
+
+    runtime: SimRuntime
+    cluster: IFoTCluster
+    rate_hz: float
+
+    qos: int = 0
+
+    def submit(self) -> Application:
+        """Deploy the experiment recipe (Fig. 9 class wiring)."""
+        return self.cluster.submit(build_paper_recipe(self.rate_hz, qos=self.qos))
+
+
+def build_paper_testbed(
+    rate_hz: float,
+    seed: int = 0,
+    management_heartbeat_s: float = 5.0,
+    trace: bool = False,
+    broker_cpu_speed: float = 1.0,
+) -> PaperTestbed:
+    """Construct the six-Pi testbed at sensing rate ``rate_hz``.
+
+    ``trace=False`` keeps the full event trace off (taps still fire), which
+    is what the benchmark harness wants for long runs. ``broker_cpu_speed``
+    scales module D's CPU (the broker-placement ablation moves the broker
+    onto laptop-class hardware by raising it).
+    """
+    runtime = SimRuntime(
+        seed=seed,
+        wlan_config=pi_wlan_config(),
+        cost_model=pi_cost_model(),
+    )
+    runtime.tracer.enabled = trace
+    # The broker runs ON module D, a Raspberry Pi (Fig. 9) — its routing
+    # work shares that Pi's CPU and bounded queue.
+    cluster = IFoTCluster(
+        runtime,
+        broker_node_name=BROKER_MODULE,
+        management_node_name="mgmt",
+        broker_kwargs={
+            "queue_limit": BROKER_QUEUE_LIMIT,
+            "cpu_speed": broker_cpu_speed,
+        },
+        # The management node is a laptop (Core i5): much faster.
+        node_kwargs={"cpu_speed": 8.0},
+        heartbeat_s=management_heartbeat_s,
+    )
+    for name in SENSOR_MODULES:
+        module = cluster.add_module(name, queue_limit=PI_QUEUE_LIMIT)
+        module.attach_sensor("sample", FixedPayloadModel(values=3))
+    cluster.add_module(TRAIN_MODULE, queue_limit=PI_QUEUE_LIMIT)
+    cluster.add_module(PREDICT_MODULE, queue_limit=PI_QUEUE_LIMIT)
+    # Let MQTT sessions, announcements and heartbeats settle before use.
+    cluster.settle(2.0)
+    return PaperTestbed(runtime=runtime, cluster=cluster, rate_hz=rate_hz)
+
+
+def build_paper_recipe(rate_hz: float, qos: int = 0) -> Recipe:
+    """The experiment's task graph (Fig. 9).
+
+    Sensor classes on modules A-C publish ``raw-*`` flows; modules E and F
+    each run a subscribe-side aligner producing ``[data]`` batches feeding
+    their Train / Predict class. Training and predicting are independent
+    paths, exactly as in the paper's two measured processes.
+    """
+    align_params = {"mode": "align", "sources": list(SENSOR_MODULES), "qos": qos}
+    tasks = [
+        TaskSpec(
+            f"sense-{name[-1]}",
+            "sensor",
+            outputs=[f"raw-{name[-1]}"],
+            params={"device": "sample", "rate_hz": rate_hz, "qos": qos},
+            pin_to=name,
+            capabilities=["sensor:sample"],
+        )
+        for name in SENSOR_MODULES
+    ]
+    raw_streams = [f"raw-{name[-1]}" for name in SENSOR_MODULES]
+    tasks += [
+        TaskSpec(
+            "gather-train",
+            "window",
+            inputs=list(raw_streams),
+            outputs=["batch-train"],
+            params=dict(align_params),
+            pin_to=TRAIN_MODULE,
+        ),
+        TaskSpec(
+            "train",
+            "train",
+            inputs=["batch-train"],
+            params={"model": "classifier", "label_key": "label", "emit_info": False},
+            pin_to=TRAIN_MODULE,
+        ),
+        TaskSpec(
+            "gather-predict",
+            "window",
+            inputs=list(raw_streams),
+            outputs=["batch-predict"],
+            params=dict(align_params),
+            pin_to=PREDICT_MODULE,
+        ),
+        TaskSpec(
+            "predict",
+            "predict",
+            inputs=["batch-predict"],
+            params={
+                "model": "classifier",
+                "label_key": "label",
+                "train_on_stream": True,
+            },
+            pin_to=PREDICT_MODULE,
+        ),
+    ]
+    return Recipe("paper-exp", tasks)

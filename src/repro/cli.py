@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``paper-exp``
+    Run the paper's evaluation (Tables II/III) on the simulated testbed
+    and print the paper-vs-measured comparison.
+``validate <recipe-file>``
+    Parse a recipe (``.recipe`` DSL or ``.json``), validate the task
+    graph, and print the execution plan: stages, sub-tasks, and a dry-run
+    assignment over a hypothetical homogeneous cluster.
+``fmt <recipe-file>``
+    Canonically re-format a recipe (DSL in, DSL out; JSON in, DSL out).
+``operators``
+    List the operators recipes can use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench import (
+    PAPER_TABLE2_TRAINING,
+    PAPER_TABLE3_PREDICTING,
+    format_comparison_table,
+    run_rate_sweep,
+)
+from repro.bench.reporting import write_results_csv, write_results_json
+from repro.bench.calibration import PAPER_RATES_HZ
+from repro.core.assignment import ModuleInfo, TaskAssignment
+from repro.core.dsl import format_recipe, parse_recipe
+from repro.core.operators import registered_operators
+from repro.core.recipe import Recipe
+from repro.core.splitter import RecipeSplit
+from repro.errors import IFoTError
+
+__all__ = ["main"]
+
+
+def _load_recipe(path: Path) -> Recipe:
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".json":
+        return Recipe.from_json(text)
+    return parse_recipe(text)
+
+
+def _cmd_paper_exp(args: argparse.Namespace) -> int:
+    rates = (
+        tuple(float(r) for r in args.rates.split(","))
+        if args.rates
+        else PAPER_RATES_HZ
+    )
+    print(
+        f"running the Fig. 7/9 testbed at rates {[int(r) for r in rates]} Hz "
+        f"(duration {args.duration}s, seed {args.seed})..."
+    )
+    results = run_rate_sweep(rates, duration_s=args.duration, seed=args.seed)
+    print()
+    print(
+        format_comparison_table(
+            results,
+            PAPER_TABLE2_TRAINING,
+            "training",
+            "Table II — sensing->training latency (ms)",
+        )
+    )
+    print()
+    print(
+        format_comparison_table(
+            results,
+            PAPER_TABLE3_PREDICTING,
+            "predicting",
+            "Table III — sensing->predicting latency (ms)",
+        )
+    )
+    if args.csv:
+        print(f"wrote {write_results_csv(results, args.csv)}")
+    if args.json:
+        print(f"wrote {write_results_json(results, args.json)}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    path = Path(args.recipe)
+    recipe = _load_recipe(path)
+    subtasks = RecipeSplit().split(recipe)
+    print(f"recipe {recipe.name!r}: OK")
+    print(f"  tasks: {len(recipe.tasks)}, sub-tasks after split: {len(subtasks)}")
+    print(f"  streams: {', '.join(recipe.streams) or '(none)'}")
+    for i, stage in enumerate(recipe.stages()):
+        print(f"  stage {i}: {', '.join(stage)}")
+    if args.modules > 0:
+        capabilities = {cap for s in subtasks for cap in s.capabilities}
+        pins = {s.pin_to for s in subtasks if s.pin_to}
+        modules = [
+            ModuleInfo(name, capabilities=set(capabilities))
+            for name in sorted(pins)
+        ]
+        modules += [
+            ModuleInfo(f"module-{i}", capabilities=set(capabilities))
+            for i in range(args.modules)
+        ]
+        assignment = TaskAssignment().assign(subtasks, modules)
+        print(f"  dry-run assignment over {len(modules)} modules:")
+        for subtask_id in sorted(assignment.placements):
+            print(f"    {subtask_id} -> {assignment.placements[subtask_id]}")
+    return 0
+
+
+def _cmd_fmt(args: argparse.Namespace) -> int:
+    recipe = _load_recipe(Path(args.recipe))
+    sys.stdout.write(format_recipe(recipe))
+    return 0
+
+
+def _cmd_operators(_args: argparse.Namespace) -> int:
+    for name in registered_operators():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IFoT middleware reproduction (ICDCSW 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    paper = sub.add_parser("paper-exp", help="regenerate Tables II/III")
+    paper.add_argument(
+        "--rates", default="", help="comma-separated Hz list (default: paper's)"
+    )
+    paper.add_argument("--duration", type=float, default=2.5)
+    paper.add_argument("--seed", type=int, default=1)
+    paper.add_argument("--csv", default="", help="also write results to CSV")
+    paper.add_argument("--json", default="", help="also write results to JSON")
+    paper.set_defaults(fn=_cmd_paper_exp)
+
+    validate = sub.add_parser("validate", help="validate a recipe file")
+    validate.add_argument("recipe", help=".recipe (DSL) or .json file")
+    validate.add_argument(
+        "--modules",
+        type=int,
+        default=0,
+        help="dry-run assignment over N hypothetical modules",
+    )
+    validate.set_defaults(fn=_cmd_validate)
+
+    fmt = sub.add_parser("fmt", help="canonically format a recipe")
+    fmt.add_argument("recipe")
+    fmt.set_defaults(fn=_cmd_fmt)
+
+    ops = sub.add_parser("operators", help="list recipe operators")
+    ops.set_defaults(fn=_cmd_operators)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except IFoTError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: invalid JSON: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,225 @@
+"""TaskAssignment: distributing sub-tasks over neuron modules.
+
+Paper §IV-C-1: "Task assignment class distributes the divided tasks to
+among IFoT modules. ... Each node executes the assigned tasks depending on
+the processing capability."
+
+Strategies implement one method, ``choose(subtask, candidates, loads)``.
+The :class:`TaskAssignment` driver handles what is common: pinned tasks,
+capability filtering, load bookkeeping, and validation. The strategy
+ablation of EXP-S2 compares the three built-in policies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.splitter import SubTask
+from repro.errors import AssignmentError
+
+__all__ = [
+    "ModuleInfo",
+    "Assignment",
+    "AssignmentStrategy",
+    "RoundRobinStrategy",
+    "LoadAwareStrategy",
+    "CapabilityAwareStrategy",
+    "TaskAssignment",
+    "OPERATOR_COSTS",
+]
+
+#: Relative cost estimate per operator type, used by load-aware placement.
+#: Units are arbitrary "load points"; ratios matter, not magnitudes.
+OPERATOR_COSTS: dict[str, float] = {
+    "sensor": 1.0,
+    "actuator": 0.5,
+    "window": 1.5,
+    "merge": 1.5,
+    "map": 1.0,
+    "filter": 0.5,
+    "stat": 1.0,
+    "train": 8.0,
+    "predict": 4.0,
+    "anomaly": 4.0,
+    "cluster": 3.0,
+    "mix": 2.0,
+}
+_DEFAULT_OPERATOR_COST = 2.0
+
+
+@dataclass
+class ModuleInfo:
+    """What the assigner knows about one neuron module."""
+
+    name: str
+    capacity: float = 1.0  # relative processing capability
+    capabilities: set[str] = field(default_factory=set)
+    base_load: float = 0.0  # load already present from other applications
+
+    def can_host(self, subtask: SubTask) -> bool:
+        return set(subtask.capabilities) <= self.capabilities
+
+
+@dataclass
+class Assignment:
+    """The result: sub-task id -> module name, plus projected loads."""
+
+    placements: dict[str, str] = field(default_factory=dict)
+    projected_load: dict[str, float] = field(default_factory=dict)
+
+    def module_for(self, subtask_id: str) -> str:
+        try:
+            return self.placements[subtask_id]
+        except KeyError:
+            raise AssignmentError(f"no placement for {subtask_id!r}") from None
+
+    def subtasks_on(self, module: str) -> list[str]:
+        return sorted(
+            sid for sid, mod in self.placements.items() if mod == module
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"placements": dict(self.placements)}
+
+
+def estimate_cost(subtask: SubTask) -> float:
+    """Load points this sub-task is expected to consume."""
+    base = OPERATOR_COSTS.get(subtask.operator, _DEFAULT_OPERATOR_COST)
+    # A shard of an n-way task carries ~1/n of the data.
+    return base / max(1, subtask.shard_count)
+
+
+class AssignmentStrategy(ABC):
+    """Pluggable placement policy."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def choose(
+        self,
+        subtask: SubTask,
+        candidates: list[ModuleInfo],
+        loads: dict[str, float],
+    ) -> ModuleInfo:
+        """Pick one of ``candidates`` (never empty) for ``subtask``.
+
+        ``loads`` maps module name to load points already assigned
+        (including ``base_load``).
+        """
+
+
+class RoundRobinStrategy(AssignmentStrategy):
+    """Cycle through modules in name order, ignoring load and capacity.
+
+    The paper's prototype assigns classes to modules by hand through the
+    management GUI; round-robin is the natural mechanical baseline.
+    """
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(
+        self,
+        subtask: SubTask,
+        candidates: list[ModuleInfo],
+        loads: dict[str, float],
+    ) -> ModuleInfo:
+        chosen = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return chosen
+
+
+class LoadAwareStrategy(AssignmentStrategy):
+    """Place each sub-task on the candidate with the lowest projected
+    load-to-capacity ratio (greedy longest-processing-time flavour)."""
+
+    name = "load_aware"
+
+    def choose(
+        self,
+        subtask: SubTask,
+        candidates: list[ModuleInfo],
+        loads: dict[str, float],
+    ) -> ModuleInfo:
+        return min(
+            candidates,
+            key=lambda m: (loads.get(m.name, 0.0) / m.capacity, m.name),
+        )
+
+
+class CapabilityAwareStrategy(LoadAwareStrategy):
+    """Load-aware, but prefers modules whose capability set is *smallest*
+    among feasible candidates — keeping generally-capable modules free for
+    tasks that will actually need them (a classic bin-packing heuristic)."""
+
+    name = "capability_aware"
+
+    def choose(
+        self,
+        subtask: SubTask,
+        candidates: list[ModuleInfo],
+        loads: dict[str, float],
+    ) -> ModuleInfo:
+        fewest = min(len(m.capabilities) for m in candidates)
+        narrow = [m for m in candidates if len(m.capabilities) == fewest]
+        return super().choose(subtask, narrow, loads)
+
+
+class TaskAssignment:
+    """The paper's *Task assignment class*: drives a strategy over a split
+    recipe and produces a validated :class:`Assignment`."""
+
+    def __init__(self, strategy: AssignmentStrategy | None = None) -> None:
+        self.strategy = strategy if strategy is not None else LoadAwareStrategy()
+
+    def assign(
+        self, subtasks: list[SubTask], modules: list[ModuleInfo]
+    ) -> Assignment:
+        if not modules:
+            raise AssignmentError("no modules available")
+        by_name = {m.name: m for m in modules}
+        if len(by_name) != len(modules):
+            raise AssignmentError("duplicate module names")
+        loads: dict[str, float] = {m.name: m.base_load for m in modules}
+        assignment = Assignment()
+        ordered_modules = sorted(modules, key=lambda m: m.name)
+
+        for subtask in subtasks:
+            module = self._place(subtask, by_name, ordered_modules, loads)
+            assignment.placements[subtask.subtask_id] = module.name
+            loads[module.name] += estimate_cost(subtask)
+
+        assignment.projected_load = dict(loads)
+        return assignment
+
+    def _place(
+        self,
+        subtask: SubTask,
+        by_name: dict[str, ModuleInfo],
+        ordered_modules: list[ModuleInfo],
+        loads: dict[str, float],
+    ) -> ModuleInfo:
+        if subtask.pin_to is not None:
+            pinned = by_name.get(subtask.pin_to)
+            if pinned is None:
+                raise AssignmentError(
+                    f"{subtask.subtask_id!r} pinned to unknown module "
+                    f"{subtask.pin_to!r}"
+                )
+            if not pinned.can_host(subtask):
+                raise AssignmentError(
+                    f"{subtask.subtask_id!r} pinned to {pinned.name!r} which "
+                    f"lacks capabilities {sorted(set(subtask.capabilities) - pinned.capabilities)}"
+                )
+            return pinned
+        candidates = [m for m in ordered_modules if m.can_host(subtask)]
+        if not candidates:
+            raise AssignmentError(
+                f"no module provides capabilities {subtask.capabilities!r} "
+                f"for {subtask.subtask_id!r}"
+            )
+        return self.strategy.choose(subtask, candidates, loads)

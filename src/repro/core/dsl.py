@@ -1,0 +1,243 @@
+"""A textual recipe description language (the paper's future work, §VI).
+
+"Definition of the language to describe recipes ... [is] part of future
+work." This module defines that language: a small, indentation-tolerant,
+line-oriented format that compiles to :class:`~repro.core.recipe.Recipe`
+(and back), designed to be written by hand next to the JSON DSL the
+middleware already accepts.
+
+Example::
+
+    # Fall detection pipeline
+    recipe elderly-monitoring
+
+    task wearable : sensor
+        out accel-raw
+        needs sensor:accel
+        on pi-wearable
+        device = accel
+        rate_hz = 20
+
+    task magnitude : map
+        in accel-raw
+        out accel-mag
+        fn = magnitude
+        keys = [ax, ay, az]
+
+    task detector : predict x2        # two data-parallel shards
+        in accel-mag
+        out scored
+        model = anomaly
+        threshold = 6.0
+
+Grammar (one construct per line; ``#`` starts a comment anywhere):
+
+* ``recipe <name>`` — exactly once, first non-comment line;
+* ``task <id> : <operator> [xN]`` — opens a task; ``xN`` sets parallelism;
+* inside a task:
+  ``in <stream>[, <stream>...]`` — input streams,
+  ``out <stream>[, ...]`` — output streams,
+  ``needs <cap>[, ...]`` — required capabilities,
+  ``on <module>`` — pin placement,
+  ``[param] <key> = <value>`` — operator parameter. The ``param`` prefix
+  is only needed when the key collides with a keyword (``in``, ``out``,
+  ``needs``, ``on``, ``task``, ``recipe``, ``param``).
+
+Values parse as JSON when possible (numbers, booleans, ``null``, quoted
+strings, ``[...]`` lists, ``{...}`` objects); otherwise a bare word is a
+string, and ``[a, b, c]`` with bare words is a list of strings.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from repro.core.recipe import Recipe, TaskSpec
+from repro.errors import RecipeError
+
+__all__ = ["parse_recipe", "format_recipe"]
+
+_KEYWORDS = {"recipe", "task", "in", "out", "needs", "on", "param"}
+_TASK_RE = re.compile(
+    r"^task\s+(?P<id>\S+)\s*:\s*(?P<op>\S+)(?:\s+x(?P<par>\d+))?$"
+)
+_PARAM_RE = re.compile(r"^(?:param\s+)?(?P<key>[^\s=]+)\s*=\s*(?P<value>.+)$")
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a ``#`` comment, respecting quoted strings."""
+    in_string = False
+    for i, ch in enumerate(line):
+        if ch == '"':
+            in_string = not in_string
+        elif ch == "#" and not in_string:
+            return line[:i]
+    return line
+
+
+def _parse_value(text: str, line_no: int) -> Any:
+    text = text.strip()
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        pass
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        items = [item.strip() for item in inner.split(",")]
+        return [_parse_value(item, line_no) for item in items]
+    if text.startswith(("[", "{")):
+        raise RecipeError(f"line {line_no}: malformed structured value: {text!r}")
+    return text  # bare word -> string
+
+
+def _split_names(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def parse_recipe(text: str) -> Recipe:
+    """Compile DSL ``text`` into a validated :class:`Recipe`."""
+    recipe_name: str | None = None
+    tasks: list[dict[str, Any]] = []
+    current: dict[str, Any] | None = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        word = line.split(None, 1)[0]
+
+        if word == "recipe":
+            if recipe_name is not None:
+                raise RecipeError(f"line {line_no}: duplicate recipe declaration")
+            parts = line.split()
+            if len(parts) != 2:
+                raise RecipeError(f"line {line_no}: expected 'recipe <name>'")
+            recipe_name = parts[1]
+            continue
+
+        if word == "task":
+            match = _TASK_RE.match(line)
+            if match is None:
+                raise RecipeError(
+                    f"line {line_no}: expected 'task <id> : <operator> [xN]'"
+                )
+            current = {
+                "id": match.group("id"),
+                "operator": match.group("op"),
+                "inputs": [],
+                "outputs": [],
+                "params": {},
+                "capabilities": [],
+                "parallelism": int(match.group("par") or 1),
+                "pin_to": None,
+            }
+            tasks.append(current)
+            continue
+
+        if current is None:
+            raise RecipeError(
+                f"line {line_no}: {word!r} outside of a task "
+                "(expected 'recipe' or 'task' first)"
+            )
+
+        rest = line[len(word):].strip()
+        if word in ("in", "out", "needs", "on") and rest.startswith("="):
+            raise RecipeError(
+                f"line {line_no}: param {word!r} collides with a keyword; "
+                f"write 'param {word} = ...'"
+            )
+        if word == "in":
+            current["inputs"].extend(_split_names(rest))
+        elif word == "out":
+            current["outputs"].extend(_split_names(rest))
+        elif word == "needs":
+            current["capabilities"].extend(_split_names(rest))
+        elif word == "on":
+            if not rest or len(rest.split()) != 1:
+                raise RecipeError(f"line {line_no}: expected 'on <module>'")
+            current["pin_to"] = rest
+        else:
+            match = _PARAM_RE.match(line)
+            if match is None:
+                raise RecipeError(
+                    f"line {line_no}: expected a clause or '<key> = <value>', "
+                    f"got {line!r}"
+                )
+            key = match.group("key")
+            if key in _KEYWORDS and not line.startswith("param "):
+                raise RecipeError(
+                    f"line {line_no}: param {key!r} collides with a keyword; "
+                    f"write 'param {key} = ...'"
+                )
+            current["params"][key] = _parse_value(match.group("value"), line_no)
+
+    if recipe_name is None:
+        raise RecipeError("missing 'recipe <name>' declaration")
+    if not tasks:
+        raise RecipeError(f"recipe {recipe_name!r} declares no tasks")
+
+    specs = [
+        TaskSpec(
+            task_id=entry["id"],
+            operator=entry["operator"],
+            inputs=entry["inputs"],
+            outputs=entry["outputs"],
+            params=entry["params"],
+            capabilities=entry["capabilities"],
+            parallelism=entry["parallelism"],
+            pin_to=entry["pin_to"],
+        )
+        for entry in tasks
+    ]
+    return Recipe(recipe_name, specs)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, str):
+        # Bare if unambiguous, quoted JSON otherwise.
+        if (
+            value
+            and not value[0] in "[{\""
+            and "," not in value
+            and "=" not in value
+            and "#" not in value
+            and value not in ("true", "false", "null")
+            and not _looks_numeric(value)
+        ):
+            return value
+        return json.dumps(value)
+    return json.dumps(value, sort_keys=True)
+
+
+def _looks_numeric(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def format_recipe(recipe: Recipe) -> str:
+    """Render ``recipe`` in the DSL (inverse of :func:`parse_recipe`)."""
+    lines = [f"recipe {recipe.name}", ""]
+    for task_id in recipe.topological_order:
+        task = recipe.tasks[task_id]
+        suffix = f" x{task.parallelism}" if task.parallelism > 1 else ""
+        lines.append(f"task {task.task_id} : {task.operator}{suffix}")
+        if task.inputs:
+            lines.append(f"    in {', '.join(task.inputs)}")
+        if task.outputs:
+            lines.append(f"    out {', '.join(task.outputs)}")
+        if task.capabilities:
+            lines.append(f"    needs {', '.join(task.capabilities)}")
+        if task.pin_to:
+            lines.append(f"    on {task.pin_to}")
+        for key in sorted(task.params):
+            prefix = "param " if key in _KEYWORDS else ""
+            lines.append(f"    {prefix}{key} = {_format_value(task.params[key])}")
+        lines.append("")
+    return "\n".join(lines)

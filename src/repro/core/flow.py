@@ -1,0 +1,136 @@
+"""Flow records: the unit of data travelling through IFoT flows.
+
+A *flow* in the paper is a topic-addressed stream of processed sensor data.
+Each message on a flow is a :class:`FlowRecord`: a datum plus provenance —
+where it was sensed, when, and through which processing steps it passed.
+The ``sensed_at`` timestamp of the *oldest* contributing sample is
+preserved across aggregation, because the paper's metric is end-to-end
+latency "from the Sensing" (§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.ml.features import Datum
+
+__all__ = ["FlowRecord", "topic_for_stream"]
+
+#: Topic namespace layout: ifot/flow/<application>/<stream>.
+_FLOW_PREFIX = "ifot/flow"
+
+
+def topic_for_stream(application: str, stream: str) -> str:
+    """MQTT topic carrying ``stream`` of ``application``."""
+    return f"{_FLOW_PREFIX}/{application}/{stream}"
+
+
+@dataclass
+class FlowRecord:
+    """One message on a flow.
+
+    Attributes
+    ----------
+    sample_id:
+        Unique id of the originating sample (aggregates keep the list of
+        all contributing ids in ``merged_ids``).
+    source:
+        Name of the module/sensor that sensed the original data.
+    sensed_at:
+        Runtime timestamp of the original sensing instant (oldest
+        contributor for merged records).
+    datum:
+        The observation payload.
+    path:
+        Names of the processing steps the record has passed through, in
+        order — cheap provenance for debugging and tests.
+    merged_ids:
+        Sample ids folded into this record by window/merge operators.
+    attributes:
+        Free-form operator outputs (scores, labels, judgements...).
+    """
+
+    sample_id: str
+    source: str
+    sensed_at: float
+    datum: Datum
+    path: list[str] = field(default_factory=list)
+    merged_ids: list[str] = field(default_factory=list)
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def derive(self, step: str, datum: Datum | None = None) -> "FlowRecord":
+        """A new record that went through ``step`` (provenance appended)."""
+        return FlowRecord(
+            sample_id=self.sample_id,
+            source=self.source,
+            sensed_at=self.sensed_at,
+            datum=datum if datum is not None else self.datum,
+            path=self.path + [step],
+            merged_ids=list(self.merged_ids),
+            attributes=dict(self.attributes),
+        )
+
+    @classmethod
+    def merge(cls, step: str, records: list["FlowRecord"]) -> "FlowRecord":
+        """Fold several records into one (window / fusion operators).
+
+        Datums are merged left to right (later records win key conflicts);
+        ``sensed_at`` is the oldest contributor, preserving the paper's
+        sensing-anchored latency semantics.
+        """
+        if not records:
+            raise SerializationError("cannot merge zero records")
+        merged_datum = records[0].datum
+        for record in records[1:]:
+            merged_datum = merged_datum.merged_with(record.datum)
+        oldest = min(records, key=lambda r: r.sensed_at)
+        all_ids: list[str] = []
+        for record in records:
+            all_ids.extend(record.merged_ids or [record.sample_id])
+        attributes: dict[str, Any] = {}
+        for record in records:
+            attributes.update(record.attributes)
+        return cls(
+            sample_id=oldest.sample_id,
+            source=oldest.source,
+            sensed_at=oldest.sensed_at,
+            datum=merged_datum,
+            path=[step],
+            merged_ids=all_ids,
+            attributes=attributes,
+        )
+
+    # ------------------------------------------------------------------
+    # Wire form
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready dict for MQTT transport."""
+        return {
+            "id": self.sample_id,
+            "src": self.source,
+            "ts": self.sensed_at,
+            "datum": self.datum.to_payload(),
+            "path": list(self.path),
+            "merged": list(self.merged_ids),
+            "attrs": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "FlowRecord":
+        if not isinstance(payload, dict) or "id" not in payload:
+            raise SerializationError(f"not a flow record payload: {payload!r}")
+        try:
+            return cls(
+                sample_id=str(payload["id"]),
+                source=str(payload["src"]),
+                sensed_at=float(payload["ts"]),
+                datum=Datum.from_payload(payload["datum"]),
+                path=[str(p) for p in payload.get("path", [])],
+                merged_ids=[str(m) for m in payload.get("merged", [])],
+                attributes=dict(payload.get("attrs", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed flow record: {exc}") from exc

@@ -1,0 +1,412 @@
+"""Management: module agents and the management node (Figs. 6–8).
+
+The paper's testbed has a ThinkPad running OpenRTM-based management
+software that selects which class runs on which module and wires them
+together. Here that role is split faithfully:
+
+* a :class:`ModuleAgent` runs on **every** neuron module. It announces the
+  module in the registry, serves deploy/undeploy/status commands, and —
+  implementing Fig. 6 — can act as the *recipe leader*: any module that
+  receives a submitted recipe splits it, assigns sub-tasks across the
+  modules it currently knows from the directory, and sends the deploy
+  commands itself. No cloud, no single fixed coordinator.
+* a :class:`ManagementNode` is the operator's console: it submits recipes
+  (to itself or to any module), collects status snapshots, and stops
+  applications. It embeds an agent, so a "management node" is just a
+  module with no sensors.
+
+Control-plane topics::
+
+    ifot/ctl/module/<module>/deploy     {application, subtask}
+    ifot/ctl/module/<module>/undeploy   {application, subtask_id | "*"}
+    ifot/ctl/module/<module>/submit     {recipe, strategy}
+    ifot/ctl/status/request             {}
+    ifot/ctl/status/report/<module>     status snapshot
+    ifot/ctl/app/<application>/deployed {assignment}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.assignment import (
+    Assignment,
+    AssignmentStrategy,
+    CapabilityAwareStrategy,
+    LoadAwareStrategy,
+    RoundRobinStrategy,
+    TaskAssignment,
+)
+from repro.core.discovery import StreamDirectory
+from repro.core.flow import topic_for_stream
+from repro.core.node import NeuronModule
+from repro.core.recipe import Recipe
+from repro.core.splitter import RecipeSplit, SubTask
+from repro.errors import DeploymentError
+from repro.mqtt.packets import Packet
+from repro.runtime.component import Component
+
+__all__ = ["ModuleAgent", "ManagementNode", "strategy_by_name"]
+
+_STRATEGIES: dict[str, Callable[[], AssignmentStrategy]] = {
+    "round_robin": RoundRobinStrategy,
+    "load_aware": LoadAwareStrategy,
+    "capability_aware": CapabilityAwareStrategy,
+}
+
+
+def strategy_by_name(name: str) -> AssignmentStrategy:
+    factory = _STRATEGIES.get(name)
+    if factory is None:
+        raise DeploymentError(
+            f"unknown assignment strategy {name!r} (known: {sorted(_STRATEGIES)})"
+        )
+    return factory()
+
+
+class ModuleAgent(Component):
+    """Control-plane presence of one module."""
+
+    def __init__(
+        self,
+        module: NeuronModule,
+        heartbeat_s: float = 10.0,
+        directory_ttl_s: float = 30.0,
+        capacity: float = 1.0,
+        assignable: bool = True,
+    ) -> None:
+        super().__init__(module.node, f"agent@{module.name}")
+        self.module = module
+        self.capacity = capacity
+        #: Whether this module accepts recipe sub-tasks. The management
+        #: node's agent sets this False: it manages, it does not process
+        #: flows (matching the paper's testbed, Fig. 7).
+        self.assignable = assignable
+        self.directory = StreamDirectory(
+            module.node, module.client, ttl_s=directory_ttl_s
+        )
+        self.deploys_handled = 0
+        self.recipes_led = 0
+        client = module.client
+        # Crash-leave: if this agent's MQTT session expires (node died), the
+        # broker tombstones the module's retained registry announcement, so
+        # peers learn of the departure at keep-alive granularity instead of
+        # waiting out the directory TTL.
+        from repro.core.discovery import module_topic
+
+        client.will = {
+            "topic": module_topic(module.name),
+            "payload": None,
+            "retain": True,
+        }
+        client.refresh_session()  # the session predates the will
+        base = f"ifot/ctl/module/{module.name}"
+        client.subscribe(f"{base}/deploy", self._on_deploy)
+        client.subscribe(f"{base}/undeploy", self._on_undeploy)
+        client.subscribe(f"{base}/submit", self._on_submit)
+        client.subscribe("ifot/ctl/status/request", self._on_status_request)
+        self._announce()
+        module.capability_listeners.append(self._announce)
+        self.every(heartbeat_s, self._announce)
+
+    def _announce(self) -> None:
+        self.directory.announce_module(
+            self.module.name,
+            self.module.capabilities,
+            capacity=self.capacity,
+            assignable=self.assignable,
+            load=self.module.current_load(),
+        )
+
+    # ------------------------------------------------------------------
+    # Deploy / undeploy
+    # ------------------------------------------------------------------
+
+    def _on_deploy(self, _topic: str, payload: Any, _packet: Packet) -> None:
+        if self.stopped:
+            return
+        application = str(payload["application"])
+        subtask = SubTask.from_dict(payload["subtask"])
+        try:
+            self.module.deploy(application, subtask)
+        except DeploymentError as exc:
+            self.trace("agent.deploy_failed", subtask=subtask.subtask_id, error=str(exc))
+            return
+        self.deploys_handled += 1
+        for stream in subtask.outputs:
+            self.directory.announce_stream(
+                application,
+                stream,
+                topic_for_stream(application, stream),
+                module=self.module.name,
+                task=subtask.subtask_id,
+            )
+
+    def _on_undeploy(self, _topic: str, payload: Any, _packet: Packet) -> None:
+        if self.stopped:
+            return
+        application = str(payload["application"])
+        subtask_id = str(payload.get("subtask_id", "*"))
+        if subtask_id == "*":
+            self.module.undeploy_application(application)
+        else:
+            self.module.undeploy(application, subtask_id)
+
+    # ------------------------------------------------------------------
+    # Recipe leadership (Fig. 6 steps 2-3)
+    # ------------------------------------------------------------------
+
+    def _on_submit(self, _topic: str, payload: Any, _packet: Packet) -> None:
+        if self.stopped:
+            return
+        recipe = Recipe.from_dict(payload["recipe"])
+        strategy = strategy_by_name(str(payload.get("strategy", "load_aware")))
+        self.lead_deployment(recipe, strategy)
+
+    def lead_deployment(
+        self, recipe: Recipe, strategy: AssignmentStrategy | None = None
+    ) -> Assignment:
+        """Split ``recipe``, assign over known-alive modules, send deploys."""
+        subtasks = RecipeSplit().split(recipe)
+        modules = self.directory.module_infos()
+        assignment = TaskAssignment(strategy).assign(subtasks, modules)
+        self.recipes_led += 1
+        self.trace(
+            "agent.recipe_led",
+            recipe=recipe.name,
+            subtasks=len(subtasks),
+            modules=len(modules),
+        )
+        by_id = {s.subtask_id: s for s in subtasks}
+        for subtask_id, module_name in sorted(assignment.placements.items()):
+            self.module.client.publish(
+                f"ifot/ctl/module/{module_name}/deploy",
+                {
+                    "application": recipe.name,
+                    "subtask": by_id[subtask_id].to_dict(),
+                },
+                qos=1,
+            )
+        self.module.client.publish(
+            f"ifot/ctl/app/{recipe.name}/deployed",
+            {"assignment": assignment.to_dict(), "leader": self.module.name},
+            retain=True,
+        )
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+
+    def _on_status_request(self, _topic: str, _payload: Any, _packet: Packet) -> None:
+        if self.stopped:
+            return
+        self.module.client.publish(
+            f"ifot/ctl/status/report/{self.module.name}", self.module.status()
+        )
+
+    def on_stop(self) -> None:
+        if self._announce in self.module.capability_listeners:
+            self.module.capability_listeners.remove(self._announce)
+        self.directory.withdraw_module(self.module.name)
+        self.directory.stop()
+
+
+class ManagementNode:
+    """The operator's console (paper Fig. 7-8's ThinkPad).
+
+    Wraps a :class:`NeuronModule` (typically one with no devices) plus its
+    agent, and offers the operations the paper's management GUI exposes:
+    submit an application, watch module status, tear an application down.
+    """
+
+    def __init__(
+        self,
+        module: NeuronModule,
+        heartbeat_s: float = 10.0,
+        auto_failover: bool = False,
+    ) -> None:
+        self.module = module
+        self.agent = ModuleAgent(module, heartbeat_s=heartbeat_s, assignable=False)
+        self.status_reports: dict[str, dict[str, Any]] = {}
+        self.auto_failover = auto_failover
+        self.failovers_performed = 0
+        #: Applications this node led: name -> (recipe, live assignment).
+        self._led: dict[str, tuple[Recipe, Assignment]] = {}
+        module.client.subscribe("ifot/ctl/status/report/+", self._on_status)
+        self.directory.watch_members(self._on_membership_change)
+
+    # ------------------------------------------------------------------
+    # Application lifecycle
+    # ------------------------------------------------------------------
+
+    def submit_recipe(
+        self,
+        recipe: Recipe,
+        strategy: AssignmentStrategy | str | None = None,
+        via_module: str | None = None,
+    ) -> Assignment | None:
+        """Deploy ``recipe``.
+
+        With ``via_module`` the recipe is shipped to that module's agent,
+        which leads the deployment (Fig. 6 Step 1: "Application builder
+        makes the recipe, and sends the recipe to an IFoT module") — the
+        returned assignment is then None because it happens remotely.
+        Otherwise this node's own agent leads, and the assignment is
+        returned directly.
+        """
+        if isinstance(strategy, str):
+            strategy = strategy_by_name(strategy)
+        if via_module is not None:
+            name = (
+                strategy.name if isinstance(strategy, AssignmentStrategy) else "load_aware"
+            )
+            self.module.client.publish(
+                f"ifot/ctl/module/{via_module}/submit",
+                {"recipe": recipe.to_dict(), "strategy": name},
+                qos=1,
+            )
+            return None
+        assignment = self.agent.lead_deployment(recipe, strategy)
+        self._led[recipe.name] = (recipe, assignment)
+        return assignment
+
+    def stop_application(self, application: str) -> None:
+        """Broadcast undeploy of ``application`` to every known module."""
+        self._led.pop(application, None)
+        for record in self.agent.directory.modules():
+            self.module.client.publish(
+                f"ifot/ctl/module/{record.name}/undeploy",
+                {"application": application, "subtask_id": "*"},
+                qos=1,
+            )
+
+    # ------------------------------------------------------------------
+    # Failover (extension: the paper's dynamic join/leave future work)
+    # ------------------------------------------------------------------
+
+    def _on_membership_change(self, name: str, alive: bool) -> None:
+        if alive or not self.auto_failover:
+            return
+        self._fail_over_module(name)
+
+    def _fail_over_module(self, dead_module: str) -> None:
+        """Re-place every non-pinned sub-task that was on ``dead_module``.
+
+        Model state held by the dead module's operators is lost (online
+        models re-learn from the live stream — the middleware stores no
+        data to replay). Sub-tasks pinned to the dead module are device
+        bound and cannot move; they are reported and skipped.
+        """
+        for app_name, (recipe, assignment) in self._led.items():
+            orphans = [
+                sid
+                for sid, module_name in assignment.placements.items()
+                if module_name == dead_module
+            ]
+            if not orphans:
+                continue
+            subtasks = {s.subtask_id: s for s in RecipeSplit().split(recipe)}
+            candidates = self.directory.module_infos()
+            movable = []
+            for sid in orphans:
+                subtask = subtasks[sid]
+                if subtask.pin_to == dead_module:
+                    self.module.node.runtime.trace(
+                        "mgmt",
+                        "mgmt.failover_pinned",
+                        application=app_name,
+                        subtask=sid,
+                        module=dead_module,
+                    )
+                    continue
+                movable.append(subtask)
+            if not movable:
+                continue
+            # Candidates' ``base_load`` already reflects what each module
+            # hosts: agents announce their live load on every deploy and
+            # heartbeat, and the directory carries it into ModuleInfo.
+            replacement = TaskAssignment(LoadAwareStrategy()).assign(
+                movable, candidates
+            )
+            for subtask in movable:
+                target = replacement.module_for(subtask.subtask_id)
+                assignment.placements[subtask.subtask_id] = target
+                self.module.client.publish(
+                    f"ifot/ctl/module/{target}/deploy",
+                    {"application": app_name, "subtask": subtask.to_dict()},
+                    qos=1,
+                )
+                self.module.node.runtime.trace(
+                    "mgmt",
+                    "mgmt.failover_moved",
+                    application=app_name,
+                    subtask=subtask.subtask_id,
+                    from_module=dead_module,
+                    to_module=target,
+                )
+            self.failovers_performed += 1
+            self.module.client.publish(
+                f"ifot/ctl/app/{app_name}/deployed",
+                {"assignment": assignment.to_dict(), "leader": self.module.name},
+                retain=True,
+            )
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+
+    def request_status(self) -> None:
+        """Ask every module to report; answers land in ``status_reports``."""
+        self.module.client.publish("ifot/ctl/status/request", {})
+
+    def _on_status(self, topic: str, payload: Any, _packet: Packet) -> None:
+        module = topic.rsplit("/", 1)[-1]
+        if isinstance(payload, dict):
+            self.status_reports[module] = payload
+
+    @property
+    def directory(self) -> StreamDirectory:
+        return self.agent.directory
+
+    def render_dashboard(self) -> str:
+        """Textual stand-in for the paper's management GUI (Fig. 8).
+
+        Renders the live view this node has: known modules with their
+        capabilities and load, collected status reports, announced streams
+        and led applications. Call :meth:`request_status` (plus a settle)
+        first if fresh per-module operator lists are wanted.
+        """
+        lines = ["IFoT management console", "=" * 64]
+        lines.append("modules:")
+        for record in self.directory.modules():
+            role = "" if record.assignable else "  [management]"
+            caps = ", ".join(sorted(record.capabilities)) or "-"
+            lines.append(
+                f"  {record.name:<16} load={record.load:6.2f} "
+                f"capacity={record.capacity:4.1f}  caps: {caps}{role}"
+            )
+            report = self.status_reports.get(record.name)
+            if report and report.get("operators"):
+                for operator in report["operators"]:
+                    lines.append(f"      - {operator}")
+        streams = self.directory.find_streams()
+        if streams:
+            lines.append("streams:")
+            for stream in streams:
+                lines.append(
+                    f"  {stream.application}:{stream.stream:<20} "
+                    f"({stream.producer_task} @ {stream.producer_module})"
+                )
+        if self._led:
+            lines.append("applications led here:")
+            for name, (_recipe, assignment) in sorted(self._led.items()):
+                placements = ", ".join(
+                    f"{sid}->{mod}" for sid, mod in sorted(assignment.placements.items())
+                )
+                lines.append(f"  {name}: {placements}")
+        return "\n".join(lines)
+
+    def shutdown(self) -> None:
+        self.agent.stop()
+        self.module.shutdown()

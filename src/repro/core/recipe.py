@@ -1,0 +1,280 @@
+"""Recipes: declarative task graphs for flow processing (paper Fig. 5).
+
+A *recipe* is "a configuration file describing a processing procedure of
+IoT data streams ... described as a task graph" (§IV-C). Here a recipe is a
+named set of :class:`TaskSpec` nodes connected by named *streams*: a task
+consumes the streams in ``inputs`` and produces those in ``outputs``.
+Streams map one-to-one onto MQTT topics at deployment time, which is what
+makes every intermediate flow independently subscribable — the paper's
+"secondary / tertiary use" of curated streams (§VI).
+
+The paper lists "definition of the language to describe recipes" as future
+work; the JSON DSL accepted by :meth:`Recipe.from_dict` /
+:meth:`Recipe.from_json` is this repository's concrete proposal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import RecipeError
+from repro.util.validate import require_name
+
+__all__ = ["TaskSpec", "Recipe"]
+
+
+@dataclass
+class TaskSpec:
+    """One node of the task graph.
+
+    Attributes
+    ----------
+    task_id:
+        Recipe-unique name.
+    operator:
+        Registry name of the operator to instantiate
+        (see :mod:`repro.core.operators`).
+    inputs / outputs:
+        Stream names consumed / produced.
+    params:
+        Operator-specific configuration (window sizes, model algorithm...).
+    capabilities:
+        Capability tags the hosting module must provide (e.g.
+        ``sensor:accel`` or ``actuator:light``); used by capability-aware
+        assignment.
+    parallelism:
+        Number of shard instances RecipeSplit should create (data-parallel
+        fan-out; 1 = a single instance).
+    pin_to:
+        Optional module name forcing placement (sensors and actuators are
+        usually pinned to the module physically wired to the device).
+    """
+
+    task_id: str
+    operator: str
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    params: dict[str, Any] = field(default_factory=dict)
+    capabilities: list[str] = field(default_factory=list)
+    parallelism: int = 1
+    pin_to: str | None = None
+
+    def __post_init__(self) -> None:
+        require_name(self.task_id, "task_id")
+        require_name(self.operator, "operator")
+        if self.parallelism < 1:
+            raise RecipeError(
+                f"task {self.task_id!r}: parallelism must be >= 1"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        result: dict[str, Any] = {
+            "id": self.task_id,
+            "operator": self.operator,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "params": dict(self.params),
+        }
+        if self.capabilities:
+            result["capabilities"] = list(self.capabilities)
+        if self.parallelism != 1:
+            result["parallelism"] = self.parallelism
+        if self.pin_to is not None:
+            result["pin_to"] = self.pin_to
+        return result
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TaskSpec":
+        unknown = set(data) - {
+            "id", "operator", "inputs", "outputs", "params",
+            "capabilities", "parallelism", "pin_to",
+        }
+        if unknown:
+            raise RecipeError(f"unknown task fields: {sorted(unknown)}")
+        try:
+            return cls(
+                task_id=data["id"],
+                operator=data["operator"],
+                inputs=list(data.get("inputs", [])),
+                outputs=list(data.get("outputs", [])),
+                params=dict(data.get("params", {})),
+                capabilities=list(data.get("capabilities", [])),
+                parallelism=int(data.get("parallelism", 1)),
+                pin_to=data.get("pin_to"),
+            )
+        except KeyError as exc:
+            raise RecipeError(f"task missing required field {exc}") from None
+
+
+class Recipe:
+    """A validated task graph.
+
+    Validation enforces: unique task ids, every stream has at most one
+    producer, every consumed stream has a producer (no dangling inputs),
+    and the graph is acyclic. Construction fails loudly — a recipe that
+    validates will deploy.
+    """
+
+    def __init__(self, name: str, tasks: Iterable[TaskSpec]) -> None:
+        self.name = require_name(name, "recipe name")
+        self.tasks: dict[str, TaskSpec] = {}
+        for task in tasks:
+            if task.task_id in self.tasks:
+                raise RecipeError(f"duplicate task id {task.task_id!r}")
+            self.tasks[task.task_id] = task
+        if not self.tasks:
+            raise RecipeError(f"recipe {name!r} has no tasks")
+        self._producers = self._index_producers()
+        self._check_inputs()
+        self._order = self._topological_order()
+
+    # ------------------------------------------------------------------
+    # Graph structure
+    # ------------------------------------------------------------------
+
+    def _index_producers(self) -> dict[str, str]:
+        producers: dict[str, str] = {}
+        for task in self.tasks.values():
+            for stream in task.outputs:
+                if stream in producers:
+                    raise RecipeError(
+                        f"stream {stream!r} produced by both "
+                        f"{producers[stream]!r} and {task.task_id!r}"
+                    )
+                producers[stream] = task.task_id
+        return producers
+
+    def _check_inputs(self) -> None:
+        for task in self.tasks.values():
+            for stream in task.inputs:
+                if ":" in stream:
+                    # External reference "<application>:<stream>" — the
+                    # producer lives in another application (secondary /
+                    # tertiary use of curated streams, paper §VI) and
+                    # cannot be validated here.
+                    app, _sep, remote = stream.partition(":")
+                    if not app or not remote:
+                        raise RecipeError(
+                            f"task {task.task_id!r}: malformed external "
+                            f"stream reference {stream!r} "
+                            "(expected '<application>:<stream>')"
+                        )
+                    continue
+                if stream not in self._producers:
+                    raise RecipeError(
+                        f"task {task.task_id!r} consumes stream {stream!r} "
+                        "which no task produces"
+                    )
+
+    def producer_of(self, stream: str) -> str:
+        """Task id producing ``stream``."""
+        try:
+            return self._producers[stream]
+        except KeyError:
+            raise RecipeError(f"no producer for stream {stream!r}") from None
+
+    def external_inputs(self) -> list[str]:
+        """All cross-application stream references consumed by this recipe."""
+        return sorted(
+            {
+                stream
+                for task in self.tasks.values()
+                for stream in task.inputs
+                if ":" in stream
+            }
+        )
+
+    def consumers_of(self, stream: str) -> list[str]:
+        """Task ids consuming ``stream`` (sorted for determinism)."""
+        return sorted(
+            task.task_id for task in self.tasks.values() if stream in task.inputs
+        )
+
+    def upstream_of(self, task_id: str) -> set[str]:
+        """Direct predecessor task ids (external inputs have none here)."""
+        task = self.tasks[task_id]
+        return {
+            self._producers[stream]
+            for stream in task.inputs
+            if ":" not in stream
+        }
+
+    def _topological_order(self) -> list[str]:
+        in_degree = {tid: len(self.upstream_of(tid)) for tid in self.tasks}
+        ready = sorted(tid for tid, deg in in_degree.items() if deg == 0)
+        order: list[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for task in sorted(self.tasks.values(), key=lambda t: t.task_id):
+                if current in self.upstream_of(task.task_id):
+                    in_degree[task.task_id] -= 1
+                    if in_degree[task.task_id] == 0:
+                        # Insert keeping 'ready' sorted for determinism.
+                        ready.append(task.task_id)
+                        ready.sort()
+        if len(order) != len(self.tasks):
+            remaining = sorted(set(self.tasks) - set(order))
+            raise RecipeError(f"recipe has a cycle involving {remaining}")
+        return order
+
+    @property
+    def topological_order(self) -> list[str]:
+        """Task ids in dependency order."""
+        return list(self._order)
+
+    def stages(self) -> list[list[str]]:
+        """Tasks grouped into parallel stages (same depth = same stage).
+
+        Stage k contains every task whose longest path from a source has
+        length k; all tasks within a stage are mutually independent and
+        "can be executed in parallel" (§IV-C-1).
+        """
+        depth: dict[str, int] = {}
+        for task_id in self._order:
+            upstream = self.upstream_of(task_id)
+            depth[task_id] = 1 + max((depth[u] for u in upstream), default=-1)
+        stage_count = max(depth.values()) + 1
+        stages: list[list[str]] = [[] for _ in range(stage_count)]
+        for task_id in self._order:
+            stages[depth[task_id]].append(task_id)
+        return stages
+
+    @property
+    def streams(self) -> list[str]:
+        return sorted(self._producers)
+
+    # ------------------------------------------------------------------
+    # DSL
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "recipe": self.name,
+            "tasks": [self.tasks[tid].to_dict() for tid in self._order],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Recipe":
+        if not isinstance(data, dict):
+            raise RecipeError(f"recipe must be a dict, got {type(data).__name__}")
+        if "recipe" not in data or "tasks" not in data:
+            raise RecipeError("recipe dict needs 'recipe' (name) and 'tasks'")
+        tasks = [TaskSpec.from_dict(entry) for entry in data["tasks"]]
+        return cls(data["recipe"], tasks)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Recipe":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RecipeError(f"recipe is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Recipe({self.name!r}, {len(self.tasks)} tasks)"

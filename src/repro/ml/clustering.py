@@ -1,0 +1,92 @@
+"""Sequential online k-means.
+
+Jubatus's ``clustering`` service groups stream points without storing them;
+the mobility-support example clusters PoI observations by crowd level. The
+implementation is classic sequential k-means with per-centroid counts and
+an optional exponential forgetting factor for non-stationary streams.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.errors import ModelError
+from repro.ml.features import Datum
+from repro.util.validate import require_in_range, require_positive
+
+__all__ = ["OnlineKMeans"]
+
+
+class OnlineKMeans:
+    """Sequential k-means over the numeric part of datums.
+
+    The first ``k`` distinct points seed the centroids. Each subsequent
+    point moves its nearest centroid by ``1 / weight`` (or a fixed
+    ``learning_rate`` when ``decay`` < 1, making the clusterer track drift).
+    """
+
+    def __init__(self, k: int = 3, decay: float = 1.0) -> None:
+        self.k = require_positive(k, "k")
+        self.decay = require_in_range(decay, 0.01, 1.0, "decay")
+        self.centroids: list[dict[str, float]] = []
+        self.weights: list[float] = []
+        self.points_seen = 0
+
+    def _distance2(self, a: dict[str, float], b: dict[str, float]) -> float:
+        keys = set(a) | set(b)
+        return sum((a.get(key, 0.0) - b.get(key, 0.0)) ** 2 for key in keys)
+
+    def nearest(self, datum: Datum) -> tuple[int, float]:
+        """Index of the nearest centroid and the Euclidean distance to it."""
+        if not self.centroids:
+            raise ModelError("no centroids yet — push() some points first")
+        point = datum.num_values
+        best_index = 0
+        best_d2 = math.inf
+        for i, centroid in enumerate(self.centroids):
+            d2 = self._distance2(point, centroid)
+            if d2 < best_d2:
+                best_d2 = d2
+                best_index = i
+        return best_index, math.sqrt(best_d2)
+
+    def push(self, datum: Datum) -> int:
+        """Absorb one point; returns the index of the cluster it joined."""
+        point = dict(datum.num_values)
+        self.points_seen += 1
+        if len(self.centroids) < self.k:
+            # Seed from distinct points only, else update the match below.
+            if all(self._distance2(point, c) > 1e-18 for c in self.centroids):
+                self.centroids.append(point)
+                self.weights.append(1.0)
+                return len(self.centroids) - 1
+        index, _distance = self.nearest(datum)
+        if self.decay < 1.0:
+            for i in range(len(self.weights)):
+                self.weights[i] *= self.decay
+        self.weights[index] += 1.0
+        rate = 1.0 / self.weights[index]
+        centroid = self.centroids[index]
+        for key in set(centroid) | set(point):
+            old = centroid.get(key, 0.0)
+            centroid[key] = old + rate * (point.get(key, 0.0) - old)
+        return index
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self.centroids)
+
+    def to_state(self) -> dict[str, Any]:
+        return {
+            "k": self.k,
+            "decay": self.decay,
+            "centroids": [dict(c) for c in self.centroids],
+            "weights": list(self.weights),
+            "points_seen": self.points_seen,
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        self.centroids = [dict(c) for c in state["centroids"]]
+        self.weights = [float(w) for w in state["weights"]]
+        self.points_seen = int(state.get("points_seen", 0))

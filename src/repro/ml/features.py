@@ -1,0 +1,131 @@
+"""Jubatus-style data representation and feature extraction.
+
+A :class:`Datum` carries raw observations as two key/value maps — string
+values and numeric values — exactly like Jubatus's ``datum`` type, so the
+middleware can move heterogeneous sensor readings through one container.
+A :class:`FeatureExtractor` converts datums into sparse feature vectors:
+
+* numeric values become features named ``num$<key>`` (optionally
+  standardized online using running mean/std so no scaling pass over a
+  stored dataset is ever needed);
+* string values become one-hot features named ``str$<key>$<value>``;
+* an optional bias feature anchors linear models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import FeatureError
+from repro.util.stats import RunningStats
+
+__all__ = ["Datum", "FeatureVector", "FeatureExtractor"]
+
+#: Feature vectors are plain dicts: feature name -> value.
+FeatureVector = dict[str, float]
+
+
+@dataclass
+class Datum:
+    """One observation: named string and numeric values.
+
+    >>> d = Datum.from_mapping({"room": "kitchen", "temp": 21.5})
+    >>> sorted(d.string_values), sorted(d.num_values)
+    (['room'], ['temp'])
+    """
+
+    string_values: dict[str, str] = field(default_factory=dict)
+    num_values: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_mapping(cls, mapping: dict[str, Any]) -> "Datum":
+        """Build a datum from a flat dict, sorting values by type.
+
+        Booleans become the strings ``'true'``/``'false'`` (they are
+        categorical, not numeric 0/1 — keeping them categorical lets
+        one-hot weights differ per state).
+        """
+        datum = cls()
+        for key, value in mapping.items():
+            if isinstance(value, bool):
+                datum.string_values[key] = "true" if value else "false"
+            elif isinstance(value, (int, float)):
+                datum.num_values[key] = float(value)
+            elif isinstance(value, str):
+                datum.string_values[key] = value
+            else:
+                raise FeatureError(
+                    f"unsupported value type for key {key!r}: {type(value).__name__}"
+                )
+        return datum
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready representation for flow transport."""
+        return {"s": dict(self.string_values), "n": dict(self.num_values)}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Datum":
+        if not isinstance(payload, dict) or "s" not in payload or "n" not in payload:
+            raise FeatureError(f"not a datum payload: {payload!r}")
+        return cls(
+            string_values={str(k): str(v) for k, v in payload["s"].items()},
+            num_values={str(k): float(v) for k, v in payload["n"].items()},
+        )
+
+    def merged_with(self, other: "Datum") -> "Datum":
+        """A new datum with ``other``'s values folded in (other wins ties)."""
+        return Datum(
+            string_values={**self.string_values, **other.string_values},
+            num_values={**self.num_values, **other.num_values},
+        )
+
+
+class FeatureExtractor:
+    """Converts datums to sparse feature vectors, optionally standardizing.
+
+    With ``standardize=True`` the extractor keeps running mean/std per
+    numeric key (updated on every call to :meth:`extract` with
+    ``update=True``) and emits ``(x - mean) / std``. The first few samples
+    pass through nearly raw while statistics stabilize — the usual price of
+    fully online scaling.
+    """
+
+    BIAS_FEATURE = "bias"
+
+    def __init__(self, standardize: bool = False, with_bias: bool = True) -> None:
+        self.standardize = standardize
+        self.with_bias = with_bias
+        self._num_stats: dict[str, RunningStats] = {}
+
+    def extract(self, datum: Datum, update: bool = True) -> FeatureVector:
+        """Map ``datum`` to a feature vector.
+
+        ``update=False`` extracts without folding the datum into the
+        standardization statistics (used on the predict path so that
+        inference does not drift the scaler).
+        """
+        features: FeatureVector = {}
+        for key, value in datum.num_values.items():
+            name = f"num${key}"
+            if self.standardize:
+                stats = self._num_stats.get(key)
+                if stats is None:
+                    stats = self._num_stats[key] = RunningStats()
+                if update:
+                    stats.add(value)
+                if stats.count >= 2 and stats.stddev > 1e-12:
+                    features[name] = (value - stats.mean) / stats.stddev
+                else:
+                    features[name] = value
+            else:
+                features[name] = value
+        for key, value in datum.string_values.items():
+            features[f"str${key}${value}"] = 1.0
+        if self.with_bias:
+            features[self.BIAS_FEATURE] = 1.0
+        return features
+
+    def reset(self) -> None:
+        """Forget standardization statistics."""
+        self._num_stats.clear()

@@ -1,0 +1,188 @@
+"""The MIX protocol: periodic model averaging across distributed learners.
+
+Jubatus's signature distributed-learning mechanism is MIX: every node
+learns on its local shard of the stream; periodically the nodes' weight
+*diffs* (deltas since the last mix) are averaged and pushed back, so all
+nodes converge to a shared model without any node seeing the whole stream.
+
+This module is transport-agnostic — pure state machines plus the averaging
+arithmetic. The middleware's ManagingClass (:mod:`repro.core.analysis`)
+drives them over the flow-distribution layer; the unit tests drive them
+directly.
+
+Protocol (one round):
+
+1. the coordinator opens round ``r`` and asks every participant for a diff;
+2. each participant calls ``collect_diff()`` on its model and replies;
+3. when all diffs (or a quorum, after a timeout) have arrived, the
+   coordinator computes the weighted average and broadcasts it;
+4. each participant calls ``apply_mixed(average)``; its model's new base is
+   the mixed state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.errors import MixError
+
+__all__ = ["Mixable", "average_diffs", "MixCoordinator", "MixParticipantState"]
+
+#: A diff is {label -> {feature -> delta}}.
+Diff = dict[str, dict[str, float]]
+
+
+class Mixable(Protocol):
+    """Anything that can take part in MIX (linear learners, regressors)."""
+
+    def collect_diff(self) -> Diff: ...
+
+    def apply_mixed(self, mixed_diff: Diff) -> None: ...
+
+
+def average_diffs(diffs: list[Diff], weights: list[float] | None = None) -> Diff:
+    """Weighted element-wise average of sparse diffs.
+
+    ``weights`` defaults to uniform. Labels/features missing from a diff
+    count as zero, so a node that never saw label L pulls the average
+    towards zero for L — exactly the Jubatus behaviour that makes MIX
+    conservative about rare labels.
+    """
+    if not diffs:
+        raise MixError("cannot average an empty diff list")
+    if weights is None:
+        weights = [1.0] * len(diffs)
+    if len(weights) != len(diffs):
+        raise MixError(f"{len(diffs)} diffs but {len(weights)} weights")
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        raise MixError("total weight must be positive")
+
+    accumulator: dict[str, dict[str, float]] = {}
+    for diff, weight in zip(diffs, weights):
+        for label, features in diff.items():
+            bucket = accumulator.setdefault(label, {})
+            for feature, delta in features.items():
+                bucket[feature] = bucket.get(feature, 0.0) + weight * delta
+    return {
+        label: {
+            feature: value / total_weight
+            for feature, value in features.items()
+            if value != 0.0
+        }
+        for label, features in accumulator.items()
+    }
+
+
+@dataclass
+class MixRound:
+    """Bookkeeping for one in-flight MIX round."""
+
+    round_id: int
+    expected: set[str]
+    diffs: dict[str, Diff] = field(default_factory=dict)
+    weights: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return set(self.diffs) >= self.expected
+
+    @property
+    def missing(self) -> set[str]:
+        return self.expected - set(self.diffs)
+
+
+class MixCoordinator:
+    """Coordinator-side state machine (transport supplied by the caller)."""
+
+    def __init__(self, min_quorum: int = 1) -> None:
+        if min_quorum < 1:
+            raise MixError("min_quorum must be >= 1")
+        self.min_quorum = min_quorum
+        self._next_round = 1
+        self.current: MixRound | None = None
+        self.rounds_completed = 0
+
+    def start_round(self, participants: list[str]) -> MixRound:
+        """Open a round expecting diffs from ``participants``."""
+        if not participants:
+            raise MixError("a MIX round needs at least one participant")
+        if self.current is not None:
+            raise MixError(
+                f"round {self.current.round_id} still open; finish or abort it"
+            )
+        self.current = MixRound(
+            round_id=self._next_round, expected=set(participants)
+        )
+        self._next_round += 1
+        return self.current
+
+    def receive_diff(
+        self, participant: str, round_id: int, diff: Diff, weight: float = 1.0
+    ) -> bool:
+        """Record one participant's diff. Returns True when all have arrived."""
+        current = self.current
+        if current is None or round_id != current.round_id:
+            return False  # stale reply from an earlier round — ignore
+        if participant not in current.expected:
+            raise MixError(f"unexpected participant {participant!r}")
+        current.diffs[participant] = diff
+        current.weights[participant] = weight
+        return current.complete
+
+    def finish_round(self, allow_partial: bool = False) -> Diff:
+        """Average what arrived and close the round.
+
+        ``allow_partial=True`` accepts a quorum of ``min_quorum`` (used on
+        timeout when a node died mid-round); otherwise all participants
+        must have replied.
+        """
+        current = self.current
+        if current is None:
+            raise MixError("no round in progress")
+        if not current.complete and not allow_partial:
+            raise MixError(f"round incomplete; missing {sorted(current.missing)}")
+        if len(current.diffs) < self.min_quorum:
+            raise MixError(
+                f"only {len(current.diffs)} diffs, need quorum {self.min_quorum}"
+            )
+        names = sorted(current.diffs)
+        mixed = average_diffs(
+            [current.diffs[n] for n in names],
+            [current.weights[n] for n in names],
+        )
+        self.current = None
+        self.rounds_completed += 1
+        return mixed
+
+    def abort_round(self) -> None:
+        self.current = None
+
+
+class MixParticipantState:
+    """Participant-side wrapper around a mixable model."""
+
+    def __init__(self, name: str, model: Mixable) -> None:
+        self.name = name
+        self.model = model
+        self.last_round_applied = 0
+        self.diffs_sent = 0
+
+    def make_reply(self, round_id: int, weight: float = 1.0) -> dict[str, Any]:
+        """Build the diff reply payload for ``round_id``."""
+        self.diffs_sent += 1
+        return {
+            "participant": self.name,
+            "round": round_id,
+            "weight": weight,
+            "diff": self.model.collect_diff(),
+        }
+
+    def apply_broadcast(self, round_id: int, mixed_diff: Diff) -> bool:
+        """Apply a mixed model; ignores replays of already-applied rounds."""
+        if round_id <= self.last_round_applied:
+            return False
+        self.model.apply_mixed(mixed_diff)
+        self.last_round_applied = round_id
+        return True

@@ -1,0 +1,101 @@
+"""Online regression: passive-aggressive with an epsilon-insensitive loss.
+
+Jubatus's ``regression`` service runs PA regression; the home-appliance
+example uses it to learn comfort setpoints from environment streams.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ml.features import Datum, FeatureExtractor, FeatureVector
+from repro.ml.storage import SparseVector
+from repro.util.validate import require_non_negative, require_positive
+
+__all__ = ["PARegression"]
+
+
+class PARegression:
+    """PA-I regression (Crammer et al. 2006, §5).
+
+    Predicts ``w . x``; an update occurs when the absolute error exceeds
+    ``epsilon``, moving ``w`` just enough (capped by ``c``) to bring the
+    example inside the epsilon tube.
+    """
+
+    def __init__(
+        self, c: float = 1.0, epsilon: float = 0.1, standardize: bool = False
+    ) -> None:
+        self.c = require_positive(c, "c")
+        self.epsilon = require_non_negative(epsilon, "epsilon")
+        self.weights = SparseVector()
+        self.extractor = FeatureExtractor(standardize=standardize)
+        self.examples_seen = 0
+        self.updates = 0
+        self._mix_base = SparseVector()
+
+    # ------------------------------------------------------------------
+    # Core (feature-vector level)
+    # ------------------------------------------------------------------
+
+    def predict_features(self, features: FeatureVector) -> float:
+        return self.weights.dot(features)
+
+    def train_features(self, features: FeatureVector, target: float) -> bool:
+        self.examples_seen += 1
+        error = target - self.weights.dot(features)
+        loss = abs(error) - self.epsilon
+        if loss <= 0:
+            return False
+        norm2 = sum(v * v for v in features.values())
+        if norm2 <= 0:
+            return False
+        tau = min(self.c, loss / norm2)
+        self.weights.add(features, scale=tau if error > 0 else -tau)
+        self.updates += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Datum-level API (matches OnlineClassifier)
+    # ------------------------------------------------------------------
+
+    def train(self, datum: Datum, target: float) -> bool:
+        return self.train_features(self.extractor.extract(datum, update=True), target)
+
+    def predict(self, datum: Datum) -> float:
+        return self.predict_features(self.extractor.extract(datum, update=False))
+
+    # ------------------------------------------------------------------
+    # MIX support
+    # ------------------------------------------------------------------
+
+    def collect_diff(self) -> dict[str, dict[str, float]]:
+        delta = self.weights.copy()
+        delta.add(self._mix_base.to_dict(), scale=-1.0)
+        return {"_regression": delta.to_dict()}
+
+    def apply_mixed(self, mixed_diff: dict[str, dict[str, float]]) -> None:
+        merged = self._mix_base.copy()
+        merged.add(mixed_diff.get("_regression", {}))
+        self.weights = merged
+        self._mix_base = merged.copy()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> dict[str, Any]:
+        return {
+            "algorithm": "pa_regression",
+            "weights": self.weights.to_dict(),
+            "c": self.c,
+            "epsilon": self.epsilon,
+            "examples_seen": self.examples_seen,
+            "updates": self.updates,
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        self.weights = SparseVector.from_dict(state["weights"])
+        self._mix_base = self.weights.copy()
+        self.examples_seen = int(state.get("examples_seen", 0))
+        self.updates = int(state.get("updates", 0))

@@ -1,0 +1,103 @@
+"""Sparse weight vectors.
+
+All linear models store weights as ``{feature_name: value}`` dictionaries —
+IoT feature spaces here are small and sparse, and dict storage keeps models
+trivially serializable for the MIX protocol (weights travel as plain JSON
+through the flow-distribution layer).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+__all__ = ["SparseVector"]
+
+
+class SparseVector:
+    """A sparse real vector keyed by feature name.
+
+    Zero entries are pruned on write, so iteration touches only support.
+
+    >>> v = SparseVector({"a": 1.0})
+    >>> v.add({"a": -1.0, "b": 2.0}, scale=1.0)
+    >>> v.to_dict()
+    {'b': 2.0}
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: dict[str, float] | None = None) -> None:
+        self._data: dict[str, float] = {}
+        if data:
+            for key, value in data.items():
+                if value != 0.0:
+                    self._data[key] = float(value)
+
+    def __getitem__(self, key: str) -> float:
+        return self._data.get(key, 0.0)
+
+    def __setitem__(self, key: str, value: float) -> None:
+        if value == 0.0:
+            self._data.pop(key, None)
+        else:
+            self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(self._data.items())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def keys(self) -> Iterable[str]:
+        return self._data.keys()
+
+    def dot(self, features: dict[str, float]) -> float:
+        """Inner product with a dense-as-dict feature mapping."""
+        # Iterate the smaller operand.
+        if len(features) <= len(self._data):
+            return sum(self._data.get(k, 0.0) * v for k, v in features.items())
+        return sum(features.get(k, 0.0) * v for k, v in self._data.items())
+
+    def add(self, features: dict[str, float], scale: float = 1.0) -> None:
+        """In-place ``self += scale * features``."""
+        if scale == 0.0:
+            return
+        for key, value in features.items():
+            self[key] = self._data.get(key, 0.0) + scale * value
+
+    def scale(self, factor: float) -> None:
+        """In-place ``self *= factor``."""
+        if factor == 0.0:
+            self._data.clear()
+            return
+        for key in list(self._data):
+            self._data[key] *= factor
+
+    def norm(self) -> float:
+        """Euclidean norm."""
+        return math.sqrt(sum(v * v for v in self._data.values()))
+
+    def copy(self) -> "SparseVector":
+        clone = SparseVector()
+        clone._data = dict(self._data)
+        return clone
+
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict snapshot (JSON-ready)."""
+        return dict(self._data)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "SparseVector":
+        return cls(data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return self._data == other._data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SparseVector({self._data!r})"

@@ -1,0 +1,32 @@
+"""MQTT-style publish/subscribe substrate (Mosquitto substitute).
+
+The paper's flow-distribution mechanism is built on Mosquitto, "a
+lightweight communications scheme by MQTT protocol" (§V-A). This package is
+a from-scratch reimplementation of the protocol features the middleware
+needs, written against the runtime abstraction so it runs simulated or real:
+
+* hierarchical topics with ``+`` and ``#`` wildcards
+  (:mod:`repro.mqtt.topics`);
+* a broker with sessions, per-topic subscription routing, retained
+  messages, and keep-alive expiry (:mod:`repro.mqtt.broker`);
+* a client with QoS 0 (at-most-once) and QoS 1 (at-least-once with
+  retransmission and dup-flagging) (:mod:`repro.mqtt.client`).
+"""
+
+from repro.mqtt.broker import Broker, BrokerStats
+from repro.mqtt.client import MqttClient, Subscription
+from repro.mqtt.packets import Packet, PacketType
+from repro.mqtt.topics import TopicTree, topic_matches, validate_filter, validate_topic
+
+__all__ = [
+    "Broker",
+    "BrokerStats",
+    "MqttClient",
+    "Packet",
+    "PacketType",
+    "Subscription",
+    "TopicTree",
+    "topic_matches",
+    "validate_filter",
+    "validate_topic",
+]

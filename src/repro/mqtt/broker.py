@@ -1,0 +1,464 @@
+"""The MQTT broker (the paper's *Broker class*, Fig. 4).
+
+One broker instance runs as a component on a neuron module (module D in the
+paper's experiment, Fig. 9) and "manages the distribution of data in
+accordance with the topic the subscription class specifies" (§IV-C-3).
+
+Supported protocol surface: CONNECT/CONNACK with clean or persistent
+sessions, PUBLISH at QoS 0/1 (with broker-side retransmission towards
+subscribers), SUBSCRIBE/UNSUBSCRIBE with wildcards, retained messages,
+PINGREQ/PINGRESP, DISCONNECT, and keep-alive-based session expiry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.address import Address
+from repro.mqtt.packets import Packet, PacketType
+from repro.mqtt.topics import TopicTree, validate_topic
+from repro.runtime.base import TimerHandle
+from repro.runtime.component import Component
+from repro.runtime.node import Node
+from repro.errors import ProtocolError
+
+__all__ = ["Broker", "BrokerStats", "BROKER_SERVICE"]
+
+#: Service name the broker binds on its node.
+BROKER_SERVICE = "mqtt"
+
+
+@dataclass
+class BrokerStats:
+    """Counters exposed for tests and the benchmark harness."""
+
+    connects: int = 0
+    publishes_in: int = 0
+    publishes_out: int = 0
+    pubacks_in: int = 0
+    retransmissions: int = 0
+    drops_give_up: int = 0
+    sessions_expired: int = 0
+    retained_stored: int = 0
+    wills_published: int = 0
+
+
+@dataclass
+class _Inflight:
+    packet: Packet
+    destination: Address
+    retries_left: int
+    timer: TimerHandle | None = None
+
+
+@dataclass
+class _Session:
+    client_id: str
+    address: Address
+    clean: bool
+    keepalive_s: float
+    last_seen: float
+    subscriptions: dict[str, int] = field(default_factory=dict)
+    inflight: dict[int, _Inflight] = field(default_factory=dict)
+    next_packet_id: int = 1
+    connected: bool = True
+    will: dict[str, Any] | None = None
+
+    def allocate_packet_id(self) -> int:
+        pid = self.next_packet_id
+        self.next_packet_id = pid % 65535 + 1
+        return pid
+
+
+@dataclass(frozen=True)
+class _Retained:
+    payload: Any
+    qos: int
+    headers: dict[str, Any]
+
+
+class Broker(Component):
+    """Topic-based message router with sessions and QoS 0/1 delivery."""
+
+    def __init__(
+        self,
+        node: Node,
+        name: str = "broker",
+        retry_interval_s: float = 2.0,
+        max_retries: int = 5,
+        keepalive_grace: float = 1.5,
+        sweep_interval_s: float = 5.0,
+    ) -> None:
+        super().__init__(node, name)
+        self.retry_interval_s = retry_interval_s
+        self.max_retries = max_retries
+        self.keepalive_grace = keepalive_grace
+        self.stats = BrokerStats()
+        self._sessions: dict[str, _Session] = {}
+        self._address_index: dict[Address, str] = {}
+        self._subscriptions: TopicTree[str] = TopicTree()  # filter -> client ids
+        self._retained: dict[str, _Retained] = {}
+        node.bind(BROKER_SERVICE, self._on_datagram)
+        self.every(sweep_interval_s, self._sweep_sessions)
+
+    @property
+    def address(self) -> Address:
+        """Where clients should send their packets."""
+        return self.node.address(BROKER_SERVICE)
+
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    def retained_topics(self) -> list[str]:
+        return sorted(self._retained)
+
+    # ------------------------------------------------------------------
+    # Inbound dispatch
+    # ------------------------------------------------------------------
+
+    def _on_datagram(self, source: Address, data: bytes) -> None:
+        try:
+            packet = Packet.decode(data)
+        except ProtocolError:
+            self.trace("mqtt.broker.garbage", source=str(source))
+            return
+        # Routing work occupies the broker node's CPU.
+        self.node.execute(
+            "mqtt.route", self._handle, source, packet, nbytes=len(data)
+        )
+
+    def _handle(self, source: Address, packet: Packet) -> None:
+        session = self._touch(source)
+        handler = {
+            PacketType.CONNECT: self._on_connect,
+            PacketType.PUBLISH: self._on_publish,
+            PacketType.PUBACK: self._on_puback,
+            PacketType.SUBSCRIBE: self._on_subscribe,
+            PacketType.UNSUBSCRIBE: self._on_unsubscribe,
+            PacketType.PINGREQ: self._on_pingreq,
+            PacketType.DISCONNECT: self._on_disconnect,
+        }.get(packet.type)
+        if handler is None:
+            self.trace("mqtt.broker.unexpected", type=packet.type.value)
+            return
+        handler(source, session, packet)
+
+    def _touch(self, source: Address) -> _Session | None:
+        client_id = self._address_index.get(source)
+        if client_id is None:
+            return None
+        session = self._sessions.get(client_id)
+        if session is not None:
+            session.last_seen = self.runtime.now
+        return session
+
+    def _send(self, destination: Address, packet: Packet) -> None:
+        self.node.send(BROKER_SERVICE, destination, packet.encode())
+
+    # ------------------------------------------------------------------
+    # CONNECT / DISCONNECT / PING
+    # ------------------------------------------------------------------
+
+    def _on_connect(
+        self, source: Address, _session: _Session | None, packet: Packet
+    ) -> None:
+        client_id = packet["client_id"]
+        clean = bool(packet.get("clean_session", True))
+        keepalive = float(packet.get("keepalive_s", 60.0))
+        will = packet.get("will")  # {topic, payload, qos, retain} or None
+        self.stats.connects += 1
+
+        existing = self._sessions.get(client_id)
+        session_present = existing is not None and not clean
+        if existing is not None:
+            # Take over: drop the old address binding and inflight timers.
+            self._address_index.pop(existing.address, None)
+            self._cancel_inflight(existing)
+            if clean:
+                self._drop_subscriptions(existing)
+                existing = None
+        if existing is None:
+            session = _Session(
+                client_id=client_id,
+                address=source,
+                clean=clean,
+                keepalive_s=keepalive,
+                last_seen=self.runtime.now,
+                will=dict(will) if will else None,
+            )
+            self._sessions[client_id] = session
+        else:
+            session = existing
+            session.address = source
+            session.keepalive_s = keepalive
+            session.last_seen = self.runtime.now
+            session.connected = True
+            session.will = dict(will) if will else None
+        self._address_index[source] = client_id
+        self.trace("mqtt.broker.connect", client=client_id, clean=clean)
+        self._send(source, Packet.connack(session_present=session_present))
+
+    def _on_disconnect(
+        self, _source: Address, session: _Session | None, _packet: Packet
+    ) -> None:
+        if session is None:
+            return
+        self.trace("mqtt.broker.disconnect", client=session.client_id)
+        session.will = None  # clean disconnects never fire the will
+        self._remove_session(session, expired=False)
+
+    def _on_pingreq(
+        self, source: Address, session: _Session | None, _packet: Packet
+    ) -> None:
+        if session is not None:
+            self._send(source, Packet.pingresp())
+
+    # ------------------------------------------------------------------
+    # SUBSCRIBE / UNSUBSCRIBE
+    # ------------------------------------------------------------------
+
+    def _on_subscribe(
+        self, source: Address, session: _Session | None, packet: Packet
+    ) -> None:
+        if session is None:
+            return  # not connected; MQTT closes the socket, we drop
+        granted: list[int] = []
+        for topic_filter, qos in packet["filters"]:
+            qos = min(int(qos), 1)
+            if topic_filter not in session.subscriptions:
+                self._subscriptions.insert(topic_filter, session.client_id)
+            session.subscriptions[topic_filter] = qos
+            granted.append(qos)
+            self.trace(
+                "mqtt.broker.subscribe",
+                client=session.client_id,
+                filter=topic_filter,
+                qos=qos,
+            )
+        self._send(source, Packet.suback(packet["packet_id"], granted))
+        # Retained messages are delivered after the SUBACK, per spec intent.
+        for topic_filter, _qos in packet["filters"]:
+            self._deliver_retained(session, topic_filter)
+
+    def _on_unsubscribe(
+        self, source: Address, session: _Session | None, packet: Packet
+    ) -> None:
+        if session is None:
+            return
+        for topic_filter in packet["filters"]:
+            if topic_filter in session.subscriptions:
+                del session.subscriptions[topic_filter]
+                self._subscriptions.remove(topic_filter, session.client_id)
+        self._send(source, Packet.unsuback(packet["packet_id"]))
+
+    def _deliver_retained(self, session: _Session, topic_filter: str) -> None:
+        from repro.mqtt.topics import topic_matches
+
+        sub_qos = session.subscriptions.get(topic_filter)
+        if sub_qos is None:
+            return
+        for topic, retained in sorted(self._retained.items()):
+            if topic_matches(topic_filter, topic):
+                self._forward(
+                    session,
+                    topic,
+                    retained.payload,
+                    min(retained.qos, sub_qos),
+                    retained.headers,
+                    retain=True,
+                )
+
+    # ------------------------------------------------------------------
+    # PUBLISH path
+    # ------------------------------------------------------------------
+
+    def _on_publish(
+        self, source: Address, session: _Session | None, packet: Packet
+    ) -> None:
+        topic = validate_topic(packet["topic"])
+        qos = int(packet.get("qos", 0))
+        payload = packet.get("payload")
+        headers = packet.get("headers") or {}
+        self.stats.publishes_in += 1
+
+        if packet.get("retain", False):
+            if payload is None:
+                self._retained.pop(topic, None)
+            else:
+                self._retained[topic] = _Retained(payload, qos, dict(headers))
+                self.stats.retained_stored += 1
+
+        # Acknowledge the publisher first (QoS 1 publisher-side is complete
+        # once the broker owns the message).
+        if qos == 1 and session is not None:
+            self._send(source, Packet.puback(packet["packet_id"]))
+
+        # One delivery per client even with overlapping subscriptions (the
+        # client side then dispatches to every matching local callback).
+        seen: set[str] = set()
+        for client_id in self._subscriptions.match(topic):
+            if client_id in seen:
+                continue
+            seen.add(client_id)
+            subscriber = self._sessions.get(client_id)
+            if subscriber is None or not subscriber.connected:
+                continue
+            sub_qos = max(
+                (
+                    q
+                    for f, q in subscriber.subscriptions.items()
+                    if _filter_matches(f, topic)
+                ),
+                default=0,
+            )
+            self._forward(
+                subscriber, topic, payload, min(qos, sub_qos), headers, retain=False
+            )
+
+    def _forward(
+        self,
+        session: _Session,
+        topic: str,
+        payload: Any,
+        qos: int,
+        headers: dict[str, Any],
+        retain: bool,
+    ) -> None:
+        packet_id = session.allocate_packet_id() if qos == 1 else None
+        packet = Packet.publish(
+            topic=topic,
+            payload=payload,
+            qos=qos,
+            retain=retain,
+            packet_id=packet_id,
+            headers=headers,
+        )
+        self.stats.publishes_out += 1
+        self.trace(
+            "mqtt.broker.forward", client=session.client_id, topic=topic, qos=qos
+        )
+        if qos == 1 and packet_id is not None:
+            inflight = _Inflight(
+                packet=packet,
+                destination=session.address,
+                retries_left=self.max_retries,
+            )
+            session.inflight[packet_id] = inflight
+            self._arm_retry(session, packet_id, inflight)
+        # Fan-out transmission is per-subscriber broker work.
+        self.node.execute(
+            "mqtt.forward", self._send, session.address, packet
+        )
+
+    def _arm_retry(
+        self, session: _Session, packet_id: int, inflight: _Inflight
+    ) -> None:
+        inflight.timer = self.after(
+            self.retry_interval_s, self._retry, session, packet_id
+        )
+
+    def _retry(self, session: _Session, packet_id: int) -> None:
+        inflight = session.inflight.get(packet_id)
+        if inflight is None:
+            return
+        if inflight.retries_left <= 0:
+            del session.inflight[packet_id]
+            self.stats.drops_give_up += 1
+            self.trace(
+                "mqtt.broker.give_up", client=session.client_id, packet_id=packet_id
+            )
+            return
+        inflight.retries_left -= 1
+        self.stats.retransmissions += 1
+        dup = Packet(
+            PacketType.PUBLISH, {**inflight.packet.fields, "dup": True}
+        )
+        inflight.packet = dup
+        self._send(inflight.destination, dup)
+        self._arm_retry(session, packet_id, inflight)
+
+    def _on_puback(
+        self, _source: Address, session: _Session | None, packet: Packet
+    ) -> None:
+        if session is None:
+            return
+        self.stats.pubacks_in += 1
+        inflight = session.inflight.pop(packet["packet_id"], None)
+        if inflight is not None and inflight.timer is not None:
+            inflight.timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def _sweep_sessions(self) -> None:
+        now = self.runtime.now
+        expired = [
+            s
+            for s in self._sessions.values()
+            if s.connected
+            and s.keepalive_s > 0
+            and now - s.last_seen > s.keepalive_s * self.keepalive_grace
+        ]
+        for session in expired:
+            self.stats.sessions_expired += 1
+            self.trace("mqtt.broker.expire", client=session.client_id)
+            self._publish_will(session)
+            self._remove_session(session, expired=True)
+
+    def _publish_will(self, session: _Session) -> None:
+        """Deliver a dead client's last-will message (MQTT 3.1.1 §3.1.2.5).
+
+        The will behaves like a publish *from* the departed session, so it
+        reaches subscribers and can set/clear retained state — which is how
+        module agents tombstone their registry entry on crash.
+        """
+        will = session.will
+        if not will:
+            return
+        session.will = None
+        self.stats.wills_published += 1
+        packet = Packet.publish(
+            topic=str(will["topic"]),
+            payload=will.get("payload"),
+            qos=min(int(will.get("qos", 0)), 1),
+            retain=bool(will.get("retain", False)),
+        )
+        self.trace("mqtt.broker.will", client=session.client_id, topic=will["topic"])
+        self._on_publish(session.address, session, packet)
+
+    def _remove_session(self, session: _Session, expired: bool) -> None:
+        self._cancel_inflight(session)
+        self._address_index.pop(session.address, None)
+        if session.clean:
+            self._drop_subscriptions(session)
+            self._sessions.pop(session.client_id, None)
+        else:
+            # Persistent session: keep subscriptions, mark disconnected.
+            session.connected = False
+
+    def _cancel_inflight(self, session: _Session) -> None:
+        for inflight in session.inflight.values():
+            if inflight.timer is not None:
+                inflight.timer.cancel()
+        session.inflight.clear()
+
+    def _drop_subscriptions(self, session: _Session) -> None:
+        for topic_filter in session.subscriptions:
+            self._subscriptions.remove(topic_filter, session.client_id)
+        session.subscriptions.clear()
+
+    def on_stop(self) -> None:
+        for session in list(self._sessions.values()):
+            self._cancel_inflight(session)
+        self.node.unbind(BROKER_SERVICE)
+
+
+def _filter_matches(topic_filter: str, topic: str) -> bool:
+    from repro.mqtt.topics import topic_matches
+
+    return topic_matches(topic_filter, topic)

@@ -1,0 +1,397 @@
+"""MQTT client.
+
+The middleware's *Publish class* and *Subscribe class* (Fig. 4) are thin
+wrappers over this client. It provides:
+
+* ``connect`` / ``disconnect`` with CONNACK tracking and op queueing —
+  operations issued before the CONNACK are buffered and flushed in order;
+* ``publish`` at QoS 0/1, with client-side retransmission (dup flag) until
+  the broker's PUBACK arrives;
+* ``subscribe(filter, callback)`` with client-side wildcard dispatch and
+  automatic PUBACK for QoS 1 inbound messages;
+* periodic PINGREQ keep-alives;
+* optional auto-reconnect: broker silence beyond two keep-alive periods
+  triggers a fresh CONNECT, and if the broker lost the session (restart,
+  clean takeover) the client replays all of its subscriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import NotConnectedError, ProtocolError
+from repro.mqtt.packets import Packet, PacketType
+from repro.mqtt.topics import TopicTree, validate_filter, validate_topic
+from repro.net.address import Address
+from repro.runtime.base import TimerHandle
+from repro.runtime.component import Component
+from repro.runtime.node import Node
+
+__all__ = ["MqttClient", "Subscription"]
+
+#: Callback signature for inbound messages: (topic, payload, packet).
+MessageCallback = Callable[[str, Any, Packet], None]
+
+
+@dataclass
+class Subscription:
+    """One client-side subscription entry."""
+
+    topic_filter: str
+    callback: MessageCallback
+    qos: int
+
+
+@dataclass
+class _PendingPublish:
+    packet: Packet
+    retries_left: int
+    timer: TimerHandle | None = None
+
+
+class MqttClient(Component):
+    """A client session against one broker."""
+
+    def __init__(
+        self,
+        node: Node,
+        broker: Address,
+        client_id: str | None = None,
+        clean_session: bool = True,
+        keepalive_s: float = 30.0,
+        retry_interval_s: float = 2.0,
+        max_retries: int = 5,
+        will: dict[str, Any] | None = None,
+        auto_reconnect: bool = False,
+    ) -> None:
+        client_id = client_id or node.runtime.ids.next(f"{node.name}.mqtt")
+        super().__init__(node, f"mqtt.client.{client_id}")
+        self.client_id = client_id
+        self.broker = broker
+        self.clean_session = clean_session
+        self.keepalive_s = keepalive_s
+        self.retry_interval_s = retry_interval_s
+        self.max_retries = max_retries
+        #: Last-will testament: {"topic", "payload", "qos", "retain"},
+        #: published by the broker if this session dies without DISCONNECT.
+        #: May be (re)set before connect().
+        self.will = dict(will) if will else None
+
+        self.connected = False
+        self._connecting = False
+        self._service = f"mqttc.{client_id}"
+        self._subscriptions: list[Subscription] = []
+        self._dispatch: TopicTree[Subscription] = TopicTree()
+        self._pending_ops: list[Callable[[], None]] = []
+        self._inflight: dict[int, _PendingPublish] = {}
+        self._next_packet_id = 1
+        self._ping_timer = None
+        self._on_connected: list[Callable[[], None]] = []
+        self.messages_received = 0
+        self.messages_published = 0
+        self.reconnects = 0
+        self.callback_errors = 0
+        self._last_inbound = self.runtime.now
+        self._ever_connected = False
+        self._watchdog = None
+        if auto_reconnect:
+            self.enable_auto_reconnect()
+        node.bind(self._service, self._on_datagram)
+
+    @property
+    def address(self) -> Address:
+        return self.node.address(self._service)
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def connect(self, on_connected: Callable[[], None] | None = None) -> None:
+        """Send CONNECT; buffered operations flush after the CONNACK."""
+        if on_connected is not None:
+            self._on_connected.append(on_connected)
+        if self.connected or self._connecting:
+            return
+        self._connecting = True
+        self._send(
+            Packet.connect(
+                client_id=self.client_id,
+                clean_session=self.clean_session,
+                keepalive_s=self.keepalive_s,
+                will=self.will,
+            )
+        )
+
+    def enable_auto_reconnect(self) -> None:
+        """Arm the silence watchdog (idempotent).
+
+        While connected, the broker answers PINGREQs at least every
+        ``keepalive_s / 2``; inbound silence for more than two keep-alive
+        periods therefore means the session (or broker) is gone. The
+        watchdog then re-CONNECTs; if the CONNACK reports no prior session
+        state, all subscriptions are replayed.
+        """
+        if self._watchdog is not None:
+            return
+        self._watchdog = self.every(self.keepalive_s, self._check_liveness)
+
+    def _check_liveness(self) -> None:
+        if not self.connected:
+            if not self._connecting:
+                self.connect()  # keep trying until a broker answers
+            else:
+                # A CONNECT is outstanding but unanswered: resend it.
+                self._connecting = False
+                self.connect()
+            return
+        silence = self.runtime.now - self._last_inbound
+        if silence > 2.0 * self.keepalive_s:
+            self.trace("mqtt.client.session_lost", silence_s=silence)
+            self.connected = False
+            self._connecting = False
+            if self._ping_timer is not None:
+                self._ping_timer.cancel()
+                self._ping_timer = None
+            self.reconnects += 1
+            self.connect()
+
+    def refresh_session(self) -> None:
+        """Re-send CONNECT with the current ``will``/``keepalive_s``.
+
+        The broker treats a CONNECT on a live session as a takeover and
+        adopts the new parameters. Used by components that decide on a will
+        after the session was first opened (e.g. the module agent, which is
+        constructed after its module's client).
+        """
+        self._send(
+            Packet.connect(
+                client_id=self.client_id,
+                clean_session=False,  # keep subscriptions across the refresh
+                keepalive_s=self.keepalive_s,
+                will=self.will,
+            )
+        )
+
+    def disconnect(self) -> None:
+        if not self.connected:
+            return
+        self._send(Packet.disconnect())
+        self.connected = False
+        if self._ping_timer is not None:
+            self._ping_timer.cancel()
+            self._ping_timer = None
+
+    # ------------------------------------------------------------------
+    # Publish / subscribe API
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        topic: str,
+        payload: Any,
+        qos: int = 0,
+        retain: bool = False,
+        headers: dict[str, Any] | None = None,
+    ) -> None:
+        """Publish ``payload`` on ``topic``.
+
+        ``headers`` ride along with the message; the middleware stamps
+        sensing timestamps and sample ids there, which is how the benchmark
+        harness measures sensing-to-X latency exactly as the paper does.
+        """
+        validate_topic(topic)
+        if qos not in (0, 1):
+            raise ProtocolError(f"unsupported QoS {qos}")
+        self._when_connected(lambda: self._do_publish(topic, payload, qos, retain, headers))
+
+    def _do_publish(
+        self,
+        topic: str,
+        payload: Any,
+        qos: int,
+        retain: bool,
+        headers: dict[str, Any] | None,
+    ) -> None:
+        packet_id = self._allocate_packet_id() if qos == 1 else None
+        packet = Packet.publish(
+            topic=topic,
+            payload=payload,
+            qos=qos,
+            retain=retain,
+            packet_id=packet_id,
+            headers=headers,
+        )
+        self.messages_published += 1
+        if qos == 1 and packet_id is not None:
+            pending = _PendingPublish(packet=packet, retries_left=self.max_retries)
+            self._inflight[packet_id] = pending
+            self._arm_retry(packet_id, pending)
+        self._send(packet)
+
+    def subscribe(
+        self, topic_filter: str, callback: MessageCallback, qos: int = 0
+    ) -> Subscription:
+        """Register ``callback`` for messages matching ``topic_filter``."""
+        validate_filter(topic_filter)
+        subscription = Subscription(topic_filter, callback, min(qos, 1))
+        self._subscriptions.append(subscription)
+        self._dispatch.insert(topic_filter, subscription)
+        self._when_connected(
+            lambda: self._send(
+                Packet.subscribe(
+                    self._allocate_packet_id(), [(topic_filter, subscription.qos)]
+                )
+            )
+        )
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        if subscription not in self._subscriptions:
+            return
+        self._subscriptions.remove(subscription)
+        self._dispatch.remove(subscription.topic_filter, subscription)
+        still_used = any(
+            s.topic_filter == subscription.topic_filter for s in self._subscriptions
+        )
+        if not still_used:
+            self._when_connected(
+                lambda: self._send(
+                    Packet.unsubscribe(
+                        self._allocate_packet_id(), [subscription.topic_filter]
+                    )
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _when_connected(self, op: Callable[[], None]) -> None:
+        if self.connected:
+            op()
+        elif self._connecting:
+            self._pending_ops.append(op)
+        else:
+            raise NotConnectedError(
+                f"client {self.client_id!r}: call connect() first"
+            )
+
+    def _allocate_packet_id(self) -> int:
+        pid = self._next_packet_id
+        self._next_packet_id = pid % 65535 + 1
+        return pid
+
+    def _send(self, packet: Packet) -> None:
+        data = packet.encode()
+        self.node.execute(
+            "mqtt.send",
+            self.node.send,
+            self._service,
+            self.broker,
+            data,
+            nbytes=len(data),
+        )
+
+    def _arm_retry(self, packet_id: int, pending: _PendingPublish) -> None:
+        pending.timer = self.after(self.retry_interval_s, self._retry, packet_id)
+
+    def _retry(self, packet_id: int) -> None:
+        pending = self._inflight.get(packet_id)
+        if pending is None:
+            return
+        if pending.retries_left <= 0:
+            del self._inflight[packet_id]
+            self.trace("mqtt.client.give_up", packet_id=packet_id)
+            return
+        pending.retries_left -= 1
+        dup = Packet(PacketType.PUBLISH, {**pending.packet.fields, "dup": True})
+        pending.packet = dup
+        self._send(dup)
+        self._arm_retry(packet_id, pending)
+
+    def _on_datagram(self, _source: Address, data: bytes) -> None:
+        self._last_inbound = self.runtime.now
+        try:
+            packet = Packet.decode(data)
+        except ProtocolError:
+            self.trace("mqtt.client.garbage")
+            return
+        self.node.execute("mqtt.recv", self._handle, packet, nbytes=len(data))
+
+    def _handle(self, packet: Packet) -> None:
+        if packet.type is PacketType.CONNACK:
+            self._on_connack(packet)
+        elif packet.type is PacketType.PUBLISH:
+            self._on_publish(packet)
+        elif packet.type is PacketType.PUBACK:
+            pending = self._inflight.pop(packet["packet_id"], None)
+            if pending is not None and pending.timer is not None:
+                pending.timer.cancel()
+        elif packet.type in (
+            PacketType.SUBACK,
+            PacketType.UNSUBACK,
+            PacketType.PINGRESP,
+        ):
+            pass  # acknowledgements with no client-side state to update
+        else:
+            self.trace("mqtt.client.unexpected", type=packet.type.value)
+
+    def _on_connack(self, packet: Packet) -> None:
+        if int(packet.get("return_code", 0)) != 0:
+            self.trace("mqtt.client.refused", code=packet.get("return_code"))
+            self._connecting = False
+            return
+        session_present = bool(packet.get("session_present", False))
+        was_reconnect = self._ever_connected
+        self._ever_connected = True
+        self.connected = True
+        self._connecting = False
+        if self.keepalive_s > 0 and self._ping_timer is None:
+            self._ping_timer = self.every(
+                self.keepalive_s / 2.0, lambda: self._send(Packet.pingreq())
+            )
+        if not session_present and self._subscriptions and was_reconnect:
+            # The broker holds no state for us: replay every subscription.
+            for subscription in self._subscriptions:
+                self._send(
+                    Packet.subscribe(
+                        self._allocate_packet_id(),
+                        [(subscription.topic_filter, subscription.qos)],
+                    )
+                )
+            self.trace(
+                "mqtt.client.resubscribed", count=len(self._subscriptions)
+            )
+        ops, self._pending_ops = self._pending_ops, []
+        for op in ops:
+            op()
+        callbacks, self._on_connected = self._on_connected, []
+        for callback in callbacks:
+            callback()
+
+    def _on_publish(self, packet: Packet) -> None:
+        topic = packet["topic"]
+        if int(packet.get("qos", 0)) == 1:
+            self._send(Packet.puback(packet["packet_id"]))
+        self.messages_received += 1
+        for subscription in self._dispatch.match(topic):
+            try:
+                subscription.callback(topic, packet.get("payload"), packet)
+            except Exception as exc:  # noqa: BLE001 - fault isolation
+                # A broken handler must not block other subscriptions or
+                # crash the delivery path.
+                self.callback_errors += 1
+                self.trace(
+                    "mqtt.client.callback_error",
+                    topic=topic,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+
+    def on_stop(self) -> None:
+        self.disconnect()
+        for pending in self._inflight.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._inflight.clear()
+        self.node.unbind(self._service)

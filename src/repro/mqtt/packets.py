@@ -1,0 +1,184 @@
+"""MQTT control packets.
+
+Packets travel as canonical-JSON datagrams (see
+:mod:`repro.util.serialization`). The encoding is not MQTT's binary wire
+format — the middleware never interoperates with a real broker — but the
+packet *vocabulary* and state machines mirror MQTT 3.1.1, and every byte is
+charged to the network model, so timing behaviour is faithful.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.util.serialization import decode_payload, encode_payload
+
+__all__ = ["PacketType", "Packet"]
+
+
+class PacketType(str, enum.Enum):
+    """Subset of MQTT 3.1.1 control packet types used by the middleware."""
+
+    CONNECT = "connect"
+    CONNACK = "connack"
+    PUBLISH = "publish"
+    PUBACK = "puback"
+    SUBSCRIBE = "subscribe"
+    SUBACK = "suback"
+    UNSUBSCRIBE = "unsubscribe"
+    UNSUBACK = "unsuback"
+    PINGREQ = "pingreq"
+    PINGRESP = "pingresp"
+    DISCONNECT = "disconnect"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One MQTT control packet.
+
+    ``fields`` carries the per-type variable header and payload:
+
+    =========== ================================================================
+    Type        Fields
+    =========== ================================================================
+    CONNECT     ``client_id``, ``clean_session``, ``keepalive_s``,
+                optional ``will`` ({topic, payload, qos, retain})
+    CONNACK     ``session_present``, ``return_code`` (0 = accepted)
+    PUBLISH     ``topic``, ``payload`` (JSON value), ``qos``, ``retain``,
+                ``dup``, ``packet_id`` (QoS 1 only), ``headers`` (dict the
+                middleware uses for timestamps/ids)
+    PUBACK      ``packet_id``
+    SUBSCRIBE   ``packet_id``, ``filters`` ([[filter, qos], ...])
+    SUBACK      ``packet_id``, ``granted`` ([qos, ...])
+    UNSUBSCRIBE ``packet_id``, ``filters`` ([filter, ...])
+    UNSUBACK    ``packet_id``
+    =========== ================================================================
+    """
+
+    type: PacketType
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes."""
+        body = dict(self.fields)
+        body["_t"] = self.type.value
+        return encode_payload(body)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Packet":
+        """Parse wire bytes; raises ProtocolError on malformed packets."""
+        body = decode_payload(data)
+        if not isinstance(body, dict) or "_t" not in body:
+            raise ProtocolError(f"not an MQTT packet: {body!r}")
+        type_tag = body.pop("_t")
+        try:
+            packet_type = PacketType(type_tag)
+        except ValueError:
+            raise ProtocolError(f"unknown packet type {type_tag!r}") from None
+        return cls(packet_type, body)
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self.fields[key]
+        except KeyError:
+            raise ProtocolError(
+                f"{self.type.value} packet missing field {key!r}"
+            ) from None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    # ------------------------------------------------------------------
+    # Constructors for each packet type, so call sites read like protocol
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def connect(
+        cls,
+        client_id: str,
+        clean_session: bool = True,
+        keepalive_s: float = 60.0,
+        will: dict[str, Any] | None = None,
+    ) -> "Packet":
+        fields: dict[str, Any] = {
+            "client_id": client_id,
+            "clean_session": clean_session,
+            "keepalive_s": keepalive_s,
+        }
+        if will is not None:
+            fields["will"] = will
+        return cls(PacketType.CONNECT, fields)
+
+    @classmethod
+    def connack(cls, session_present: bool, return_code: int = 0) -> "Packet":
+        return cls(
+            PacketType.CONNACK,
+            {"session_present": session_present, "return_code": return_code},
+        )
+
+    @classmethod
+    def publish(
+        cls,
+        topic: str,
+        payload: Any,
+        qos: int = 0,
+        retain: bool = False,
+        dup: bool = False,
+        packet_id: int | None = None,
+        headers: dict[str, Any] | None = None,
+    ) -> "Packet":
+        if qos not in (0, 1):
+            raise ProtocolError(f"unsupported QoS {qos} (QoS 2 not implemented)")
+        if qos == 1 and packet_id is None:
+            raise ProtocolError("QoS 1 publish requires a packet_id")
+        fields: dict[str, Any] = {
+            "topic": topic,
+            "payload": payload,
+            "qos": qos,
+            "retain": retain,
+            "dup": dup,
+            "headers": headers or {},
+        }
+        if packet_id is not None:
+            fields["packet_id"] = packet_id
+        return cls(PacketType.PUBLISH, fields)
+
+    @classmethod
+    def puback(cls, packet_id: int) -> "Packet":
+        return cls(PacketType.PUBACK, {"packet_id": packet_id})
+
+    @classmethod
+    def subscribe(cls, packet_id: int, filters: list[tuple[str, int]]) -> "Packet":
+        return cls(
+            PacketType.SUBSCRIBE,
+            {"packet_id": packet_id, "filters": [[f, q] for f, q in filters]},
+        )
+
+    @classmethod
+    def suback(cls, packet_id: int, granted: list[int]) -> "Packet":
+        return cls(PacketType.SUBACK, {"packet_id": packet_id, "granted": granted})
+
+    @classmethod
+    def unsubscribe(cls, packet_id: int, filters: list[str]) -> "Packet":
+        return cls(
+            PacketType.UNSUBSCRIBE, {"packet_id": packet_id, "filters": filters}
+        )
+
+    @classmethod
+    def unsuback(cls, packet_id: int) -> "Packet":
+        return cls(PacketType.UNSUBACK, {"packet_id": packet_id})
+
+    @classmethod
+    def pingreq(cls) -> "Packet":
+        return cls(PacketType.PINGREQ)
+
+    @classmethod
+    def pingresp(cls) -> "Packet":
+        return cls(PacketType.PINGRESP)
+
+    @classmethod
+    def disconnect(cls) -> "Packet":
+        return cls(PacketType.DISCONNECT)

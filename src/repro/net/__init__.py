@@ -1,0 +1,29 @@
+"""Network substrate: addresses, frames, and transmission media.
+
+Two interchangeable media implement :class:`~repro.net.medium.Medium`:
+
+* :class:`~repro.net.wlan.WlanMedium` — the simulated shared wireless LAN of
+  the paper's testbed (Fig. 7): one channel, airtime serialization,
+  per-frame MAC overhead, optional jitter and loss.
+* :class:`~repro.net.inproc.InprocNetwork` — in-process delivery for the
+  real (asyncio) runtime used by the examples.
+
+Everything above this layer (MQTT, middleware) sees only
+:class:`~repro.net.medium.NetworkInterface`.
+"""
+
+from repro.net.address import Address
+from repro.net.frame import Frame
+from repro.net.inproc import InprocNetwork
+from repro.net.medium import Medium, NetworkInterface
+from repro.net.wlan import WlanConfig, WlanMedium
+
+__all__ = [
+    "Address",
+    "Frame",
+    "InprocNetwork",
+    "Medium",
+    "NetworkInterface",
+    "WlanConfig",
+    "WlanMedium",
+]

@@ -1,0 +1,44 @@
+"""Endpoint addressing.
+
+An :class:`Address` names a service on a station: ``(station, service)``.
+Stations correspond to physical devices (one WLAN association each); services
+distinguish the listeners on a station (e.g. the MQTT broker vs. the
+management agent). The textual form is ``station/service``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+
+__all__ = ["Address"]
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """Immutable ``(station, service)`` endpoint name."""
+
+    station: str
+    service: str = "default"
+
+    def __post_init__(self) -> None:
+        if not self.station or "/" in self.station:
+            raise AddressError(f"invalid station name: {self.station!r}")
+        if not self.service or "/" in self.service:
+            raise AddressError(f"invalid service name: {self.service!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Address":
+        """Parse ``'station/service'`` (service defaults to ``'default'``)."""
+        if not text:
+            raise AddressError("empty address")
+        head, sep, tail = text.partition("/")
+        if not sep:
+            return cls(head)
+        if "/" in tail:
+            raise AddressError(f"too many '/' in address: {text!r}")
+        return cls(head, tail)
+
+    def __str__(self) -> str:
+        return f"{self.station}/{self.service}"

@@ -1,0 +1,152 @@
+"""Shared-medium wireless LAN model.
+
+The paper's testbed (Fig. 7) is six Raspberry Pis and a laptop on one
+wireless LAN. All stations share a single channel, so we model the channel
+as one FIFO airtime resource:
+
+* every frame occupies ``per_frame_overhead + wire_size / bitrate`` seconds
+  of airtime (the overhead term captures DIFS/backoff/ACK and dominates for
+  the paper's 32-byte samples);
+* transmissions serialize — a frame must wait for the channel to go idle,
+  which is where contention delay at high sensing rates comes from;
+* optional uniform jitter models scheduling noise, and an i.i.d. loss rate
+  models corrupted frames (dropped *after* burning airtime, as in reality).
+
+This deliberately abstracts away CSMA/CA binary exponential backoff: under
+the paper's offered loads (tens to hundreds of small frames per second) the
+channel operates far from collision collapse, and mean access delay is
+captured by the FIFO + overhead model. The calibration (``repro.bench``)
+fits the overhead to the paper's low-rate latency floor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.frame import Frame
+from repro.net.medium import Medium
+from repro.sim.kernel import SimKernel
+from repro.sim.trace import Tracer
+from repro.util.validate import require_in_range, require_non_negative, require_positive
+
+__all__ = ["WlanConfig", "WlanMedium"]
+
+
+@dataclass(frozen=True)
+class WlanConfig:
+    """Channel parameters.
+
+    Defaults approximate a lightly managed 802.11n 2.4 GHz network of the
+    2016 era: ~20 Mbit/s effective UDP goodput and ~1.2 ms of fixed
+    per-frame channel occupancy for small datagrams.
+    """
+
+    bitrate_bps: float = 20e6
+    per_frame_overhead_s: float = 1.2e-3
+    jitter_s: float = 0.4e-3
+    loss_rate: float = 0.0
+    propagation_delay_s: float = 5e-6
+
+    def validate(self) -> "WlanConfig":
+        require_positive(self.bitrate_bps, "bitrate_bps")
+        require_non_negative(self.per_frame_overhead_s, "per_frame_overhead_s")
+        require_non_negative(self.jitter_s, "jitter_s")
+        require_in_range(self.loss_rate, 0.0, 1.0, "loss_rate")
+        require_non_negative(self.propagation_delay_s, "propagation_delay_s")
+        return self
+
+    def airtime(self, wire_size: int) -> float:
+        """Deterministic airtime for a frame of ``wire_size`` bytes."""
+        return self.per_frame_overhead_s + (wire_size * 8.0) / self.bitrate_bps
+
+
+class WlanMedium(Medium):
+    """Single-channel shared medium over a simulation kernel."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        config: WlanConfig | None = None,
+        rng: random.Random | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        super().__init__()
+        self._kernel = kernel
+        self.config = (config or WlanConfig()).validate()
+        self._rng = rng or random.Random(0)
+        self._tracer = tracer
+        self._channel_free_at = 0.0
+        self.frames_transmitted = 0
+        self.frames_lost = 0
+        self.total_airtime = 0.0
+        self._interference: list[tuple[float, float, float]] = []
+
+    def schedule_interference(
+        self, start: float, duration: float, loss_rate: float
+    ) -> None:
+        """Degrade the channel during ``[start, start+duration)``.
+
+        Models a microwave oven, a neighbouring network or a passing truck:
+        frames transmitted while a window is active are lost with
+        ``loss_rate`` (the worst active window wins, and the configured
+        baseline loss still applies outside windows).
+        """
+        require_non_negative(start, "start")
+        require_positive(duration, "duration")
+        require_in_range(loss_rate, 0.0, 1.0, "loss_rate")
+        self._interference.append((start, start + duration, loss_rate))
+
+    def _loss_rate_at(self, t: float) -> float:
+        rate = self.config.loss_rate
+        for start, end, window_rate in self._interference:
+            if start <= t < end:
+                rate = max(rate, window_rate)
+        return rate
+
+    def transmit(self, frame: Frame) -> None:
+        """Queue ``frame`` on the channel and schedule its delivery."""
+        now = self._kernel.now
+        airtime = self.config.airtime(frame.wire_size)
+        if self.config.jitter_s > 0.0:
+            airtime += self._rng.uniform(0.0, self.config.jitter_s)
+        start = max(now, self._channel_free_at)
+        finish = start + airtime
+        self._channel_free_at = finish
+        self.frames_transmitted += 1
+        self.total_airtime += airtime
+        delivery_time = finish + self.config.propagation_delay_s
+        loss_rate = self._loss_rate_at(start)
+        lost = loss_rate > 0.0 and self._rng.random() < loss_rate
+        if self._tracer is not None:
+            self._tracer.emit(
+                now,
+                "wlan",
+                "wlan.transmit",
+                frame_id=frame.frame_id,
+                src=str(frame.source),
+                dst=str(frame.destination),
+                size=frame.wire_size,
+                queued_s=start - now,
+                lost=lost,
+            )
+        if lost:
+            self.frames_lost += 1
+            return
+        self._kernel.schedule_at(delivery_time, self._deliver, frame)
+
+    def _deliver(self, frame: Frame) -> None:
+        interface = self._interfaces.get(frame.destination.station)
+        if interface is None:
+            return  # station detached while the frame was in flight
+        interface.deliver(frame)
+
+    @property
+    def channel_backlog(self) -> float:
+        """Seconds of airtime currently queued ahead of a new frame."""
+        return max(0.0, self._channel_free_at - self._kernel.now)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed virtual time the channel has been busy."""
+        elapsed = self._kernel.now
+        return self.total_airtime / elapsed if elapsed > 0 else 0.0

@@ -1,0 +1,27 @@
+"""Runtime abstraction: one component model, two execution modes.
+
+Every middleware class (publisher, broker, learner, sensor ...) is written
+against :class:`~repro.runtime.base.Runtime` (clock + timers + trace) and
+:class:`~repro.runtime.node.Node` (CPU + network attachment). Binding the
+same classes to a :class:`~repro.runtime.sim.SimRuntime` reproduces the
+paper's testbed deterministically; binding them to an
+:class:`~repro.runtime.real.AsyncioRuntime` runs them for real under
+wall-clock time (used by the examples).
+"""
+
+from repro.runtime.base import Runtime, TimerHandle
+from repro.runtime.costs import CostModel, NULL_COST_MODEL, OpCost
+from repro.runtime.node import Node
+from repro.runtime.real import AsyncioRuntime
+from repro.runtime.sim import SimRuntime
+
+__all__ = [
+    "AsyncioRuntime",
+    "CostModel",
+    "NULL_COST_MODEL",
+    "Node",
+    "OpCost",
+    "Runtime",
+    "SimRuntime",
+    "TimerHandle",
+]

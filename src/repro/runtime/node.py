@@ -1,0 +1,135 @@
+"""A node: one device hosting middleware classes.
+
+A :class:`Node` bundles what a component needs from "the machine it runs
+on": a network attachment (:class:`~repro.net.medium.NetworkInterface`), an
+optional CPU queue (simulation only), and a cost model. ``execute`` is the
+single choke point through which all simulated compute flows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+from repro.net.address import Address
+from repro.net.medium import NetworkInterface, Receiver
+from repro.runtime.base import Runtime
+from repro.runtime.costs import CostModel, NULL_COST_MODEL
+from repro.sim.resources import CpuResource
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One device (neuron module, sensor node, management laptop...).
+
+    Parameters
+    ----------
+    runtime:
+        The runtime this node lives on.
+    name:
+        Unique station name; also the node's address stem.
+    interface:
+        Network attachment created by the owning runtime.
+    cpu:
+        FIFO CPU queue in simulation; ``None`` under the real runtime
+        (real computation occupies the event loop directly).
+    cost_model:
+        Operation costs charged by :meth:`execute`.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        name: str,
+        interface: NetworkInterface,
+        cpu: CpuResource | None = None,
+        cost_model: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        self.runtime = runtime
+        self.name = name
+        self.interface = interface
+        self.cpu = cpu
+        self.cost_model = cost_model
+        self._op_counts: dict[str, int] = defaultdict(int)
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        op: str,
+        fn: Callable[..., None],
+        *args: Any,
+        nbytes: int = 0,
+    ) -> None:
+        """Run ``fn(*args)`` after charging the cost of operation ``op``.
+
+        In simulation the job is queued on this node's CPU, so concurrent
+        work serializes and queueing delay accumulates under load. Under the
+        real runtime the function runs immediately. Dead nodes drop work
+        silently (used by failure-injection tests).
+        """
+        if not self.alive:
+            return
+        index = self._op_counts[op]
+        self._op_counts[op] = index + 1
+        cost = self.cost_model.cost(op, nbytes=nbytes, invocation_index=index)
+        if self.cpu is not None:
+            self.cpu.execute(cost, self._guarded, fn, args)
+        else:
+            self._guarded(fn, args)
+
+    def _guarded(self, fn: Callable[..., None], args: tuple[Any, ...]) -> None:
+        if self.alive:
+            fn(*args)
+
+    def op_count(self, op: str) -> int:
+        """How many times ``op`` has been charged on this node."""
+        return self._op_counts[op]
+
+    # ------------------------------------------------------------------
+    # Network
+    # ------------------------------------------------------------------
+
+    def address(self, service: str = "default") -> Address:
+        return Address(self.name, service)
+
+    def bind(self, service: str, receiver: Receiver) -> None:
+        """Register ``receiver`` for datagrams addressed to ``service``."""
+        self.interface.bind(service, self._guard_receiver(receiver))
+
+    def _guard_receiver(self, receiver: Receiver) -> Receiver:
+        def guarded(source: Address, payload: bytes) -> None:
+            if self.alive:
+                receiver(source, payload)
+
+        return guarded
+
+    def unbind(self, service: str) -> None:
+        self.interface.unbind(service)
+
+    def send(self, source_service: str, destination: Address, payload: bytes) -> None:
+        """Transmit a datagram from this node."""
+        if not self.alive:
+            return
+        self.interface.send(source_service, destination, payload)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash-stop the node: it stops sending, receiving and computing."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring a failed node back (state held by components persists —
+        callers wanting amnesia recreate components)."""
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "failed"
+        return f"Node({self.name!r}, {state})"

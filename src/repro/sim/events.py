@@ -1,0 +1,92 @@
+"""Pending-event set for the discrete-event kernel.
+
+A binary heap keyed on ``(time, sequence)`` gives O(log n) insertion and
+pop-min with FIFO tie-breaking — two events scheduled for the same instant
+fire in the order they were scheduled, which the rest of the system relies on
+for determinism. Cancellation is lazy: handles are flagged and skipped when
+popped, the standard heapq idiom.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+__all__ = ["EventHandle", "EventQueue"]
+
+
+class EventHandle:
+    """Cancellable reference to one scheduled callback."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing. Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled events pinned in the heap don't keep
+        # large closures alive.
+        self.callback = _noop
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class EventQueue:
+    """Min-heap of :class:`EventHandle` with deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self, time: float, callback: Callable[..., None], args: tuple[Any, ...] = ()
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at ``time``; return its handle."""
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is drained."""
+        self._discard_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> EventHandle | None:
+        """Pop the next live event, or None if none remain."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,139 @@
+"""The discrete-event kernel: a virtual clock and its pending-event set.
+
+The kernel is single-threaded and deterministic. Time only advances inside
+:meth:`SimKernel.run` / :meth:`SimKernel.step`, by jumping to the timestamp of
+the next scheduled event. All higher layers (network medium, CPU resources,
+MQTT broker, middleware classes) are plain callbacks scheduled here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ClockError
+from repro.sim.events import EventHandle, EventQueue
+
+__all__ = ["SimKernel"]
+
+
+class SimKernel:
+    """Deterministic discrete-event scheduler with a virtual clock.
+
+    >>> k = SimKernel()
+    >>> fired = []
+    >>> _ = k.schedule(5.0, fired.append, "a")
+    >>> _ = k.schedule(2.0, fired.append, "b")
+    >>> k.run()
+    >>> (fired, k.now)
+    (['b', 'a'], 5.0)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for tests and sanity checks)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled (including cancelled husks)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ClockError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise ClockError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        return self._queue.push(time, callback, args)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` at the current instant, after pending
+        same-instant events already queued."""
+        return self._queue.push(self._now, callback, args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single next event. Returns False when drained."""
+        handle = self._queue.pop()
+        if handle is None:
+            return False
+        self._now = handle.time
+        self._events_processed += 1
+        handle.callback(*handle.args)
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so repeated ``run(until=...)``
+        calls behave like wall-clock epochs.
+        """
+        if self._running:
+            raise ClockError("kernel is already running (re-entrant run call)")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain; guard against runaway loops."""
+        self.run(max_events=max_events)
+        if self._queue.peek_time() is not None:
+            raise ClockError(
+                f"kernel still busy after {max_events} events — runaway schedule?"
+            )
+
+    def reset(self, start_time: float = 0.0) -> None:
+        """Drop all pending events and rewind the clock."""
+        if self._running:
+            raise ClockError("cannot reset a running kernel")
+        self._queue.clear()
+        self._now = float(start_time)
+        self._events_processed = 0

@@ -1,0 +1,144 @@
+"""Generator-style simulation processes.
+
+Most of the system is callback-driven, but scenario scripts ("publish for 30
+seconds, then kill node E, then wait for recovery") read far better as
+sequential code. A :class:`Process` wraps a generator that yields:
+
+* a ``float``/``int`` — sleep that many seconds of virtual time;
+* a :class:`Signal` — suspend until someone calls :meth:`Signal.fire`.
+
+Processes may also ``return`` a value, retrievable via :attr:`Process.result`
+once :attr:`Process.done` is True.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.errors import ProcessError
+from repro.sim.kernel import SimKernel
+
+__all__ = ["Signal", "Process"]
+
+
+class Signal:
+    """One-shot wakeup that processes can wait on and callbacks can fire.
+
+    A signal carries an optional value; firing twice is an error (create a
+    fresh signal per occurrence — they are cheap).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when the signal fires (immediately if
+        it already has)."""
+        if self.fired:
+            callback(self.value)
+        else:
+            self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal, waking all waiters in registration order."""
+        if self.fired:
+            raise ProcessError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else "pending"
+        return f"Signal({self.name!r}, {state})"
+
+
+class Process:
+    """Drives a generator over a :class:`SimKernel`.
+
+    >>> k = SimKernel()
+    >>> log = []
+    >>> def script():
+    ...     log.append(("start", k.now))
+    ...     yield 2.5
+    ...     log.append(("after sleep", k.now))
+    ...     return "done"
+    >>> p = Process(k, script())
+    >>> k.run()
+    >>> (log, p.result)
+    ([('start', 0.0), ('after sleep', 2.5)], 'done')
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        generator: Generator[Any, Any, Any],
+        name: str = "process",
+    ) -> None:
+        self._kernel = kernel
+        self._gen = generator
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self._on_done: list[Callable[["Process"], None]] = []
+        # Start on the next kernel tick so construction order does not leak
+        # into event order at t=now.
+        kernel.call_soon(self._advance, None)
+
+    def on_done(self, callback: Callable[["Process"], None]) -> None:
+        """Register ``callback(process)`` for when the generator finishes."""
+        if self.done:
+            callback(self)
+        else:
+            self._on_done.append(callback)
+
+    def _advance(self, send_value: Any) -> None:
+        if self.done:
+            return
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except Exception as exc:  # noqa: BLE001 - surfaced via .error
+            self._finish(error=exc)
+            return
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self._finish(
+                    error=ProcessError(f"{self.name}: negative sleep {yielded}")
+                )
+                return
+            self._kernel.schedule(float(yielded), self._advance, None)
+        elif isinstance(yielded, Signal):
+            yielded.wait(lambda value: self._kernel.call_soon(self._advance, value))
+        else:
+            self._finish(
+                error=ProcessError(
+                    f"{self.name}: process yielded unsupported {type(yielded).__name__}"
+                )
+            )
+
+    def _finish(
+        self, result: Any = None, error: BaseException | None = None
+    ) -> None:
+        self.done = True
+        self.result = result
+        self.error = error
+        callbacks, self._on_done = self._on_done, []
+        for callback in callbacks:
+            callback(self)
+        if error is not None and not callbacks:
+            raise ProcessError(f"process {self.name!r} failed: {error}") from error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"Process({self.name!r}, {state})"

@@ -1,0 +1,130 @@
+"""Structured event tracing.
+
+Components emit ``(time, source, event, fields)`` records into a shared
+:class:`Tracer`. Tests assert on traces; the benchmark harness derives
+latency samples from them (e.g. matching ``sensor.sample`` against
+``ml.trained`` records by sample id, exactly how the paper measures
+"sensing → training" time).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    source: str
+    event: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Tracer:
+    """Append-only trace log with filtered iteration and live taps.
+
+    Tracing can be disabled wholesale (``enabled=False``) for long benchmark
+    runs where only tapped events matter; taps always fire.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+        self._taps: dict[str, list[Callable[[TraceRecord], None]]] = {}
+
+    def emit(
+        self, time: float, source: str, event: str, **fields: Any
+    ) -> None:
+        """Record an event and notify any taps registered for it."""
+        record = TraceRecord(time, source, event, fields)
+        if self.enabled:
+            self._records.append(record)
+        for tap in self._taps.get(event, ()):
+            tap(record)
+
+    def tap(self, event: str, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback(record)`` whenever ``event`` is emitted."""
+        self._taps.setdefault(event, []).append(callback)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def select(
+        self, event: str | None = None, source: str | None = None
+    ) -> list[TraceRecord]:
+        """Records matching the given event and/or source."""
+        return [
+            r
+            for r in self._records
+            if (event is None or r.event == event)
+            and (source is None or r.source == source)
+        ]
+
+    def count(self, event: str) -> int:
+        return sum(1 for r in self._records if r.event == event)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    # ------------------------------------------------------------------
+    # Offline analysis
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> int:
+        """Dump the trace as JSON Lines; returns the record count.
+
+        Only JSON-encodable field values survive (others are repr'd), so
+        dumping never fails mid-run.
+        """
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self._records:
+                fields = {}
+                for key, value in record.fields.items():
+                    try:
+                        json.dumps(value)
+                        fields[key] = value
+                    except (TypeError, ValueError):
+                        fields[key] = repr(value)
+                fh.write(
+                    json.dumps(
+                        {
+                            "t": record.time,
+                            "src": record.source,
+                            "ev": record.event,
+                            **fields,
+                        },
+                        sort_keys=True,
+                    )
+                )
+                fh.write("\n")
+        return len(self._records)
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "Tracer":
+        """Rebuild a tracer from a :meth:`to_jsonl` dump."""
+        tracer = cls()
+        with Path(path).open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                time = data.pop("t")
+                source = data.pop("src")
+                event = data.pop("ev")
+                tracer.emit(time, source, event, **data)
+        return tracer

@@ -1,0 +1,96 @@
+"""Fixed-capacity ring buffer.
+
+Flow-analysis classes keep bounded windows over unbounded streams — the whole
+point of the paper's "process without accumulating/storing" requirement
+(§IV-B-3). ``RingBuffer`` provides O(1) append with oldest-first eviction and
+snapshot iteration in insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer(Generic[T]):
+    """Bounded FIFO buffer that evicts the oldest item when full.
+
+    >>> buf = RingBuffer(capacity=3)
+    >>> for i in range(5):
+    ...     _ = buf.append(i)
+    >>> list(buf)
+    [2, 3, 4]
+    """
+
+    def __init__(self, capacity: int, items: Iterable[T] = ()) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._data: list[T | None] = [None] * capacity
+        self._start = 0
+        self._size = 0
+        for item in items:
+            self.append(item)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size == self._capacity
+
+    def append(self, item: T) -> T | None:
+        """Append ``item``; return the evicted element, if any."""
+        evicted: T | None = None
+        if self._size == self._capacity:
+            evicted = self._data[self._start]  # type: ignore[assignment]
+            self._data[self._start] = item
+            self._start = (self._start + 1) % self._capacity
+        else:
+            index = (self._start + self._size) % self._capacity
+            self._data[index] = item
+            self._size += 1
+        return evicted
+
+    def __getitem__(self, index: int) -> T:
+        """Item at logical ``index`` (0 = oldest). Supports negatives."""
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range for size {self._size}")
+        return self._data[(self._start + index) % self._capacity]  # type: ignore[return-value]
+
+    def __iter__(self) -> Iterator[T]:
+        for i in range(self._size):
+            yield self[i]
+
+    def newest(self) -> T:
+        """The most recently appended item."""
+        if self._size == 0:
+            raise IndexError("ring buffer is empty")
+        return self[-1]
+
+    def oldest(self) -> T:
+        """The least recently appended item."""
+        if self._size == 0:
+            raise IndexError("ring buffer is empty")
+        return self[0]
+
+    def clear(self) -> None:
+        self._data = [None] * self._capacity
+        self._start = 0
+        self._size = 0
+
+    def to_list(self) -> list[T]:
+        """Snapshot of contents, oldest first."""
+        return list(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingBuffer(capacity={self._capacity}, items={self.to_list()!r})"

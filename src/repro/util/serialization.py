@@ -1,0 +1,71 @@
+"""Compact payload encoding for flow records.
+
+The paper's experiment sends 32-byte sensor samples as MQTT payloads. We
+encode payloads as canonical JSON (UTF-8) — dependency-free, deterministic,
+and debuggable — and expose :func:`payload_size` so the network model charges
+airtime for the *actual* wire size of every message.
+
+Values survive a round trip exactly for: ``None``, ``bool``, ``int``,
+``float``, ``str``, and (nested) ``list``/``dict`` of those. Tuples are
+encoded as lists (the usual JSON lossy-ness) — callers that care use lists.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.errors import SerializationError
+
+__all__ = ["encode_payload", "decode_payload", "payload_size"]
+
+_ALLOWED_SCALARS = (type(None), bool, int, float, str)
+
+
+def _check_encodable(value: Any, path: str = "$") -> None:
+    if isinstance(value, _ALLOWED_SCALARS):
+        if isinstance(value, float) and not math.isfinite(value):
+            raise SerializationError(f"non-finite float at {path}: {value!r}")
+        return
+    if isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            _check_encodable(item, f"{path}[{i}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerializationError(f"non-string key at {path}: {key!r}")
+            _check_encodable(item, f"{path}.{key}")
+        return
+    raise SerializationError(f"unencodable type at {path}: {type(value).__name__}")
+
+
+def encode_payload(value: Any) -> bytes:
+    """Encode ``value`` to canonical UTF-8 JSON bytes.
+
+    Raises :class:`~repro.errors.SerializationError` for unsupported types
+    and non-finite floats (NaN/Inf are not valid JSON and would silently
+    corrupt downstream analysis).
+    """
+    _check_encodable(value)
+    try:
+        text = json.dumps(
+            value, separators=(",", ":"), sort_keys=True, allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:  # defense in depth
+        raise SerializationError(str(exc)) from exc
+    return text.encode("utf-8")
+
+
+def decode_payload(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode_payload`."""
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"undecodable payload: {exc}") from exc
+
+
+def payload_size(value: Any) -> int:
+    """Wire size in bytes of ``value`` once encoded."""
+    return len(encode_payload(value))

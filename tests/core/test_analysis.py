@@ -1,0 +1,340 @@
+"""LearningClass / JudgingClass / ManagingClass tests."""
+
+import pytest
+
+from repro.errors import RecipeError
+
+from .conftest import make_subtask
+
+
+class TestLearningClass:
+    def test_trains_on_labeled_records(self, harness):
+        module = harness.add_module("m")
+        operator = harness.deploy(
+            module,
+            make_subtask(
+                "train",
+                "train",
+                inputs=["in"],
+                params={"model": "classifier", "label_key": "label"},
+            ),
+        )
+        harness.inject("in", {"x": 1.0, "label": "a"})
+        harness.inject("in", {"x": -1.0, "label": "b"})
+        harness.settle()
+        assert operator.records_trained == 2
+        assert operator.model.ready
+
+    def test_unlabeled_records_counted_but_not_trained(self, harness):
+        module = harness.add_module("m")
+        operator = harness.deploy(
+            module,
+            make_subtask(
+                "train",
+                "train",
+                inputs=["in"],
+                params={"model": "classifier", "label_key": "label"},
+            ),
+        )
+        harness.inject("in", {"x": 1.0})
+        harness.settle()
+        assert operator.records_trained == 1
+        assert not operator.model.ready
+
+    def test_trace_carries_latency(self, harness):
+        module = harness.add_module("m")
+        harness.deploy(
+            module,
+            make_subtask(
+                "train", "train", inputs=["in"], params={"model": "classifier"}
+            ),
+        )
+        harness.inject("in", {"x": 1.0, "label": "a"})
+        harness.settle()
+        records = harness.runtime.tracer.select("ml.trained")
+        assert records and records[0]["latency_s"] > 0.0
+
+    def test_emit_info_forwards_downstream(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("trained")
+        harness.deploy(
+            module,
+            make_subtask(
+                "train",
+                "train",
+                inputs=["in"],
+                outputs=["trained"],
+                params={"model": "classifier", "label_key": "label"},
+            ),
+        )
+        harness.inject("in", {"x": 1.0, "label": "a"})
+        harness.settle()
+        assert out and out[0].attributes["trained"] is True
+
+    def test_model_snapshot_published(self, harness):
+        module = harness.add_module("m")
+        harness.deploy(
+            module,
+            make_subtask(
+                "train",
+                "train",
+                inputs=["in"],
+                params={
+                    "model": "classifier",
+                    "label_key": "label",
+                    "publish_model_every": 2,
+                },
+            ),
+        )
+        for i in range(4):
+            harness.inject("in", {"x": float(i), "label": "a" if i % 2 else "b"})
+        harness.settle()
+        assert harness.runtime.tracer.count("ml.model_published") == 2
+        # Snapshot is retained on the broker.
+        assert any(
+            "ifot/model" in t for t in harness.cluster.broker.retained_topics()
+        )
+
+    def test_mix_group_requires_mixable_model(self, harness):
+        module = harness.add_module("m")
+        with pytest.raises(RecipeError):
+            module.deploy(
+                "a2",
+                make_subtask(
+                    "t",
+                    "train",
+                    inputs=["in"],
+                    params={"model": "anomaly", "mix_group": "g"},
+                ),
+            )
+
+
+class TestJudgingClass:
+    def test_unjudged_until_model_ready(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("judged")
+        operator = harness.deploy(
+            module,
+            make_subtask(
+                "pred",
+                "predict",
+                inputs=["in"],
+                outputs=["judged"],
+                params={"model": "classifier", "label_key": "label"},
+            ),
+        )
+        harness.inject("in", {"x": 1.0})
+        harness.settle()
+        assert out[0].attributes["judged"] is False
+        assert operator.records_unjudged == 1
+
+    def test_train_on_stream_bootstraps(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("judged")
+        harness.deploy(
+            module,
+            make_subtask(
+                "pred",
+                "predict",
+                inputs=["in"],
+                outputs=["judged"],
+                params={
+                    "model": "classifier",
+                    "label_key": "label",
+                    "train_on_stream": True,
+                },
+            ),
+        )
+        harness.inject("in", {"x": 1.0, "label": "a"})
+        harness.inject("in", {"x": 1.1})
+        harness.settle()
+        assert out[1].attributes["judged"] is True
+        assert out[1].attributes["label"] == "a"
+
+    def test_model_from_snapshot_load(self, harness):
+        module_train = harness.add_module("mt")
+        module_judge = harness.add_module("mj")
+        harness.deploy(
+            module_train,
+            make_subtask(
+                "train",
+                "train",
+                inputs=["in"],
+                params={
+                    "model": "classifier",
+                    "label_key": "label",
+                    "publish_model_every": 2,
+                },
+            ),
+        )
+        judge = harness.deploy(
+            module_judge,
+            make_subtask(
+                "pred",
+                "predict",
+                inputs=["in"],
+                outputs=["judged"],
+                params={
+                    "model": "classifier",
+                    "label_key": "label",
+                    "model_from": "train",
+                },
+            ),
+        )
+        out = harness.collect("judged")
+        for i in range(6):
+            harness.inject(
+                "in", {"x": 1.0 if i % 2 else -1.0, "label": "p" if i % 2 else "n"}
+            )
+        harness.settle(2.0)
+        assert judge.model_loads >= 1
+        harness.inject("in", {"x": 1.0})
+        harness.settle()
+        assert out[-1].attributes["judged"] is True
+        assert out[-1].attributes["label"] == "p"
+
+    def test_anomaly_judging_pipeline(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("scored")
+        harness.deploy(
+            module,
+            make_subtask(
+                "anom",
+                "predict",
+                inputs=["in"],
+                outputs=["scored"],
+                params={
+                    "model": "anomaly",
+                    "detector": "zscore",
+                    "threshold": 4.0,
+                    "min_samples": 5,
+                    "train_on_stream": True,
+                },
+            ),
+        )
+        import random
+
+        rng = random.Random(0)
+        for _ in range(50):
+            harness.inject("in", {"v": rng.gauss(0, 1)})
+        harness.inject("in", {"v": 100.0})
+        harness.settle()
+        assert out[-1].attributes["anomalous"] is True
+        assert all(r.attributes.get("anomalous") is False for r in out[10:-1])
+
+
+class TestManagingClassMix:
+    def test_mix_round_converges_two_learners(self, harness):
+        modules = [harness.add_module(f"m{i}") for i in range(3)]
+        learners = []
+        for i in range(2):
+            learners.append(
+                harness.deploy(
+                    modules[i],
+                    make_subtask(
+                        f"train#{i}",
+                        "train",
+                        inputs=["in"],
+                        params={
+                            "model": "classifier",
+                            "label_key": "label",
+                            "mix_group": "g1",
+                        },
+                        shard_index=i,
+                        shard_count=2,
+                    ),
+                )
+            )
+        manager = harness.deploy(
+            modules[2],
+            make_subtask(
+                "mgr",
+                "mix",
+                params={
+                    "group": "g1",
+                    "participants": ["train#0", "train#1"],
+                    "interval_s": 3.0,
+                    "timeout_s": 1.5,
+                },
+            ),
+        )
+        import random
+
+        rng = random.Random(1)
+        for i in range(60):
+            x = rng.gauss(0, 1)
+            harness.inject(
+                "in",
+                {"x": x, "label": "p" if x > 0 else "n"},
+                sample_id=f"mix-{i}",
+            )
+        harness.settle(8.0)
+        assert manager.rounds_completed >= 1
+        w0 = {
+            label: v.to_dict()
+            for label, v in learners[0].model.mix_model().weights.items()
+        }
+        w1 = {
+            label: v.to_dict()
+            for label, v in learners[1].model.mix_model().weights.items()
+        }
+        assert w0 == w1  # identical after the last applied mix
+        assert harness.runtime.tracer.count("ml.mix_applied") >= 2
+
+    def test_mix_round_partial_on_dead_participant(self, harness):
+        module = harness.add_module("m0")
+        learner_module = harness.add_module("m1")
+        harness.deploy(
+            learner_module,
+            make_subtask(
+                "train#0",
+                "train",
+                inputs=["in"],
+                params={
+                    "model": "classifier",
+                    "label_key": "label",
+                    "mix_group": "g2",
+                },
+            ),
+        )
+        manager = harness.deploy(
+            module,
+            make_subtask(
+                "mgr",
+                "mix",
+                params={
+                    "group": "g2",
+                    "participants": ["train#0", "ghost"],
+                    "interval_s": 2.0,
+                    "timeout_s": 1.0,
+                },
+            ),
+        )
+        harness.inject("in", {"x": 1.0, "label": "a"})
+        harness.settle(6.0)
+        # Ghost never answers; rounds complete partially on timeout.
+        assert manager.rounds_completed >= 1
+
+    def test_mix_round_aborts_below_quorum(self, harness):
+        module = harness.add_module("m0")
+        manager = harness.deploy(
+            module,
+            make_subtask(
+                "mgr",
+                "mix",
+                params={
+                    "group": "g3",
+                    "participants": ["ghost"],
+                    "interval_s": 2.0,
+                    "timeout_s": 1.0,
+                },
+            ),
+        )
+        harness.settle(6.0)
+        assert manager.rounds_aborted >= 1
+        assert manager.rounds_completed == 0
+
+    def test_bad_config(self, harness):
+        module = harness.add_module("m")
+        with pytest.raises(RecipeError):
+            module.deploy("a2", make_subtask("m1", "mix", params={}))

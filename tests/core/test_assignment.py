@@ -1,0 +1,153 @@
+import pytest
+
+from repro.core.assignment import (
+    Assignment,
+    CapabilityAwareStrategy,
+    LoadAwareStrategy,
+    ModuleInfo,
+    RoundRobinStrategy,
+    TaskAssignment,
+    estimate_cost,
+)
+from repro.core.splitter import SubTask
+from repro.errors import AssignmentError
+
+
+def subtask(sid, operator="map", capabilities=None, pin_to=None, shard_count=1):
+    return SubTask(
+        subtask_id=sid,
+        task_id=sid.split("#")[0],
+        operator=operator,
+        inputs=[],
+        outputs=[],
+        params={},
+        capabilities=capabilities or [],
+        pin_to=pin_to,
+        shard_count=shard_count,
+    )
+
+
+def modules(*names, **kwargs):
+    return [ModuleInfo(name=n, **kwargs) for n in names]
+
+
+class TestDriver:
+    def test_no_modules(self):
+        with pytest.raises(AssignmentError):
+            TaskAssignment().assign([subtask("a")], [])
+
+    def test_duplicate_module_names(self):
+        with pytest.raises(AssignmentError):
+            TaskAssignment().assign([subtask("a")], modules("m", "m"))
+
+    def test_pinned_placement(self):
+        assignment = TaskAssignment().assign(
+            [subtask("a", pin_to="m2")], modules("m1", "m2")
+        )
+        assert assignment.module_for("a") == "m2"
+
+    def test_pin_to_unknown_module(self):
+        with pytest.raises(AssignmentError, match="unknown module"):
+            TaskAssignment().assign([subtask("a", pin_to="ghost")], modules("m1"))
+
+    def test_pin_to_incapable_module(self):
+        with pytest.raises(AssignmentError, match="lacks capabilities"):
+            TaskAssignment().assign(
+                [subtask("a", capabilities=["gpu"], pin_to="m1")], modules("m1")
+            )
+
+    def test_capability_filtering(self):
+        mods = [
+            ModuleInfo("plain"),
+            ModuleInfo("cam", capabilities={"sensor:camera"}),
+        ]
+        assignment = TaskAssignment().assign(
+            [subtask("a", capabilities=["sensor:camera"])], mods
+        )
+        assert assignment.module_for("a") == "cam"
+
+    def test_no_capable_module(self):
+        with pytest.raises(AssignmentError, match="no module provides"):
+            TaskAssignment().assign([subtask("a", capabilities=["gpu"])], modules("m"))
+
+    def test_missing_placement_lookup(self):
+        with pytest.raises(AssignmentError):
+            Assignment().module_for("ghost")
+
+    def test_subtasks_on(self):
+        assignment = Assignment(placements={"a": "m1", "b": "m1", "c": "m2"})
+        assert assignment.subtasks_on("m1") == ["a", "b"]
+
+
+class TestStrategies:
+    def test_round_robin_cycles(self):
+        strategy = RoundRobinStrategy()
+        assignment = TaskAssignment(strategy).assign(
+            [subtask(f"t{i}") for i in range(4)], modules("m1", "m2")
+        )
+        placements = [assignment.module_for(f"t{i}") for i in range(4)]
+        assert placements == ["m1", "m2", "m1", "m2"]
+
+    def test_load_aware_balances_costs(self):
+        # train (8.0) should not land with other heavy ops on one module.
+        subtasks = [
+            subtask("t1", operator="train"),
+            subtask("t2", operator="map"),
+            subtask("t3", operator="map"),
+        ]
+        assignment = TaskAssignment(LoadAwareStrategy()).assign(
+            subtasks, modules("m1", "m2")
+        )
+        assert assignment.module_for("t2") != assignment.module_for("t1")
+
+    def test_load_aware_respects_capacity(self):
+        mods = [ModuleInfo("slow", capacity=1.0), ModuleInfo("fast", capacity=10.0)]
+        subtasks = [subtask(f"t{i}", operator="train") for i in range(4)]
+        assignment = TaskAssignment(LoadAwareStrategy()).assign(subtasks, mods)
+        fast_count = len(assignment.subtasks_on("fast"))
+        assert fast_count >= 3
+
+    def test_load_aware_accounts_base_load(self):
+        mods = [
+            ModuleInfo("busy", base_load=100.0),
+            ModuleInfo("idle"),
+        ]
+        assignment = TaskAssignment(LoadAwareStrategy()).assign(
+            [subtask("t")], mods
+        )
+        assert assignment.module_for("t") == "idle"
+
+    def test_capability_aware_prefers_narrow_modules(self):
+        mods = [
+            ModuleInfo("generalist", capabilities={"sensor:a", "actuator:b"}),
+            ModuleInfo("narrow"),
+        ]
+        assignment = TaskAssignment(CapabilityAwareStrategy()).assign(
+            [subtask("plain-task")], mods
+        )
+        assert assignment.module_for("plain-task") == "narrow"
+
+    def test_shards_spread_over_modules(self):
+        shards = [
+            subtask(f"w#{i}", operator="train", shard_count=3) for i in range(3)
+        ]
+        assignment = TaskAssignment(LoadAwareStrategy()).assign(
+            shards, modules("m1", "m2", "m3")
+        )
+        assert len({assignment.module_for(s.subtask_id) for s in shards}) == 3
+
+    def test_projected_load_reported(self):
+        assignment = TaskAssignment(LoadAwareStrategy()).assign(
+            [subtask("t", operator="train")], modules("m1")
+        )
+        assert assignment.projected_load["m1"] == pytest.approx(8.0)
+
+
+def test_estimate_cost_shard_discount():
+    full = estimate_cost(subtask("a", operator="train"))
+    shard = estimate_cost(subtask("a#0", operator="train", shard_count=4))
+    assert shard == pytest.approx(full / 4)
+
+
+def test_estimate_cost_unknown_operator_default():
+    assert estimate_cost(subtask("a", operator="exotic")) == pytest.approx(2.0)

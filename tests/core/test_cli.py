@@ -1,0 +1,112 @@
+"""CLI coverage: validate / fmt / operators / paper-exp."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DSL = """
+recipe cli-app
+task sense : sensor
+    out raw
+    device = thermo
+    rate_hz = 5
+task judge : predict
+    in raw
+    model = anomaly
+"""
+
+
+@pytest.fixture
+def recipe_file(tmp_path):
+    path = tmp_path / "app.recipe"
+    path.write_text(DSL)
+    return path
+
+
+def test_validate_ok(recipe_file, capsys):
+    assert main(["validate", str(recipe_file)]) == 0
+    out = capsys.readouterr().out
+    assert "recipe 'cli-app': OK" in out
+    assert "stage 0: sense" in out
+    assert "stage 1: judge" in out
+
+
+def test_validate_with_dry_run_assignment(recipe_file, capsys):
+    assert main(["validate", str(recipe_file), "--modules", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "dry-run assignment over 3 modules" in out
+    assert "judge -> module-" in out
+
+
+def test_validate_rejects_bad_recipe(tmp_path, capsys):
+    path = tmp_path / "bad.recipe"
+    path.write_text("recipe r\ntask t : map\n in ghost\n")
+    assert main(["validate", str(path)]) == 1
+    assert "no task produces" in capsys.readouterr().err
+
+
+def test_validate_missing_file(capsys):
+    assert main(["validate", "/nonexistent.recipe"]) == 2
+
+
+def test_validate_json_recipe(tmp_path, capsys):
+    from repro.core.dsl import parse_recipe
+
+    recipe = parse_recipe(DSL)
+    path = tmp_path / "app.json"
+    path.write_text(json.dumps(recipe.to_dict()))
+    assert main(["validate", str(path)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_fmt_round_trips(recipe_file, capsys, tmp_path):
+    assert main(["fmt", str(recipe_file)]) == 0
+    formatted = capsys.readouterr().out
+    # The formatted output is itself valid DSL for the same graph.
+    again = tmp_path / "again.recipe"
+    again.write_text(formatted)
+    assert main(["validate", str(again)]) == 0
+
+
+def test_operators_listing(capsys):
+    assert main(["operators"]) == 0
+    out = capsys.readouterr().out.split()
+    for op in ("sensor", "actuator", "train", "predict", "window", "mix"):
+        assert op in out
+
+
+def test_paper_exp_single_rate(capsys):
+    assert main(["paper-exp", "--rates", "5", "--duration", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out and "Table III" in out
+    assert "58.969" in out  # paper reference column present
+
+
+def test_paper_exp_csv_json_export(tmp_path, capsys):
+    csv_path = tmp_path / "results.csv"
+    json_path = tmp_path / "results.json"
+    assert (
+        main(
+            [
+                "paper-exp",
+                "--rates",
+                "5",
+                "--duration",
+                "0.5",
+                "--csv",
+                str(csv_path),
+                "--json",
+                str(json_path),
+            ]
+        )
+        == 0
+    )
+    assert csv_path.exists() and json_path.exists()
+    header = csv_path.read_text().splitlines()[0]
+    assert "train_avg_ms" in header
+    import json as _json
+
+    data = _json.loads(json_path.read_text())
+    assert data[0]["rate_hz"] == 5

@@ -1,0 +1,131 @@
+"""PublishClass / SubscribeClass tests."""
+
+from repro.core.distribution import PublishClass, SubscribeClass
+from repro.core.flow import FlowRecord, topic_for_stream
+from repro.ml.features import Datum
+from repro.mqtt.client import MqttClient
+
+
+def make_record(sample_id="r-0", sensed_at=0.0):
+    return FlowRecord(
+        sample_id=sample_id,
+        source="src",
+        sensed_at=sensed_at,
+        datum=Datum.from_mapping({"v": 1.0}),
+    )
+
+
+def make_client(harness, name):
+    client = MqttClient(
+        harness.runtime.add_node(name),
+        harness.cluster.broker.address,
+        client_id=name,
+    )
+    client.connect()
+    return client
+
+
+def test_publish_subscribe_round_trip(harness):
+    pub_client = make_client(harness, "pn")
+    sub_client = make_client(harness, "sn")
+    publisher = PublishClass(
+        pub_client.node, pub_client, "app", "raw"
+    )
+    got = []
+    SubscribeClass(
+        sub_client.node,
+        sub_client,
+        "app",
+        ["raw"],
+        lambda stream, record: got.append((stream, record)),
+    )
+    harness.settle()
+    publisher.publish_record(make_record(sensed_at=0.5))
+    harness.settle()
+    assert len(got) == 1
+    stream, record = got[0]
+    assert stream == "raw"
+    assert record.sensed_at == 0.5
+    assert publisher.records_published == 1
+
+
+def test_subscribe_multiple_streams(harness):
+    pub_client = make_client(harness, "pn")
+    sub_client = make_client(harness, "sn")
+    pub_a = PublishClass(pub_client.node, pub_client, "app", "a")
+    pub_b = PublishClass(pub_client.node, pub_client, "app", "b")
+    got = []
+    subscriber = SubscribeClass(
+        sub_client.node,
+        sub_client,
+        "app",
+        ["a", "b"],
+        lambda stream, record: got.append(stream),
+    )
+    harness.settle()
+    pub_a.publish_record(make_record("1"))
+    pub_b.publish_record(make_record("2"))
+    harness.settle()
+    assert sorted(got) == ["a", "b"]
+    assert subscriber.streams == ["a", "b"]
+    assert subscriber.records_received == 2
+
+
+def test_applications_are_isolated(harness):
+    pub_client = make_client(harness, "pn")
+    sub_client = make_client(harness, "sn")
+    publisher = PublishClass(pub_client.node, pub_client, "other-app", "raw")
+    got = []
+    SubscribeClass(
+        sub_client.node, sub_client, "app", ["raw"], lambda s, r: got.append(r)
+    )
+    harness.settle()
+    publisher.publish_record(make_record())
+    harness.settle()
+    assert got == []
+
+
+def test_malformed_payload_counted_not_raised(harness):
+    sub_client = make_client(harness, "sn")
+    got = []
+    subscriber = SubscribeClass(
+        sub_client.node, sub_client, "app", ["raw"], lambda s, r: got.append(r)
+    )
+    probe = make_client(harness, "probe2")
+    harness.settle()
+    probe.publish(topic_for_stream("app", "raw"), {"not": "a record"})
+    harness.settle()
+    assert got == []
+    assert subscriber.decode_errors == 1
+
+
+def test_stop_unsubscribes(harness):
+    pub_client = make_client(harness, "pn")
+    sub_client = make_client(harness, "sn")
+    publisher = PublishClass(pub_client.node, pub_client, "app", "raw")
+    got = []
+    subscriber = SubscribeClass(
+        sub_client.node, sub_client, "app", ["raw"], lambda s, r: got.append(r)
+    )
+    harness.settle()
+    subscriber.stop()
+    harness.settle()
+    publisher.publish_record(make_record())
+    harness.settle()
+    assert got == []
+
+
+def test_publish_headers_stamped(harness):
+    pub_client = make_client(harness, "pn")
+    publisher = PublishClass(pub_client.node, pub_client, "app", "raw")
+    seen = []
+    sub_client = make_client(harness, "sn")
+    sub_client.subscribe(
+        topic_for_stream("app", "raw"),
+        lambda t, p, pkt: seen.append(pkt.get("headers")),
+    )
+    harness.settle()
+    publisher.publish_record(make_record())
+    harness.settle()
+    assert seen and seen[0]["stream"] == "raw"
+    assert seen[0]["published_at"] > 0.0

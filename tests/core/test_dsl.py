@@ -1,0 +1,210 @@
+"""Recipe DSL: parsing, formatting, round-tripping, errors."""
+
+import pytest
+
+from repro.core.dsl import format_recipe, parse_recipe
+from repro.core.recipe import Recipe, TaskSpec
+from repro.errors import RecipeError
+
+EXAMPLE = """
+# Fall detection pipeline
+recipe elderly-monitoring
+
+task wearable : sensor
+    out accel-raw
+    needs sensor:accel
+    on pi-wearable
+    device = accel
+    rate_hz = 20
+
+task magnitude : map
+    in accel-raw
+    out accel-mag
+    fn = magnitude
+    keys = [ax, ay, az]
+
+task detector : predict x2    # two shards
+    in accel-mag
+    out scored
+    model = anomaly
+    threshold = 6.0
+    train_on_stream = true
+"""
+
+
+class TestParsing:
+    def test_example_parses(self):
+        recipe = parse_recipe(EXAMPLE)
+        assert recipe.name == "elderly-monitoring"
+        assert set(recipe.tasks) == {"wearable", "magnitude", "detector"}
+
+    def test_task_fields(self):
+        recipe = parse_recipe(EXAMPLE)
+        wearable = recipe.tasks["wearable"]
+        assert wearable.operator == "sensor"
+        assert wearable.outputs == ["accel-raw"]
+        assert wearable.capabilities == ["sensor:accel"]
+        assert wearable.pin_to == "pi-wearable"
+        assert wearable.params == {"device": "accel", "rate_hz": 20}
+
+    def test_value_types(self):
+        recipe = parse_recipe(EXAMPLE)
+        detector = recipe.tasks["detector"]
+        assert detector.params["threshold"] == 6.0
+        assert detector.params["train_on_stream"] is True
+        assert detector.parallelism == 2
+        magnitude = recipe.tasks["magnitude"]
+        assert magnitude.params["keys"] == ["ax", "ay", "az"]
+
+    def test_json_values_pass_through(self):
+        text = """
+recipe r
+task src : sensor
+    out scored
+    device = d
+task c : command
+    in scored
+    out cmds
+    rules = [{"when": {"key": "anomalous", "eq": true}, "command": {"on": true}}]
+"""
+        recipe = parse_recipe(text)
+        rules = recipe.tasks["c"].params["rules"]
+        assert rules[0]["when"]["key"] == "anomalous"
+        assert rules[0]["command"] == {"on": True}
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# hi\nrecipe r\n\n# mid\ntask t : sensor  # trailing\n  out raw\n  device = d\n"
+        recipe = parse_recipe(text)
+        assert recipe.tasks["t"].outputs == ["raw"]
+
+    def test_hash_inside_quoted_string_kept(self):
+        text = 'recipe r\ntask t : sensor\n  out raw\n  label = "a#b"\n'
+        assert parse_recipe(text).tasks["t"].params["label"] == "a#b"
+
+    def test_multiple_in_lines_accumulate(self):
+        text = "recipe r\ntask s : sensor\n out a\n out b\ntask t : merge\n  in a\n  in b\n"
+        # two producers needed: split outputs across two tasks instead
+        text = (
+            "recipe r\n"
+            "task s1 : sensor\n out a\n"
+            "task s2 : sensor\n out b\n"
+            "task t : merge\n in a\n in b\n out c\n"
+        )
+        recipe = parse_recipe(text)
+        assert recipe.tasks["t"].inputs == ["a", "b"]
+
+    def test_param_prefix_escapes_keywords(self):
+        text = "recipe r\ntask t : map\n  in x\n  param out = magnitude\ntask s : sensor\n  out x\n  device = d\n"
+        recipe = parse_recipe(text)
+        assert recipe.tasks["t"].params["out"] == "magnitude"
+
+
+class TestErrors:
+    def test_missing_recipe_decl(self):
+        with pytest.raises(RecipeError, match="missing 'recipe"):
+            parse_recipe("task t : sensor\n out raw\n")
+
+    def test_duplicate_recipe_decl(self):
+        with pytest.raises(RecipeError, match="duplicate recipe"):
+            parse_recipe("recipe a\nrecipe b\ntask t : sensor\n out raw\n")
+
+    def test_clause_outside_task(self):
+        with pytest.raises(RecipeError, match="outside of a task"):
+            parse_recipe("recipe r\nout raw\n")
+
+    def test_bad_task_line(self):
+        with pytest.raises(RecipeError, match="task <id>"):
+            parse_recipe("recipe r\ntask missing-colon sensor\n")
+
+    def test_keyword_param_without_prefix(self):
+        with pytest.raises(RecipeError, match="collides with a keyword"):
+            parse_recipe("recipe r\ntask t : map\n  in = 5\n")
+
+    def test_error_includes_line_number(self):
+        with pytest.raises(RecipeError, match="line 3"):
+            parse_recipe("recipe r\ntask t : sensor\n ???\n")
+
+    def test_empty_recipe(self):
+        with pytest.raises(RecipeError, match="no tasks"):
+            parse_recipe("recipe r\n")
+
+    def test_malformed_structured_value(self):
+        with pytest.raises(RecipeError, match="malformed structured"):
+            parse_recipe('recipe r\ntask t : sensor\n out raw\n cfg = {"broken\n')
+
+    def test_graph_validation_still_applies(self):
+        with pytest.raises(RecipeError, match="no task produces"):
+            parse_recipe("recipe r\ntask t : map\n in ghost\n")
+
+
+class TestRoundTrip:
+    def test_example_round_trips(self):
+        recipe = parse_recipe(EXAMPLE)
+        text = format_recipe(recipe)
+        clone = parse_recipe(text)
+        assert clone.name == recipe.name
+        assert set(clone.tasks) == set(recipe.tasks)
+        for tid in recipe.tasks:
+            a, b = recipe.tasks[tid], clone.tasks[tid]
+            assert a.operator == b.operator
+            assert a.inputs == b.inputs
+            assert a.outputs == b.outputs
+            assert a.params == b.params
+            assert a.capabilities == b.capabilities
+            assert a.parallelism == b.parallelism
+            assert a.pin_to == b.pin_to
+
+    def test_tricky_values_round_trip(self):
+        recipe = Recipe(
+            "tricky",
+            [
+                TaskSpec(
+                    "t",
+                    "sensor",
+                    outputs=["raw"],
+                    params={
+                        "device": "a b",  # needs quoting (contains nothing odd? keep)
+                        "numeric_string": "42",
+                        "with_comma": "a,b",
+                        "with_hash": "x#y",
+                        "nested": {"k": [1, 2, {"deep": True}]},
+                        "out": "keyword-name",
+                    },
+                )
+            ],
+        )
+        clone = parse_recipe(format_recipe(recipe))
+        assert clone.tasks["t"].params == recipe.tasks["t"].params
+
+    def test_paper_testbed_recipe_round_trips(self):
+        from repro.bench.scenarios import build_paper_recipe
+
+        recipe = build_paper_recipe(20)
+        clone = parse_recipe(format_recipe(recipe))
+        assert clone.stages() == recipe.stages()
+        assert clone.tasks["train"].params == recipe.tasks["train"].params
+
+
+def test_dsl_recipe_actually_deploys(harness):
+    from repro.sensors.devices import FixedPayloadModel
+
+    module = harness.add_module("pi-1")
+    module.attach_sensor("sample", FixedPayloadModel())
+    harness.settle()
+    text = """
+recipe dsl-app
+task sense : sensor
+    out raw
+    needs sensor:sample
+    device = sample
+    rate_hz = 10
+task judge : predict
+    in raw
+    model = classifier
+    label_key = label
+    train_on_stream = true
+"""
+    app = harness.cluster.submit(parse_recipe(text))
+    harness.settle(3.0)
+    assert harness.runtime.tracer.count("ml.judged") > 10
+    app.stop()

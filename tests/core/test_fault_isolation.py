@@ -1,0 +1,122 @@
+"""Fault isolation: broken handlers must not take the runtime down."""
+
+import pytest
+
+from repro.core.operators import StreamOperator, register_operator
+from repro.errors import RecipeError
+
+from .conftest import make_subtask
+
+
+class ExplodingOperator(StreamOperator):
+    """Raises on records whose datum carries boom=1."""
+
+    def on_record(self, stream, record):
+        if record.datum.num_values.get("boom"):
+            raise RuntimeError("kaboom")
+        self.emit(record.derive(self.subtask.task_id))
+
+
+register_operator("exploding", ExplodingOperator)
+
+
+class TestOperatorIsolation:
+    def test_bad_record_does_not_stop_the_pipeline(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        operator = harness.deploy(
+            module,
+            make_subtask("x", "exploding", inputs=["in"], outputs=["out"]),
+        )
+        harness.inject("in", {"v": 1.0})
+        harness.inject("in", {"boom": 1.0})
+        harness.inject("in", {"v": 2.0})
+        harness.settle()
+        assert len(out) == 2  # good records still flow
+        assert operator.processing_errors == 1
+        assert not operator.stopped
+        errors = harness.runtime.tracer.select("operator.error")
+        assert errors and "kaboom" in errors[0]["error"]
+
+    def test_crash_loop_stops_the_operator(self, harness):
+        module = harness.add_module("m")
+        operator = harness.deploy(
+            module,
+            make_subtask("x", "exploding", inputs=["in"], outputs=["out"]),
+        )
+        operator.max_consecutive_errors = 5
+        for _ in range(8):
+            harness.inject("in", {"boom": 1.0})
+        harness.settle()
+        assert operator.stopped
+        assert operator.processing_errors == 5  # no processing after stop
+        assert harness.runtime.tracer.count("operator.crash_loop_stopped") == 1
+
+    def test_good_record_resets_the_crash_counter(self, harness):
+        module = harness.add_module("m")
+        operator = harness.deploy(
+            module,
+            make_subtask("x", "exploding", inputs=["in"], outputs=["out"]),
+        )
+        operator.max_consecutive_errors = 3
+        for _ in range(2):
+            harness.inject("in", {"boom": 1.0})
+        harness.inject("in", {"v": 1.0})
+        for _ in range(2):
+            harness.inject("in", {"boom": 1.0})
+        harness.settle()
+        assert not operator.stopped
+        assert operator.processing_errors == 4
+
+    def test_other_operators_unaffected(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("healthy-out")
+        harness.deploy(
+            module,
+            make_subtask("x", "exploding", inputs=["in"], outputs=["out"]),
+        )
+        harness.deploy(
+            module,
+            make_subtask(
+                "ok",
+                "map",
+                inputs=["in"],
+                outputs=["healthy-out"],
+                params={"fn": "identity"},
+            ),
+        )
+        harness.inject("in", {"boom": 1.0})
+        harness.settle()
+        assert len(out) == 1  # the healthy operator saw the same record
+
+
+class TestClientCallbackIsolation:
+    def test_broken_subscription_does_not_block_others(self, harness):
+        from repro.mqtt.client import MqttClient
+
+        client = MqttClient(
+            harness.runtime.add_node("n"),
+            harness.cluster.broker.address,
+            client_id="c",
+        )
+        client.connect()
+        got = []
+
+        def broken(_t, _p, _pkt):
+            raise ValueError("bad handler")
+
+        client.subscribe("t", broken)
+        client.subscribe("t", lambda _t, p, _pkt: got.append(p))
+        harness.settle()
+        publisher = MqttClient(
+            harness.runtime.add_node("p"),
+            harness.cluster.broker.address,
+            client_id="p",
+        )
+        publisher.connect()
+        harness.settle()
+        publisher.publish("t", "payload")
+        harness.settle()
+        assert got == ["payload"]
+        assert client.callback_errors == 1
+        assert harness.runtime.tracer.count("mqtt.client.callback_error") == 1

@@ -1,0 +1,99 @@
+import pytest
+
+from repro.core.flow import FlowRecord, topic_for_stream
+from repro.errors import SerializationError
+from repro.ml.features import Datum
+
+
+def make_record(sample_id="s-0", source="a", sensed_at=1.0, **values):
+    return FlowRecord(
+        sample_id=sample_id,
+        source=source,
+        sensed_at=sensed_at,
+        datum=Datum.from_mapping(values or {"v": 1.0}),
+    )
+
+
+def test_topic_for_stream():
+    assert topic_for_stream("app", "raw") == "ifot/flow/app/raw"
+
+
+def test_payload_round_trip():
+    record = make_record(v=2.5)
+    record.path.append("step1")
+    record.attributes["score"] = 0.7
+    record.merged_ids.append("s-1")
+    clone = FlowRecord.from_payload(record.to_payload())
+    assert clone.sample_id == record.sample_id
+    assert clone.sensed_at == record.sensed_at
+    assert clone.datum == record.datum
+    assert clone.path == ["step1"]
+    assert clone.attributes == {"score": 0.7}
+    assert clone.merged_ids == ["s-1"]
+
+
+def test_from_payload_rejects_garbage():
+    with pytest.raises(SerializationError):
+        FlowRecord.from_payload({"nope": 1})
+    with pytest.raises(SerializationError):
+        FlowRecord.from_payload("string")
+    with pytest.raises(SerializationError):
+        FlowRecord.from_payload({"id": "x", "src": "a", "ts": "NaNish", "datum": {}})
+
+
+def test_derive_appends_provenance():
+    record = make_record()
+    derived = record.derive("clean")
+    assert derived.path == ["clean"]
+    assert derived.sample_id == record.sample_id
+    assert derived.datum is record.datum  # unchanged datum is shared
+    derived.attributes["x"] = 1
+    assert "x" not in record.attributes  # copies are independent
+
+
+def test_derive_with_new_datum():
+    record = make_record(v=1.0)
+    new_datum = Datum.from_mapping({"v": 99.0})
+    derived = record.derive("map", datum=new_datum)
+    assert derived.datum.num_values["v"] == 99.0
+
+
+def test_merge_keeps_oldest_sensed_at():
+    a = make_record(sample_id="a", source="sa", sensed_at=5.0, x=1.0)
+    b = make_record(sample_id="b", source="sb", sensed_at=3.0, y=2.0)
+    merged = FlowRecord.merge("win", [a, b])
+    assert merged.sensed_at == 3.0
+    assert merged.sample_id == "b"
+    assert merged.source == "sb"
+    assert merged.datum.num_values == {"x": 1.0, "y": 2.0}
+    assert sorted(merged.merged_ids) == ["a", "b"]
+
+
+def test_merge_later_record_wins_conflicts():
+    a = make_record(sample_id="a", sensed_at=1.0, v=1.0)
+    b = make_record(sample_id="b", sensed_at=2.0, v=2.0)
+    merged = FlowRecord.merge("win", [a, b])
+    assert merged.datum.num_values["v"] == 2.0
+
+
+def test_merge_accumulates_nested_merged_ids():
+    a = make_record(sample_id="a", sensed_at=1.0)
+    b = make_record(sample_id="b", sensed_at=2.0)
+    first = FlowRecord.merge("w1", [a, b])
+    c = make_record(sample_id="c", sensed_at=3.0)
+    second = FlowRecord.merge("w2", [first, c])
+    assert sorted(second.merged_ids) == ["a", "b", "c"]
+
+
+def test_merge_empty_rejected():
+    with pytest.raises(SerializationError):
+        FlowRecord.merge("w", [])
+
+
+def test_merge_combines_attributes():
+    a = make_record(sample_id="a", sensed_at=1.0)
+    a.attributes["from_a"] = 1
+    b = make_record(sample_id="b", sensed_at=2.0)
+    b.attributes["from_b"] = 2
+    merged = FlowRecord.merge("w", [a, b])
+    assert merged.attributes == {"from_a": 1, "from_b": 2}

@@ -1,0 +1,208 @@
+"""ModuleAgent / ManagementNode / StreamDirectory tests."""
+
+import pytest
+
+from repro.core.recipe import Recipe, TaskSpec
+from repro.sensors.devices import FixedPayloadModel, SwitchActuator
+
+from .conftest import make_subtask
+
+
+def simple_recipe(rate_hz=5):
+    return Recipe(
+        "app",
+        [
+            TaskSpec(
+                "sense",
+                "sensor",
+                outputs=["raw"],
+                params={"device": "sample", "rate_hz": rate_hz},
+                capabilities=["sensor:sample"],
+            ),
+            TaskSpec(
+                "train",
+                "train",
+                inputs=["raw"],
+                params={"model": "classifier", "label_key": "label"},
+            ),
+        ],
+    )
+
+
+class TestDirectory:
+    def test_modules_announced_with_capabilities(self, harness):
+        module = harness.add_module("pi-1")
+        module.attach_sensor("sample", FixedPayloadModel())
+        harness.settle()
+        directory = harness.cluster.management.directory
+        records = directory.modules()
+        names = [r.name for r in records]
+        assert "pi-1" in names and "mgmt" in names
+        pi = next(r for r in records if r.name == "pi-1")
+        assert "sensor:sample" in pi.capabilities
+
+    def test_capability_change_reannounces_immediately(self, harness):
+        module = harness.add_module("pi-1")
+        harness.settle(0.5)
+        module.attach_actuator("light", SwitchActuator())
+        harness.settle(0.5)
+        directory = harness.cluster.management.directory
+        pi = next(r for r in directory.modules() if r.name == "pi-1")
+        assert "actuator:light" in pi.capabilities
+
+    def test_departed_module_expires(self, harness):
+        module = harness.add_module("pi-1")
+        harness.settle()
+        directory = harness.cluster.management.directory
+        assert any(r.name == "pi-1" for r in directory.modules())
+        module.node.fail()
+        harness.settle(40.0)  # past TTL
+        assert not any(r.name == "pi-1" for r in directory.modules())
+
+    def test_clean_leave_via_tombstone(self, harness):
+        module = harness.add_module("pi-1")
+        harness.settle()
+        module.agent.stop()
+        harness.settle(1.0)
+        directory = harness.cluster.management.directory
+        assert not any(r.name == "pi-1" for r in directory.modules())
+
+    def test_stream_search(self, harness):
+        module = harness.add_module("pi-1")
+        module.attach_sensor("sample", FixedPayloadModel())
+        harness.settle()
+        harness.cluster.submit(simple_recipe())
+        harness.settle(2.0)
+        directory = harness.cluster.management.directory
+        found = directory.find_streams(application="app", pattern="raw*")
+        assert len(found) == 1
+        assert found[0].stream == "raw"
+        assert found[0].producer_module == "pi-1"
+        assert found[0].topic == "ifot/flow/app/raw"
+        assert directory.find_streams(pattern="nomatch*") == []
+
+
+class TestDeployment:
+    def test_submit_recipe_deploys_operators(self, harness):
+        module = harness.add_module("pi-1")
+        module.attach_sensor("sample", FixedPayloadModel())
+        harness.settle()
+        app = harness.cluster.submit(simple_recipe())
+        harness.settle(2.0)
+        assert app.assignment.module_for("sense") == "pi-1"
+        assert "app/sense" in module.operators
+        trained_on = app.assignment.module_for("train")
+        host = (
+            harness.cluster.module(trained_on)
+            if trained_on in harness.cluster.modules
+            else harness.cluster.management.module
+        )
+        assert "app/train" in host.operators
+
+    def test_application_runs_end_to_end(self, harness):
+        module = harness.add_module("pi-1")
+        module.attach_sensor("sample", FixedPayloadModel())
+        harness.settle()
+        harness.cluster.submit(simple_recipe(rate_hz=10))
+        harness.settle(4.0)
+        assert harness.runtime.tracer.count("ml.trained") > 10
+
+    def test_stop_application_undeploys_everywhere(self, harness):
+        module = harness.add_module("pi-1")
+        module.attach_sensor("sample", FixedPayloadModel())
+        harness.settle()
+        app = harness.cluster.submit(simple_recipe())
+        harness.settle(2.0)
+        app.stop()
+        harness.settle(2.0)
+        assert module.operators == {}
+        count = harness.runtime.tracer.count("ml.trained")
+        harness.settle(2.0)
+        assert harness.runtime.tracer.count("ml.trained") == count
+
+    def test_submit_via_remote_module_leader(self, harness):
+        """Fig. 6: the recipe is sent to a module, which leads deployment."""
+        module = harness.add_module("pi-1")
+        module.attach_sensor("sample", FixedPayloadModel())
+        harness.settle()
+        app = harness.cluster.submit(simple_recipe(), via_module="pi-1")
+        assert app.assignment is None  # led remotely
+        harness.settle(3.0)
+        assert module.agent.recipes_led == 1
+        assert any(key.startswith("app/") for key in module.operators)
+
+    def test_deploy_failure_traced_not_fatal(self, harness):
+        """A deploy command for a missing device must not crash the agent."""
+        module = harness.add_module("pi-1")  # no sensor attached
+        harness.settle()
+        module.client  # agent listens already
+        harness.cluster.management.module.client.publish(
+            "ifot/ctl/module/pi-1/deploy",
+            {
+                "application": "bad",
+                "subtask": make_subtask(
+                    "s", "sensor", outputs=["raw"], params={"device": "ghost"}
+                ).to_dict(),
+            },
+        )
+        harness.settle()
+        assert module.operators == {}
+        assert harness.runtime.tracer.count("agent.deploy_failed") == 1
+
+    def test_strategy_by_name(self, harness):
+        from repro.core.management import strategy_by_name
+        from repro.errors import DeploymentError
+
+        assert strategy_by_name("round_robin").name == "round_robin"
+        with pytest.raises(DeploymentError):
+            strategy_by_name("bogus")
+
+
+class TestStatusMonitoring:
+    def test_status_reports_collected(self, harness):
+        module = harness.add_module("pi-1")
+        module.attach_sensor("sample", FixedPayloadModel())
+        harness.settle()
+        management = harness.cluster.management
+        management.request_status()
+        harness.settle(1.0)
+        assert "pi-1" in management.status_reports
+        report = management.status_reports["pi-1"]
+        assert report["sensors"] == ["sample"]
+        assert "capabilities" in report
+
+    def test_status_reflects_deployments(self, harness):
+        module = harness.add_module("pi-1")
+        module.attach_sensor("sample", FixedPayloadModel())
+        harness.settle()
+        harness.cluster.submit(simple_recipe())
+        harness.settle(2.0)
+        management = harness.cluster.management
+        management.request_status()
+        harness.settle(1.0)
+        assert any(
+            "app/" in op for op in management.status_reports["pi-1"]["operators"]
+        )
+
+
+class TestDashboard:
+    def test_dashboard_renders_cluster_state(self, harness):
+        module = harness.add_module("pi-1")
+        module.attach_sensor("sample", FixedPayloadModel())
+        harness.settle()
+        harness.cluster.submit(simple_recipe())
+        harness.settle(2.0)
+        management = harness.cluster.management
+        management.request_status()
+        harness.settle(1.0)
+        text = management.render_dashboard()
+        assert "pi-1" in text
+        assert "sensor:sample" in text
+        assert "[management]" in text  # mgmt node flagged
+        assert "app:raw" in text  # announced stream
+        assert "app:" in text and "sense->pi-1" in text  # led application
+        assert "app/sense" in text  # operator from the status report
+
+    def test_dashboard_renders_when_empty(self, harness):
+        text = harness.cluster.management.render_dashboard()
+        assert "IFoT management console" in text

@@ -1,0 +1,120 @@
+"""IFoTCluster / Application facade tests."""
+
+import pytest
+
+from repro.core.middleware import IFoTCluster
+from repro.core.recipe import Recipe, TaskSpec
+from repro.errors import ConfigurationError, DeploymentError
+from repro.runtime.sim import SimRuntime
+from repro.sensors.devices import FixedPayloadModel
+
+
+def sensor_recipe():
+    return Recipe(
+        "quick",
+        [
+            TaskSpec(
+                "sense",
+                "sensor",
+                outputs=["raw"],
+                params={"device": "sample", "rate_hz": 5},
+                capabilities=["sensor:sample"],
+            ),
+        ],
+    )
+
+
+def test_duplicate_module_rejected(harness):
+    harness.add_module("m")
+    with pytest.raises(ConfigurationError):
+        harness.add_module("m")
+
+
+def test_module_lookup(harness):
+    module = harness.add_module("m")
+    assert harness.cluster.module("m") is module
+    with pytest.raises(ConfigurationError):
+        harness.cluster.module("ghost")
+
+
+def test_application_operator_lookup(harness):
+    module = harness.add_module("m")
+    module.attach_sensor("sample", FixedPayloadModel())
+    harness.settle()
+    app = harness.cluster.submit(sensor_recipe())
+    harness.settle(2.0)
+    operator = app.operator("sense")
+    assert operator.samples_taken > 0
+    with pytest.raises(DeploymentError):
+        app.operator("ghost")
+
+
+def test_application_stop_idempotent(harness):
+    module = harness.add_module("m")
+    module.attach_sensor("sample", FixedPayloadModel())
+    harness.settle()
+    app = harness.cluster.submit(sensor_recipe())
+    harness.settle(1.0)
+    app.stop()
+    app.stop()
+    assert app.stopped
+
+
+def test_operator_lookup_without_assignment_raises(harness):
+    module = harness.add_module("m")
+    module.attach_sensor("sample", FixedPayloadModel())
+    harness.settle()
+    app = harness.cluster.submit(sensor_recipe(), via_module="m")
+    with pytest.raises(DeploymentError):
+        app.operator("sense")
+
+
+def test_cluster_shutdown_stops_everything(harness):
+    module = harness.add_module("m")
+    module.attach_sensor("sample", FixedPayloadModel())
+    harness.settle()
+    harness.cluster.submit(sensor_recipe())
+    harness.settle(1.0)
+    harness.cluster.shutdown()
+    count = harness.runtime.tracer.count("sensor.sample")
+    harness.settle(2.0)
+    assert harness.runtime.tracer.count("sensor.sample") == count
+
+
+def test_sim_only_node_kwargs_rejected_on_real_runtime():
+    from repro.runtime.real import AsyncioRuntime
+
+    with AsyncioRuntime() as runtime:
+        cluster = IFoTCluster(runtime)
+        with pytest.raises(ConfigurationError):
+            cluster.add_module("m", cpu_speed=2.0)
+        cluster2 = None  # cluster usable otherwise
+        module = cluster.add_module("ok")
+        assert module.name == "ok"
+
+
+def test_two_applications_share_modules(harness):
+    module = harness.add_module("m")
+    module.attach_sensor("sample", FixedPayloadModel())
+    harness.settle()
+    app1 = harness.cluster.submit(sensor_recipe())
+    recipe2 = Recipe(
+        "second",
+        [
+            TaskSpec(
+                "sense",
+                "sensor",
+                outputs=["raw"],
+                params={"device": "sample", "rate_hz": 5},
+                capabilities=["sensor:sample"],
+            ),
+        ],
+    )
+    app2 = harness.cluster.submit(recipe2)
+    harness.settle(2.0)
+    assert "quick/sense" in module.operators
+    assert "second/sense" in module.operators
+    app1.stop()
+    harness.settle(1.0)
+    assert "quick/sense" not in module.operators
+    assert "second/sense" in module.operators

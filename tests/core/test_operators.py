@@ -1,0 +1,495 @@
+import pytest
+
+from repro.core.operators import create_operator, registered_operators
+from repro.core.splitter import shard_of
+from repro.errors import RecipeError
+
+from .conftest import make_subtask
+
+
+def test_registry_contains_all_operators():
+    names = registered_operators()
+    for expected in (
+        "window",
+        "map",
+        "filter",
+        "merge",
+        "stat",
+        "command",
+        "sensor",
+        "actuator",
+        "train",
+        "predict",
+        "mix",
+    ):
+        assert expected in names
+
+
+def test_unknown_operator_rejected(harness):
+    module = harness.add_module("m")
+    with pytest.raises(RecipeError, match="unknown operator"):
+        create_operator(module, "app", make_subtask("t", "bogus"))
+
+
+class TestWindowOperator:
+    def test_align_mode_merges_one_per_source(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "win",
+                "window",
+                inputs=["in"],
+                outputs=["out"],
+                params={"mode": "align", "sources": ["sa", "sb"]},
+            ),
+        )
+        harness.inject("in", {"x": 1.0}, source="sa")
+        harness.inject("in", {"x": 2.0}, source="sa")  # overwrites sa slot
+        harness.settle()
+        assert out == []
+        harness.inject("in", {"y": 3.0}, source="sb")
+        harness.settle()
+        assert len(out) == 1
+        assert out[0].datum.num_values == {"x": 2.0, "y": 3.0}
+        assert len(out[0].merged_ids) == 2
+
+    def test_align_arity_mode(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "win",
+                "window",
+                inputs=["in"],
+                outputs=["out"],
+                params={"mode": "align", "arity": 2},
+            ),
+        )
+        harness.inject("in", {"x": 1.0}, source="s1")
+        harness.inject("in", {"y": 2.0}, source="s2")
+        harness.settle()
+        assert len(out) == 1
+
+    def test_count_mode(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "win",
+                "window",
+                inputs=["in"],
+                outputs=["out"],
+                params={"mode": "count", "count": 3},
+            ),
+        )
+        for i in range(7):
+            harness.inject("in", {"v": float(i)})
+        harness.settle()
+        assert len(out) == 2  # two full windows, one partial pending
+
+    def test_time_mode_flushes_periodically(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "win",
+                "window",
+                inputs=["in"],
+                outputs=["out"],
+                params={"mode": "time", "interval_s": 1.0},
+            ),
+        )
+        harness.inject("in", {"v": 1.0})
+        harness.inject("in", {"v": 2.0})
+        harness.settle(2.0)
+        assert len(out) == 1
+        assert len(out[0].merged_ids) == 2
+        harness.settle(2.0)
+        assert len(out) == 1  # empty windows are not flushed
+
+    def test_bad_configs(self, harness):
+        module = harness.add_module("m")
+        cases = [
+            {"mode": "align"},
+            {"mode": "count"},
+            {"mode": "time"},
+            {"mode": "bogus"},
+        ]
+        for i, params in enumerate(cases):
+            with pytest.raises(RecipeError):
+                module.deploy(
+                    "app2",
+                    make_subtask(f"w{i}", "window", inputs=["in"], params=params),
+                )
+
+
+class TestMapOperator:
+    def deploy_map(self, harness, params):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask("m1", "map", inputs=["in"], outputs=["out"], params=params),
+        )
+        return out
+
+    def test_magnitude(self, harness):
+        out = self.deploy_map(
+            harness, {"fn": "magnitude", "keys": ["x", "y"], "out": "mag"}
+        )
+        harness.inject("in", {"x": 3.0, "y": 4.0})
+        harness.settle()
+        assert out[0].datum.num_values["mag"] == pytest.approx(5.0)
+
+    def test_select(self, harness):
+        out = self.deploy_map(harness, {"fn": "select", "keys": ["keep"]})
+        harness.inject("in", {"keep": 1.0, "drop": 2.0, "label": "x"})
+        harness.settle()
+        assert out[0].datum.num_values == {"keep": 1.0}
+        assert out[0].datum.string_values == {}
+
+    def test_rename(self, harness):
+        out = self.deploy_map(harness, {"fn": "rename", "mapping": {"a": "b"}})
+        harness.inject("in", {"a": 1.0})
+        harness.settle()
+        assert out[0].datum.num_values == {"b": 1.0}
+
+    def test_scale(self, harness):
+        out = self.deploy_map(harness, {"fn": "scale", "key": "v", "factor": 10.0})
+        harness.inject("in", {"v": 1.5})
+        harness.settle()
+        assert out[0].datum.num_values["v"] == pytest.approx(15.0)
+
+    def test_round(self, harness):
+        out = self.deploy_map(harness, {"fn": "round", "digits": 1})
+        harness.inject("in", {"v": 1.26})
+        harness.settle()
+        assert out[0].datum.num_values["v"] == pytest.approx(1.3)
+
+    def test_provenance_appended(self, harness):
+        out = self.deploy_map(harness, {"fn": "identity"})
+        harness.inject("in", {"v": 1.0})
+        harness.settle()
+        assert out[0].path[-1] == "m1"
+
+    def test_unknown_fn(self, harness):
+        module = harness.add_module("m")
+        with pytest.raises(RecipeError, match="unknown map fn"):
+            module.deploy(
+                "app2", make_subtask("m1", "map", inputs=["in"], params={"fn": "bogus"})
+            )
+
+    def test_missing_fn_param(self, harness):
+        module = harness.add_module("m")
+        with pytest.raises(RecipeError, match="missing param"):
+            module.deploy(
+                "app2",
+                make_subtask("m1", "map", inputs=["in"], params={"fn": "select"}),
+            )
+
+
+class TestFilterOperator:
+    def test_numeric_threshold(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        operator = harness.deploy(
+            module,
+            make_subtask(
+                "f",
+                "filter",
+                inputs=["in"],
+                outputs=["out"],
+                params={"key": "v", "op": "gt", "value": 5.0},
+            ),
+        )
+        harness.inject("in", {"v": 10.0})
+        harness.inject("in", {"v": 1.0})
+        harness.settle()
+        assert len(out) == 1 and out[0].datum.num_values["v"] == 10.0
+        assert operator.records_dropped == 1
+
+    def test_attrs_field(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "f",
+                "filter",
+                inputs=["in"],
+                outputs=["out"],
+                params={"key": "anomalous", "op": "eq", "value": True, "field": "attrs"},
+            ),
+        )
+        harness.inject("in", {"v": 1.0}, attributes={"anomalous": True})
+        harness.inject("in", {"v": 2.0}, attributes={"anomalous": False})
+        harness.settle()
+        assert len(out) == 1
+
+    def test_string_equality(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "f",
+                "filter",
+                inputs=["in"],
+                outputs=["out"],
+                params={"key": "label", "op": "eq", "value": "alert"},
+            ),
+        )
+        harness.inject("in", {"label": "alert"})
+        harness.inject("in", {"label": "ok"})
+        harness.settle()
+        assert len(out) == 1
+
+    def test_missing_key_drops(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "f",
+                "filter",
+                inputs=["in"],
+                outputs=["out"],
+                params={"key": "ghost", "op": "gt", "value": 0},
+            ),
+        )
+        harness.inject("in", {"v": 1.0})
+        harness.settle()
+        assert out == []
+
+    def test_bad_config(self, harness):
+        module = harness.add_module("m")
+        for i, params in enumerate(
+            [
+                {"op": "gt", "value": 1},
+                {"key": "v", "op": "contains", "value": 1},
+                {"key": "v", "op": "gt", "value": 1, "field": "bogus"},
+            ]
+        ):
+            with pytest.raises(RecipeError):
+                module.deploy(
+                    "app2", make_subtask(f"f{i}", "filter", inputs=["in"], params=params)
+                )
+
+
+class TestMergeOperator:
+    def test_waits_for_all_inputs(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask("j", "merge", inputs=["a", "b"], outputs=["out"]),
+        )
+        harness.inject("a", {"x": 1.0})
+        harness.settle()
+        assert out == []
+        harness.inject("b", {"y": 2.0})
+        harness.settle()
+        assert len(out) == 1
+        assert out[0].datum.num_values == {"x": 1.0, "y": 2.0}
+
+    def test_emits_on_every_update_after_complete(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask("j", "merge", inputs=["a", "b"], outputs=["out"]),
+        )
+        harness.inject("a", {"x": 1.0})
+        harness.inject("b", {"y": 2.0})
+        harness.inject("a", {"x": 10.0})
+        harness.settle()
+        assert len(out) == 2
+        assert out[1].datum.num_values["x"] == 10.0
+        assert out[1].datum.num_values["y"] == 2.0
+
+    def test_require_all_false(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "j",
+                "merge",
+                inputs=["a", "b"],
+                outputs=["out"],
+                params={"require_all": False},
+            ),
+        )
+        harness.inject("a", {"x": 1.0})
+        harness.settle()
+        assert len(out) == 1
+
+
+class TestStatOperator:
+    def test_enriches_with_window_stats(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "s",
+                "stat",
+                inputs=["in"],
+                outputs=["out"],
+                params={"keys": ["v"], "window": 3, "stats": ["mean", "max"]},
+            ),
+        )
+        for v in (1.0, 2.0, 3.0, 4.0):
+            harness.inject("in", {"v": v})
+        harness.settle()
+        last = out[-1]
+        assert last.attributes["v_mean"] == pytest.approx(3.0)  # window (2,3,4)
+        assert last.attributes["v_max"] == 4.0
+
+    def test_bad_config(self, harness):
+        module = harness.add_module("m")
+        with pytest.raises(RecipeError):
+            module.deploy("a2", make_subtask("s", "stat", inputs=["in"], params={}))
+        with pytest.raises(RecipeError):
+            module.deploy(
+                "a3",
+                make_subtask(
+                    "s2",
+                    "stat",
+                    inputs=["in"],
+                    params={"keys": ["v"], "stats": ["median"]},
+                ),
+            )
+
+
+class TestCommandOperator:
+    def params(self):
+        return {
+            "rules": [
+                {"when": {"key": "label", "eq": "dark"}, "command": {"on": True}},
+                {"when": {"key": "lux", "gt": 500}, "command": {"on": False}},
+            ],
+        }
+
+    def test_first_matching_rule_wins(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "c", "command", inputs=["in"], outputs=["out"], params=self.params()
+            ),
+        )
+        harness.inject("in", {"lux": 600.0}, attributes={"label": "dark"})
+        harness.settle()
+        assert out[0].attributes["command"] == {"on": True}
+
+    def test_no_match_no_default_silent(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "c", "command", inputs=["in"], outputs=["out"], params=self.params()
+            ),
+        )
+        harness.inject("in", {"lux": 100.0})
+        harness.settle()
+        assert out == []
+
+    def test_default_command(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        params = self.params()
+        params["default"] = {"on": None}
+        harness.deploy(
+            module,
+            make_subtask(
+                "c", "command", inputs=["in"], outputs=["out"], params=params
+            ),
+        )
+        harness.inject("in", {"lux": 100.0})
+        harness.settle()
+        assert out[0].attributes["command"] == {"on": None}
+
+    def test_bad_rules(self, harness):
+        module = harness.add_module("m")
+        for i, params in enumerate(
+            [
+                {},
+                {"rules": []},
+                {"rules": [{"when": {"key": "x"}, "command": {}}]},  # no comparator
+                {"rules": [{"command": {}}]},  # no when
+                {"rules": [{"when": {"key": "x", "gt": 1, "lt": 2}, "command": {}}]},
+            ]
+        ):
+            with pytest.raises(RecipeError):
+                module.deploy(
+                    f"a{i}", make_subtask("c", "command", inputs=["in"], params=params)
+                )
+
+
+class TestSharding:
+    def test_shard_filter_partitions_records(self, harness):
+        module = harness.add_module("m")
+        outs = [harness.collect(f"out{i}") for i in range(2)]
+        for i in range(2):
+            harness.deploy(
+                module,
+                make_subtask(
+                    f"w#{i}",
+                    "map",
+                    inputs=["in"],
+                    outputs=[f"out{i}"],
+                    params={"fn": "identity"},
+                    shard_index=i,
+                    shard_count=2,
+                ),
+            )
+        ids = [f"sample-{i}" for i in range(20)]
+        for sid in ids:
+            harness.inject("in", {"v": 1.0}, sample_id=sid)
+        harness.settle()
+        got0 = {r.sample_id for r in outs[0]}
+        got1 = {r.sample_id for r in outs[1]}
+        assert got0 | got1 == set(ids)
+        assert got0.isdisjoint(got1)
+        assert got0 == {sid for sid in ids if shard_of(sid, 2) == 0}
+
+
+class TestLifecycle:
+    def test_stopped_operator_ignores_records(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        operator = harness.deploy(
+            module,
+            make_subtask(
+                "m1", "map", inputs=["in"], outputs=["out"], params={"fn": "identity"}
+            ),
+        )
+        harness.inject("in", {"v": 1.0})
+        harness.settle()
+        operator.stop()
+        harness.inject("in", {"v": 2.0})
+        harness.settle()
+        assert len(out) == 1
+
+    def test_emit_to_undeclared_stream_rejected(self, harness):
+        module = harness.add_module("m")
+        operator = harness.deploy(
+            module,
+            make_subtask(
+                "m1", "map", inputs=["in"], outputs=["out"], params={"fn": "identity"}
+            ),
+        )
+        from repro.core.flow import FlowRecord
+        from repro.ml.features import Datum
+
+        record = FlowRecord("x", "s", 0.0, Datum())
+        with pytest.raises(RecipeError):
+            operator.emit(record, stream="ghost")

@@ -1,0 +1,204 @@
+"""Tests for the extended operator set: ewma, delta, throttle, dedup."""
+
+import pytest
+
+from repro.errors import RecipeError
+
+from .conftest import make_subtask
+
+
+class TestEwmaOperator:
+    def test_smoothing_converges_to_constant(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "s", "ewma", inputs=["in"], outputs=["out"], params={"alpha": 0.5}
+            ),
+        )
+        for _ in range(10):
+            harness.inject("in", {"v": 10.0})
+        harness.settle()
+        assert out[0].datum.num_values["v"] == 10.0  # first = raw
+        assert out[-1].datum.num_values["v"] == pytest.approx(10.0, abs=0.1)
+
+    def test_damps_spikes(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "s", "ewma", inputs=["in"], outputs=["out"], params={"alpha": 0.2}
+            ),
+        )
+        harness.inject("in", {"v": 0.0})
+        harness.inject("in", {"v": 100.0})
+        harness.settle()
+        assert out[1].datum.num_values["v"] == pytest.approx(20.0)
+
+    def test_selected_keys_only(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "s",
+                "ewma",
+                inputs=["in"],
+                outputs=["out"],
+                params={"alpha": 0.5, "keys": ["smooth_me"]},
+            ),
+        )
+        harness.inject("in", {"smooth_me": 0.0, "raw": 0.0})
+        harness.inject("in", {"smooth_me": 10.0, "raw": 10.0})
+        harness.settle()
+        assert out[1].datum.num_values["smooth_me"] == pytest.approx(5.0)
+        assert out[1].datum.num_values["raw"] == 10.0
+
+    def test_alpha_validation(self, harness):
+        module = harness.add_module("m")
+        for i, alpha in enumerate((0.0, 1.5, -1.0)):
+            with pytest.raises(RecipeError):
+                module.deploy(
+                    f"a{i}",
+                    make_subtask(
+                        "s", "ewma", inputs=["in"], params={"alpha": alpha}
+                    ),
+                )
+
+
+class TestDeltaOperator:
+    def test_suppresses_unchanged(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        operator = harness.deploy(
+            module,
+            make_subtask(
+                "d", "delta", inputs=["in"], outputs=["out"], params={"key": "v"}
+            ),
+        )
+        for v in (1.0, 1.0, 1.0, 2.0, 2.0):
+            harness.inject("in", {"v": v})
+        harness.settle()
+        assert [r.datum.num_values["v"] for r in out] == [1.0, 2.0]
+        assert operator.records_suppressed == 3
+
+    def test_min_change_threshold(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "d",
+                "delta",
+                inputs=["in"],
+                outputs=["out"],
+                params={"key": "v", "min_change": 1.0},
+            ),
+        )
+        for v in (0.0, 0.5, 0.9, 1.5, 1.9):
+            harness.inject("in", {"v": v})
+        harness.settle()
+        assert [r.datum.num_values["v"] for r in out] == [0.0, 1.5]
+
+    def test_string_values_compare_by_inequality(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "d", "delta", inputs=["in"], outputs=["out"], params={"key": "state"}
+            ),
+        )
+        for state in ("a", "a", "b", "b", "a"):
+            harness.inject("in", {"state": state})
+        harness.settle()
+        assert [r.datum.string_values["state"] for r in out] == ["a", "b", "a"]
+
+    def test_requires_key(self, harness):
+        module = harness.add_module("m")
+        with pytest.raises(RecipeError):
+            module.deploy("a2", make_subtask("d", "delta", inputs=["in"], params={}))
+
+
+class TestThrottleOperator:
+    def test_limits_rate(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        operator = harness.deploy(
+            module,
+            make_subtask(
+                "t",
+                "throttle",
+                inputs=["in"],
+                outputs=["out"],
+                params={"interval_s": 1.0},
+            ),
+        )
+        # 10 records in quick succession, then one after the interval.
+        for i in range(10):
+            harness.inject("in", {"v": float(i)})
+        harness.settle(0.5)
+        harness.settle(1.0)
+        harness.inject("in", {"v": 99.0})
+        harness.settle()
+        assert len(out) == 2
+        assert out[0].datum.num_values["v"] == 0.0
+        assert out[1].datum.num_values["v"] == 99.0
+        assert operator.records_suppressed == 9
+
+    def test_requires_interval(self, harness):
+        module = harness.add_module("m")
+        with pytest.raises(RecipeError):
+            module.deploy(
+                "a2", make_subtask("t", "throttle", inputs=["in"], params={})
+            )
+
+
+class TestDedupOperator:
+    def test_drops_duplicate_sample_ids(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        operator = harness.deploy(
+            module,
+            make_subtask("d", "dedup", inputs=["in"], outputs=["out"], params={}),
+        )
+        harness.inject("in", {"v": 1.0}, sample_id="x")
+        harness.inject("in", {"v": 1.0}, sample_id="x")
+        harness.inject("in", {"v": 2.0}, sample_id="y")
+        harness.settle()
+        assert [r.sample_id for r in out] == ["x", "y"]
+        assert operator.duplicates_dropped == 1
+
+    def test_window_eviction_allows_old_ids_again(self, harness):
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "d", "dedup", inputs=["in"], outputs=["out"], params={"window": 2}
+            ),
+        )
+        for sid in ("a", "b", "c", "a"):  # 'a' evicted by the time it repeats
+            harness.inject("in", {"v": 1.0}, sample_id=sid)
+        harness.settle()
+        assert [r.sample_id for r in out] == ["a", "b", "c", "a"]
+
+    def test_end_to_end_with_qos1(self, harness):
+        """dedup restores effectively-once behind an at-least-once flow."""
+        module = harness.add_module("m")
+        out = harness.collect("out")
+        harness.deploy(
+            module,
+            make_subtask(
+                "d",
+                "dedup",
+                inputs=["in"],
+                outputs=["out"],
+                params={"qos": 1},
+            ),
+        )
+        harness.inject("in", {"v": 1.0}, sample_id="only")
+        harness.settle(3.0)
+        assert [r.sample_id for r in out] == ["only"]

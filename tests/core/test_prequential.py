@@ -1,0 +1,34 @@
+"""LearningClass prequential-accuracy integration."""
+
+from tests.core.conftest import make_subtask
+
+
+def test_learning_class_tracks_prequential_accuracy(harness):
+    module = harness.add_module("m")
+    operator = harness.deploy(
+        module,
+        make_subtask(
+            "train",
+            "train",
+            inputs=["in"],
+            params={
+                "model": "classifier",
+                "label_key": "label",
+                "track_accuracy": True,
+                "accuracy_window": 50,
+            },
+        ),
+    )
+    import random as _random
+
+    rng = _random.Random(6)
+    for i in range(120):
+        x = rng.gauss(0, 1)
+        harness.inject("in", {"x": x, "label": "p" if x > 0 else "n"})
+    harness.settle(2.0)
+    assert operator.accuracy.total > 100
+    assert operator.accuracy.windowed > 0.8
+    traced = [
+        r for r in harness.runtime.tracer.select("ml.trained") if "win_acc" in r.fields
+    ]
+    assert traced and 0.0 <= traced[-1]["win_acc"] <= 1.0

@@ -1,0 +1,152 @@
+import pytest
+
+from repro.core.recipe import Recipe, TaskSpec
+from repro.errors import RecipeError
+
+
+def linear_recipe():
+    return Recipe(
+        "app",
+        [
+            TaskSpec("src", "sensor", outputs=["raw"], params={"device": "d"}),
+            TaskSpec("mid", "map", inputs=["raw"], outputs=["clean"]),
+            TaskSpec("sink", "train", inputs=["clean"]),
+        ],
+    )
+
+
+class TestValidation:
+    def test_duplicate_task_id(self):
+        with pytest.raises(RecipeError, match="duplicate"):
+            Recipe("r", [TaskSpec("a", "map"), TaskSpec("a", "map")])
+
+    def test_empty_recipe(self):
+        with pytest.raises(RecipeError):
+            Recipe("r", [])
+
+    def test_two_producers_same_stream(self):
+        with pytest.raises(RecipeError, match="produced by both"):
+            Recipe(
+                "r",
+                [
+                    TaskSpec("a", "sensor", outputs=["s"]),
+                    TaskSpec("b", "sensor", outputs=["s"]),
+                ],
+            )
+
+    def test_dangling_input(self):
+        with pytest.raises(RecipeError, match="no task produces"):
+            Recipe("r", [TaskSpec("a", "map", inputs=["ghost"])])
+
+    def test_cycle_detected(self):
+        with pytest.raises(RecipeError, match="cycle"):
+            Recipe(
+                "r",
+                [
+                    TaskSpec("a", "map", inputs=["y"], outputs=["x"]),
+                    TaskSpec("b", "map", inputs=["x"], outputs=["y"]),
+                ],
+            )
+
+    def test_self_loop(self):
+        with pytest.raises(RecipeError, match="cycle"):
+            Recipe("r", [TaskSpec("a", "map", inputs=["x"], outputs=["x"])])
+
+    def test_parallelism_validation(self):
+        with pytest.raises(RecipeError):
+            TaskSpec("a", "map", parallelism=0)
+
+
+class TestGraph:
+    def test_topological_order(self):
+        recipe = linear_recipe()
+        order = recipe.topological_order
+        assert order.index("src") < order.index("mid") < order.index("sink")
+
+    def test_stages_group_independent_tasks(self):
+        recipe = Recipe(
+            "r",
+            [
+                TaskSpec("s1", "sensor", outputs=["a"]),
+                TaskSpec("s2", "sensor", outputs=["b"]),
+                TaskSpec("join", "merge", inputs=["a", "b"], outputs=["c"]),
+                TaskSpec("end", "train", inputs=["c"]),
+            ],
+        )
+        assert recipe.stages() == [["s1", "s2"], ["join"], ["end"]]
+
+    def test_diamond_stages(self):
+        recipe = Recipe(
+            "r",
+            [
+                TaskSpec("src", "sensor", outputs=["raw"]),
+                TaskSpec("left", "map", inputs=["raw"], outputs=["l"]),
+                TaskSpec("right", "map", inputs=["raw"], outputs=["r"]),
+                TaskSpec("join", "merge", inputs=["l", "r"]),
+            ],
+        )
+        assert recipe.stages() == [["src"], ["left", "right"], ["join"]]
+
+    def test_producer_and_consumers(self):
+        recipe = linear_recipe()
+        assert recipe.producer_of("raw") == "src"
+        assert recipe.consumers_of("raw") == ["mid"]
+        assert recipe.consumers_of("clean") == ["sink"]
+        with pytest.raises(RecipeError):
+            recipe.producer_of("ghost")
+
+    def test_streams_listing(self):
+        assert linear_recipe().streams == ["clean", "raw"]
+
+    def test_fanout_consumers(self):
+        recipe = Recipe(
+            "r",
+            [
+                TaskSpec("src", "sensor", outputs=["raw"]),
+                TaskSpec("a", "train", inputs=["raw"]),
+                TaskSpec("b", "predict", inputs=["raw"]),
+            ],
+        )
+        assert recipe.consumers_of("raw") == ["a", "b"]
+
+
+class TestDsl:
+    def test_json_round_trip(self):
+        recipe = linear_recipe()
+        clone = Recipe.from_json(recipe.to_json())
+        assert clone.name == recipe.name
+        assert set(clone.tasks) == set(recipe.tasks)
+        assert clone.tasks["src"].params == {"device": "d"}
+
+    def test_dict_round_trip_preserves_extras(self):
+        task = TaskSpec(
+            "t",
+            "train",
+            inputs=["x"],
+            params={"model": "classifier"},
+            capabilities=["gpu"],
+            parallelism=3,
+            pin_to="m1",
+        )
+        clone = TaskSpec.from_dict(task.to_dict())
+        assert clone.capabilities == ["gpu"]
+        assert clone.parallelism == 3
+        assert clone.pin_to == "m1"
+
+    def test_unknown_task_fields_rejected(self):
+        with pytest.raises(RecipeError, match="unknown task fields"):
+            TaskSpec.from_dict({"id": "a", "operator": "map", "bogus": 1})
+
+    def test_missing_required_field(self):
+        with pytest.raises(RecipeError):
+            TaskSpec.from_dict({"operator": "map"})
+
+    def test_bad_json(self):
+        with pytest.raises(RecipeError):
+            Recipe.from_json("not json {")
+
+    def test_from_dict_requires_shape(self):
+        with pytest.raises(RecipeError):
+            Recipe.from_dict({"tasks": []})
+        with pytest.raises(RecipeError):
+            Recipe.from_dict([1, 2])

@@ -1,0 +1,60 @@
+"""Every shipped .recipe file must validate and round-trip."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.dsl import format_recipe, parse_recipe
+from repro.core.splitter import RecipeSplit
+
+RECIPES_DIR = Path(__file__).resolve().parents[2] / "examples" / "recipes"
+RECIPE_FILES = sorted(RECIPES_DIR.glob("*.recipe"))
+
+
+def test_recipe_files_exist():
+    assert len(RECIPE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", RECIPE_FILES, ids=lambda p: p.stem)
+def test_recipe_parses_and_splits(path):
+    recipe = parse_recipe(path.read_text())
+    subtasks = RecipeSplit().split(recipe)
+    assert subtasks
+    # Every operator named is registered.
+    from repro.core.operators import registered_operators
+
+    known = set(registered_operators())
+    assert {s.operator for s in subtasks} <= known
+
+
+@pytest.mark.parametrize("path", RECIPE_FILES, ids=lambda p: p.stem)
+def test_recipe_round_trips(path):
+    recipe = parse_recipe(path.read_text())
+    clone = parse_recipe(format_recipe(recipe))
+    assert set(clone.tasks) == set(recipe.tasks)
+    for tid in recipe.tasks:
+        assert clone.tasks[tid].params == recipe.tasks[tid].params
+    assert clone.stages() == recipe.stages()
+
+
+def test_smart_home_recipe_deploys_and_runs(harness):
+    """The richest shipped recipe (8 operators incl. ewma/delta/throttle)
+    runs end to end against the synthetic home."""
+    from repro.sensors.base import EventSchedule
+    from repro.sensors.devices import EnvironmentSensorModel, SwitchActuator
+
+    events = EventSchedule()
+    events.add(5.0, 30.0, "occupied")
+    module = harness.add_module("pi-home")
+    module.attach_sensor("environment", EnvironmentSensorModel(events, day_length_s=60.0))
+    light = SwitchActuator()
+    module.attach_actuator("light", light)
+    harness.settle()
+    recipe = parse_recipe((RECIPES_DIR / "smart_home.recipe").read_text())
+    app = harness.cluster.submit(recipe)
+    harness.settle(20.0)
+    judge = app.operator("occupancy-judge")
+    assert judge.records_judged > 0
+    actuator = app.operator("ceiling-light")
+    assert actuator.records_in > 0
+    app.stop()

@@ -1,0 +1,48 @@
+"""The shipped examples must run end to end and achieve their goals.
+
+Each example's ``main()`` returns 0 only when its application-level success
+criterion holds (falls detected, appliances controlled correctly, ranking
+reacts to the surge), so these are real acceptance tests, not smoke tests.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs_real_runtime():
+    module = load_example("quickstart")
+    assert module.main(duration_s=1.5) == 0
+
+
+def test_elderly_monitoring_detects_all_falls():
+    module = load_example("elderly_monitoring")
+    assert module.main() == 0
+
+
+def test_home_appliance_control_accuracy():
+    module = load_example("home_appliance_control")
+    assert module.main() == 0
+
+
+@pytest.mark.slow
+def test_mobility_support_ranking_reacts_to_surge():
+    module = load_example("mobility_support")
+    assert module.main() == 0
+
+
+def test_resilient_pipeline_fails_over():
+    module = load_example("resilient_pipeline")
+    assert module.main() == 0

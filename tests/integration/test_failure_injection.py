@@ -1,0 +1,120 @@
+"""Failure injection: crash-stop nodes mid-run, verify degradation modes."""
+
+from repro.bench.scenarios import build_paper_testbed
+from repro.core.recipe import Recipe, TaskSpec
+from repro.sensors.devices import FixedPayloadModel
+
+from tests.core.conftest import ClusterHarness
+
+
+def count_between(tracer_taps, start, end):
+    return sum(1 for t in tracer_taps if start <= t < end)
+
+
+class TestSensorFailure:
+    def test_one_dead_sensor_stalls_aligned_batches(self):
+        testbed = build_paper_testbed(10, seed=1, trace=False)
+        runtime = testbed.runtime
+        trained_at = []
+        runtime.tracer.tap("ml.trained", lambda r: trained_at.append(r.time))
+        testbed.submit()
+        testbed.cluster.settle(2.0)
+        runtime.run(until=runtime.now + 3.0)
+        kill_time = runtime.now
+        runtime.nodes["module-a"].fail()
+        runtime.run(until=runtime.now + 3.0)
+        before = count_between(trained_at, kill_time - 3.0, kill_time)
+        after = count_between(trained_at, kill_time + 0.5, kill_time + 3.0)
+        assert before > 20
+        # The align window requires all three sources: training stops.
+        assert after == 0
+
+    def test_other_sensors_keep_publishing(self):
+        testbed = build_paper_testbed(10, seed=1)
+        runtime = testbed.runtime
+        samples = []
+        runtime.tracer.tap("sensor.sample", lambda r: samples.append(r.fields))
+        testbed.submit()
+        testbed.cluster.settle(2.0)
+        runtime.nodes["module-a"].fail()
+        runtime.run(until=runtime.now + 2.0)
+        recent_devices = {s["sample_id"].split(".")[1] for s in samples[-10:]}
+        assert "module-b" in recent_devices and "module-c" in recent_devices
+
+
+class TestBrokerFailure:
+    def test_broker_death_stops_all_flows(self):
+        testbed = build_paper_testbed(10, seed=2)
+        runtime = testbed.runtime
+        trained_at = []
+        runtime.tracer.tap("ml.trained", lambda r: trained_at.append(r.time))
+        testbed.submit()
+        testbed.cluster.settle(2.0)
+        runtime.run(until=runtime.now + 2.0)
+        kill_time = runtime.now
+        runtime.nodes["module-d"].fail()  # broker host
+        runtime.run(until=runtime.now + 3.0)
+        assert count_between(trained_at, kill_time + 0.5, kill_time + 3.0) == 0
+
+    def test_broker_recovery_resumes_flows(self):
+        testbed = build_paper_testbed(10, seed=2)
+        runtime = testbed.runtime
+        trained_at = []
+        runtime.tracer.tap("ml.trained", lambda r: trained_at.append(r.time))
+        testbed.submit()
+        testbed.cluster.settle(2.0)
+        runtime.run(until=runtime.now + 2.0)
+        runtime.nodes["module-d"].fail()
+        runtime.run(until=runtime.now + 1.0)
+        runtime.nodes["module-d"].recover()
+        resume_time = runtime.now
+        runtime.run(until=runtime.now + 3.0)
+        # Sessions were preserved broker-side (within keepalive); flows resume.
+        assert count_between(trained_at, resume_time + 0.5, resume_time + 3.0) > 0
+
+
+class TestAnalysisNodeFailure:
+    def test_predict_path_survives_train_node_death(self):
+        testbed = build_paper_testbed(10, seed=3)
+        runtime = testbed.runtime
+        judged_at = []
+        runtime.tracer.tap("ml.judged", lambda r: judged_at.append(r.time))
+        testbed.submit()
+        testbed.cluster.settle(2.0)
+        runtime.run(until=runtime.now + 2.0)
+        runtime.nodes["module-e"].fail()  # train host
+        kill_time = runtime.now
+        runtime.run(until=runtime.now + 3.0)
+        assert count_between(judged_at, kill_time + 0.5, kill_time + 3.0) > 10
+
+
+class TestDynamicMembership:
+    def test_failed_module_disappears_from_directory_and_new_one_joins(self):
+        harness = ClusterHarness(seed=4)
+        harness.settle(1.0)
+        pi1 = harness.add_module("pi-1")
+        pi1.attach_sensor("sample", FixedPayloadModel())
+        harness.settle(1.0)
+        directory = harness.cluster.management.directory
+        assert any(m.name == "pi-1" for m in directory.modules())
+        pi1.node.fail()
+        harness.settle(40.0)
+        assert not any(m.name == "pi-1" for m in directory.modules())
+        # A replacement joins dynamically and is assignable immediately.
+        pi2 = harness.add_module("pi-2")
+        pi2.attach_sensor("sample", FixedPayloadModel())
+        harness.settle(1.0)
+        recipe = Recipe(
+            "late-app",
+            [
+                TaskSpec(
+                    "sense",
+                    "sensor",
+                    outputs=["raw"],
+                    params={"device": "sample", "rate_hz": 5},
+                    capabilities=["sensor:sample"],
+                )
+            ],
+        )
+        app = harness.cluster.submit(recipe)
+        assert app.assignment.module_for("sense") == "pi-2"

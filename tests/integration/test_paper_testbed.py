@@ -1,0 +1,87 @@
+"""EXP-F7 / EXP-T2 / EXP-T3: the paper's evaluation system end to end.
+
+These tests assert the *claims* of §V-C on small, fast runs:
+
+* at low sensing rates the middleware achieves low-latency (real-time)
+  processing;
+* between 20 and 40 Hz the delay blows up and "real-time processing [is]
+  no longer possible";
+* predicting is cheaper than training;
+* results are deterministic for a fixed seed.
+"""
+
+import pytest
+
+from repro.bench.harness import run_paper_experiment
+from repro.bench.scenarios import build_paper_recipe, build_paper_testbed
+
+
+class TestTestbedConstruction:
+    def test_recipe_matches_fig9(self):
+        recipe = build_paper_recipe(10)
+        assert recipe.tasks["sense-a"].pin_to == "module-a"
+        assert recipe.tasks["train"].pin_to == "module-e"
+        assert recipe.tasks["predict"].pin_to == "module-f"
+        stages = recipe.stages()
+        assert set(stages[0]) == {"sense-a", "sense-b", "sense-c"}
+        assert set(stages[1]) == {"gather-train", "gather-predict"}
+        assert set(stages[2]) == {"train", "predict"}
+
+    def test_testbed_deploys_classes_on_pinned_modules(self):
+        testbed = build_paper_testbed(5, seed=0)
+        testbed.submit()
+        testbed.cluster.settle(2.0)
+        assert "paper-exp/sense-a" in testbed.cluster.module("module-a").operators
+        assert "paper-exp/train" in testbed.cluster.module("module-e").operators
+        assert "paper-exp/predict" in testbed.cluster.module("module-f").operators
+
+    def test_six_modules_plus_management(self):
+        testbed = build_paper_testbed(5, seed=0)
+        stations = testbed.runtime.wlan.stations
+        for name in ("module-a", "module-b", "module-c", "module-d",
+                     "module-e", "module-f", "mgmt"):
+            assert name in stations
+
+
+class TestPaperClaims:
+    @pytest.fixture(scope="class")
+    def low_rate(self):
+        return run_paper_experiment(5, duration_s=2.5, seed=3)
+
+    @pytest.fixture(scope="class")
+    def high_rate(self):
+        return run_paper_experiment(40, duration_s=2.5, seed=3)
+
+    def test_low_rate_is_real_time(self, low_rate):
+        assert low_rate.training.count > 5
+        assert low_rate.training.average < 150.0  # ms
+        assert low_rate.predicting.average < 150.0
+
+    def test_all_sensed_batches_processed_at_low_rate(self, low_rate):
+        # 3 sensors, aligned into batches: every aligned triple trains.
+        assert low_rate.batches_trained >= low_rate.samples_sensed // 3 - 2
+
+    def test_high_rate_breaks_real_time(self, high_rate, low_rate):
+        assert high_rate.training.average > 5 * low_rate.training.average
+
+    def test_predicting_cheaper_than_training(self, high_rate):
+        assert high_rate.predicting.average < high_rate.training.average
+
+    def test_warmup_dominates_low_rate_max(self, low_rate):
+        assert low_rate.training.maximum > 3 * low_rate.training.average
+
+    def test_determinism(self):
+        a = run_paper_experiment(10, duration_s=1.0, seed=9)
+        b = run_paper_experiment(10, duration_s=1.0, seed=9)
+        assert a.training.samples == b.training.samples
+        assert a.predicting.samples == b.predicting.samples
+
+    def test_seed_changes_jitter(self):
+        a = run_paper_experiment(10, duration_s=1.0, seed=1)
+        b = run_paper_experiment(10, duration_s=1.0, seed=2)
+        assert a.training.samples != b.training.samples
+
+    def test_summary_shape(self, low_rate):
+        summary = low_rate.summary()
+        assert summary["rate_hz"] == 5
+        assert set(summary["training"]) >= {"avg", "max", "p95", "count"}

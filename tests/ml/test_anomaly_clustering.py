@@ -1,0 +1,166 @@
+import math
+import random
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.anomaly import LofLite, RobustZScore
+from repro.ml.clustering import OnlineKMeans
+from repro.ml.features import Datum
+from repro.ml.stat import WindowStat
+
+
+def gaussian_stream(n, mean=0.0, sigma=1.0, seed=0, key="v"):
+    rng = random.Random(seed)
+    for _ in range(n):
+        yield Datum.from_mapping({key: rng.gauss(mean, sigma)})
+
+
+class TestRobustZScore:
+    def test_score_zero_until_min_samples(self):
+        z = RobustZScore(min_samples=10)
+        for d in gaussian_stream(5):
+            z.add(d)
+        assert z.calc_score(Datum.from_mapping({"v": 1000.0})) == 0.0
+
+    def test_detects_magnitude_outlier(self):
+        z = RobustZScore(min_samples=10)
+        for d in gaussian_stream(200):
+            z.add(d)
+        assert z.calc_score(Datum.from_mapping({"v": 0.2})) < 3.0
+        assert z.calc_score(Datum.from_mapping({"v": 20.0})) > 10.0
+
+    def test_multi_dimension_takes_max(self):
+        z = RobustZScore(min_samples=5)
+        rng = random.Random(0)
+        for _ in range(100):
+            z.add(Datum.from_mapping({"a": rng.gauss(0, 1), "b": rng.gauss(0, 0.1)}))
+        score = z.calc_score(Datum.from_mapping({"a": 0.0, "b": 3.0}))
+        assert score > 10.0  # driven by the tight dimension b
+
+    def test_constant_dimension_infinite_surprise(self):
+        z = RobustZScore(min_samples=3)
+        for _ in range(10):
+            z.add(Datum.from_mapping({"c": 5.0}))
+        assert z.calc_score(Datum.from_mapping({"c": 5.0})) == 0.0
+        assert math.isinf(z.calc_score(Datum.from_mapping({"c": 6.0})))
+
+    def test_unseen_dimension_ignored(self):
+        z = RobustZScore(min_samples=3)
+        for d in gaussian_stream(20):
+            z.add(d)
+        assert z.calc_score(Datum.from_mapping({"new": 99.0})) == 0.0
+
+    def test_dimensions_listing(self):
+        z = RobustZScore()
+        z.add(Datum.from_mapping({"b": 1.0, "a": 2.0}))
+        assert z.dimensions == ["a", "b"]
+
+
+class TestLofLite:
+    def test_bootstrap_scores_one(self):
+        lof = LofLite(k=3, window=16)
+        assert lof.calc_score(Datum.from_mapping({"v": 0.0})) == 1.0
+
+    def test_detects_density_outlier(self):
+        lof = LofLite(k=4, window=64)
+        rng = random.Random(1)
+        for _ in range(64):
+            lof.add(Datum.from_mapping({"x": rng.gauss(0, 0.2), "y": rng.gauss(0, 0.2)}))
+        normal = lof.calc_score(Datum.from_mapping({"x": 0.1, "y": -0.1}))
+        outlier = lof.calc_score(Datum.from_mapping({"x": 8.0, "y": 8.0}))
+        assert normal < 2.0
+        assert outlier > 5.0
+
+    def test_window_bounded(self):
+        lof = LofLite(k=2, window=8)
+        for d in gaussian_stream(100):
+            lof.add(d)
+        assert lof.size == 8
+
+    def test_duplicate_point_scores_normal(self):
+        lof = LofLite(k=2, window=8)
+        for _ in range(8):
+            lof.add(Datum.from_mapping({"v": 1.0}))
+        assert lof.calc_score(Datum.from_mapping({"v": 1.0})) == 1.0
+
+    def test_window_must_exceed_k(self):
+        with pytest.raises(ModelError):
+            LofLite(k=5, window=5)
+
+
+class TestOnlineKMeans:
+    def test_finds_two_clusters(self):
+        km = OnlineKMeans(k=2)
+        rng = random.Random(2)
+        for _ in range(400):
+            center = rng.choice([0.0, 10.0])
+            km.push(Datum.from_mapping({"x": rng.gauss(center, 0.5)}))
+        centers = sorted(c["x"] for c in km.centroids)
+        assert centers[0] == pytest.approx(0.0, abs=0.5)
+        assert centers[1] == pytest.approx(10.0, abs=0.5)
+
+    def test_nearest_before_any_push_raises(self):
+        with pytest.raises(ModelError):
+            OnlineKMeans(k=2).nearest(Datum.from_mapping({"x": 1.0}))
+
+    def test_seeding_skips_duplicates(self):
+        km = OnlineKMeans(k=3)
+        for _ in range(5):
+            km.push(Datum.from_mapping({"x": 1.0}))
+        assert km.cluster_count == 1
+
+    def test_decay_tracks_drift(self):
+        km = OnlineKMeans(k=1, decay=0.9)
+        for _ in range(50):
+            km.push(Datum.from_mapping({"x": 0.0}))
+        for _ in range(50):
+            km.push(Datum.from_mapping({"x": 10.0}))
+        assert km.centroids[0]["x"] > 8.0
+
+    def test_state_round_trip(self):
+        km = OnlineKMeans(k=2)
+        rng = random.Random(3)
+        for _ in range(100):
+            km.push(Datum.from_mapping({"x": rng.gauss(rng.choice([0, 5]), 0.3)}))
+        clone = OnlineKMeans(k=2)
+        clone.load_state(km.to_state())
+        d = Datum.from_mapping({"x": 4.8})
+        assert clone.nearest(d)[0] == km.nearest(d)[0]
+
+
+class TestWindowStat:
+    def test_windowed_mean(self):
+        ws = WindowStat(window=10)
+        for i in range(20):
+            ws.push("t", float(i))
+        assert ws.mean("t") == pytest.approx(14.5)
+        assert ws.count("t") == 10
+        assert ws.min("t") == 10.0
+        assert ws.max("t") == 19.0
+
+    def test_stddev(self):
+        ws = WindowStat(window=100)
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            ws.push("t", v)
+        assert ws.stddev("t") == pytest.approx(2.0)
+
+    def test_missing_key_nan(self):
+        ws = WindowStat()
+        assert math.isnan(ws.mean("ghost"))
+        assert math.isnan(ws.stddev("ghost"))
+        assert ws.count("ghost") == 0
+        assert ws.sum("ghost") == 0.0
+
+    def test_moment(self):
+        ws = WindowStat(window=10)
+        for v in (1.0, 2.0, 3.0):
+            ws.push("t", v)
+        assert ws.moment("t", 1) == pytest.approx(2.0)
+        assert ws.moment("t", 2, center=2.0) == pytest.approx(2.0 / 3.0)
+
+    def test_keys(self):
+        ws = WindowStat()
+        ws.push("b", 1.0)
+        ws.push("a", 1.0)
+        assert ws.keys == ["a", "b"]

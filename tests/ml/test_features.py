@@ -1,0 +1,80 @@
+import pytest
+
+from repro.errors import FeatureError
+from repro.ml.features import Datum, FeatureExtractor
+
+
+class TestDatum:
+    def test_from_mapping_sorts_types(self):
+        d = Datum.from_mapping({"room": "kitchen", "temp": 21, "on": True})
+        assert d.string_values == {"room": "kitchen", "on": "true"}
+        assert d.num_values == {"temp": 21.0}
+
+    def test_bool_false_is_categorical(self):
+        d = Datum.from_mapping({"on": False})
+        assert d.string_values["on"] == "false"
+        assert "on" not in d.num_values
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(FeatureError):
+            Datum.from_mapping({"x": [1, 2]})
+
+    def test_payload_round_trip(self):
+        d = Datum.from_mapping({"a": 1.5, "s": "x"})
+        assert Datum.from_payload(d.to_payload()) == d
+
+    def test_from_payload_rejects_garbage(self):
+        with pytest.raises(FeatureError):
+            Datum.from_payload({"nope": 1})
+        with pytest.raises(FeatureError):
+            Datum.from_payload("not a dict")
+
+    def test_merged_with_other_wins(self):
+        a = Datum.from_mapping({"x": 1.0, "k": "a"})
+        b = Datum.from_mapping({"x": 2.0})
+        merged = a.merged_with(b)
+        assert merged.num_values["x"] == 2.0
+        assert merged.string_values["k"] == "a"
+        # originals untouched
+        assert a.num_values["x"] == 1.0
+
+
+class TestFeatureExtractor:
+    def test_numeric_and_string_features(self):
+        fx = FeatureExtractor()
+        features = fx.extract(Datum.from_mapping({"t": 2.0, "room": "den"}))
+        assert features["num$t"] == 2.0
+        assert features["str$room$den"] == 1.0
+        assert features["bias"] == 1.0
+
+    def test_no_bias_option(self):
+        fx = FeatureExtractor(with_bias=False)
+        features = fx.extract(Datum.from_mapping({"t": 1.0}))
+        assert "bias" not in features
+
+    def test_standardization_converges(self):
+        fx = FeatureExtractor(standardize=True)
+        import random
+
+        rng = random.Random(0)
+        for _ in range(500):
+            fx.extract(Datum.from_mapping({"t": rng.gauss(100.0, 5.0)}))
+        features = fx.extract(Datum.from_mapping({"t": 105.0}), update=False)
+        assert features["num$t"] == pytest.approx(1.0, abs=0.2)
+
+    def test_predict_path_does_not_drift_scaler(self):
+        fx = FeatureExtractor(standardize=True)
+        for v in (0.0, 1.0, 2.0):
+            fx.extract(Datum.from_mapping({"t": v}))
+        before = fx.extract(Datum.from_mapping({"t": 1.0}), update=False)
+        for _ in range(100):
+            fx.extract(Datum.from_mapping({"t": 50.0}), update=False)
+        after = fx.extract(Datum.from_mapping({"t": 1.0}), update=False)
+        assert before == after
+
+    def test_reset(self):
+        fx = FeatureExtractor(standardize=True)
+        fx.extract(Datum.from_mapping({"t": 5.0}))
+        fx.reset()
+        features = fx.extract(Datum.from_mapping({"t": 5.0}))
+        assert features["num$t"] == 5.0  # raw again (stats restarted)

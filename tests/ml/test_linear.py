@@ -1,0 +1,144 @@
+import random
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.linear import (
+    AROW,
+    ConfidenceWeighted,
+    PassiveAggressive,
+    Perceptron,
+    make_learner,
+)
+
+ALGORITHMS = ["perceptron", "pa", "pa1", "pa2", "cw", "arow"]
+
+
+def linearly_separable_stream(n, seed=0):
+    rng = random.Random(seed)
+    for _ in range(n):
+        x, y = rng.gauss(0, 1), rng.gauss(0, 1)
+        label = "pos" if x + 0.5 * y > 0 else "neg"
+        yield {"x": x, "y": y, "bias": 1.0}, label
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_learns_separable_concept(algorithm):
+    learner = make_learner(algorithm)
+    for features, label in linearly_separable_stream(300):
+        learner.train(features, label)
+    correct = 0
+    total = 0
+    for features, label in linearly_separable_stream(200, seed=1):
+        predicted, _scores = learner.classify(features)
+        correct += predicted == label
+        total += 1
+    assert correct / total > 0.85
+
+
+def test_classify_untrained_raises():
+    with pytest.raises(ModelError):
+        Perceptron().classify({"x": 1.0})
+
+
+def test_empty_label_rejected():
+    with pytest.raises(ModelError):
+        Perceptron().train({"x": 1.0}, "")
+
+
+def test_perceptron_no_update_when_correct():
+    p = Perceptron()
+    p.train({"x": 1.0}, "a")  # creates label, margin 0 -> update
+    updates_before = p.updates
+    p.train({"x": 1.0}, "a")  # now margin > 0 -> no update
+    assert p.updates == updates_before
+
+
+def test_pa_variants_differ():
+    base = {"x": 1.0}
+    pa = make_learner("pa")
+    pa1 = make_learner("pa1", c=0.01)
+    pa.train(base, "a")
+    pa1.train(base, "a")
+    # PA-I caps the step at C.
+    assert pa1.weights["a"]["x"] <= 0.01 + 1e-12
+    assert pa.weights["a"]["x"] > pa1.weights["a"]["x"]
+
+
+def test_pa_invalid_variant():
+    with pytest.raises(ModelError):
+        PassiveAggressive(variant=3)
+
+
+def test_arow_variance_shrinks():
+    learner = AROW(r=0.5)
+    for features, label in linearly_separable_stream(50):
+        learner.train(features, label)
+    assert learner.variance_of("pos", "x") < 1.0
+
+
+def test_cw_updates_on_low_confidence_margin():
+    learner = ConfidenceWeighted(phi=1.0)
+    learner.train({"x": 1.0}, "a")
+    first_updates = learner.updates
+    # Correct but low-margin example still triggers an update in CW.
+    learner.train({"x": 0.01}, "a")
+    assert learner.updates >= first_updates
+
+
+def test_make_learner_unknown():
+    with pytest.raises(ModelError):
+        make_learner("svm")
+
+
+def test_labels_and_is_trained():
+    learner = make_learner("pa1")
+    assert not learner.is_trained
+    learner.train({"x": 1.0}, "b")
+    learner.train({"x": -1.0}, "a")
+    assert learner.is_trained
+    assert learner.labels == ["a", "b"]
+
+
+def test_deterministic_tie_break():
+    learner = Perceptron()
+    learner.weights["a"] = learner.weights.get("a") or __import__(
+        "repro.ml.storage", fromlist=["SparseVector"]
+    ).SparseVector()
+    learner._ensure_label("a")
+    learner._ensure_label("b")
+    label, _ = learner.classify({"x": 1.0})
+    assert label == "b"  # equal scores -> lexicographically larger label wins
+
+
+def test_state_round_trip():
+    learner = make_learner("pa1")
+    for features, label in linearly_separable_stream(100):
+        learner.train(features, label)
+    clone = make_learner("pa1")
+    clone.load_state(learner.to_state())
+    for features, _ in linearly_separable_stream(50, seed=2):
+        assert clone.classify(features)[0] == learner.classify(features)[0]
+    assert clone.examples_seen == learner.examples_seen
+
+
+def test_collect_and_apply_diff_round_trip():
+    learner = make_learner("pa1")
+    for features, label in linearly_separable_stream(50):
+        learner.train(features, label)
+    diff = learner.collect_diff()
+    # Applying your own diff back is a no-op on the weights.
+    before = {l: w.to_dict() for l, w in learner.weights.items()}
+    learner.apply_mixed(diff)
+    after = {l: w.to_dict() for l, w in learner.weights.items()}
+    for label in before:
+        for key in before[label]:
+            assert after[label][key] == pytest.approx(before[label][key])
+
+
+def test_diff_resets_after_apply():
+    learner = make_learner("pa1")
+    learner.train({"x": 1.0}, "a")
+    learner.apply_mixed(learner.collect_diff())
+    empty = learner.collect_diff()
+    assert all(not delta for delta in empty.values())

@@ -1,0 +1,69 @@
+import pytest
+
+from repro.ml.storage import SparseVector
+
+
+def test_zero_entries_pruned():
+    v = SparseVector({"a": 1.0, "b": 0.0})
+    assert len(v) == 1
+    v["a"] = 0.0
+    assert len(v) == 0
+    assert v["a"] == 0.0
+
+
+def test_dot_product():
+    v = SparseVector({"a": 2.0, "b": -1.0})
+    assert v.dot({"a": 3.0, "c": 10.0}) == pytest.approx(6.0)
+    assert v.dot({}) == 0.0
+    # symmetric regardless of operand sizes
+    big = {f"k{i}": 1.0 for i in range(10)}
+    big["a"] = 1.0
+    assert v.dot(big) == pytest.approx(2.0)
+
+
+def test_add_with_scale():
+    v = SparseVector({"a": 1.0})
+    v.add({"a": 2.0, "b": 3.0}, scale=2.0)
+    assert v.to_dict() == {"a": 5.0, "b": 6.0}
+    v.add({"a": 5.0}, scale=-1.0)
+    assert "a" not in v
+
+
+def test_add_zero_scale_is_noop():
+    v = SparseVector({"a": 1.0})
+    v.add({"b": 9.9}, scale=0.0)
+    assert v.to_dict() == {"a": 1.0}
+
+
+def test_scale():
+    v = SparseVector({"a": 2.0, "b": 4.0})
+    v.scale(0.5)
+    assert v.to_dict() == {"a": 1.0, "b": 2.0}
+    v.scale(0.0)
+    assert len(v) == 0
+
+
+def test_norm():
+    v = SparseVector({"a": 3.0, "b": 4.0})
+    assert v.norm() == pytest.approx(5.0)
+    assert SparseVector().norm() == 0.0
+
+
+def test_copy_is_independent():
+    v = SparseVector({"a": 1.0})
+    c = v.copy()
+    c["a"] = 9.0
+    assert v["a"] == 1.0
+
+
+def test_equality_and_round_trip():
+    v = SparseVector({"a": 1.5})
+    assert SparseVector.from_dict(v.to_dict()) == v
+    assert v != SparseVector({"a": 2.0})
+
+
+def test_iteration_and_contains():
+    v = SparseVector({"a": 1.0, "b": 2.0})
+    assert dict(iter(v)) == {"a": 1.0, "b": 2.0}
+    assert "a" in v and "z" not in v
+    assert sorted(v.keys()) == ["a", "b"]

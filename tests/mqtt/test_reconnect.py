@@ -1,0 +1,108 @@
+"""Auto-reconnect: session-loss detection and subscription replay."""
+
+import pytest
+
+from repro.mqtt.broker import Broker
+from repro.mqtt.client import MqttClient
+from repro.runtime.sim import SimRuntime
+
+
+@pytest.fixture
+def runtime():
+    return SimRuntime(seed=29)
+
+
+def settle(runtime, duration=1.0):
+    runtime.run(until=runtime.now + duration)
+
+
+def make_client(runtime, broker, name, **kwargs):
+    kwargs.setdefault("keepalive_s", 2.0)
+    client = MqttClient(
+        runtime.add_node(name), broker.address, client_id=name, **kwargs
+    )
+    client.connect()
+    return client
+
+
+def test_broker_restart_recovers_subscriptions(runtime):
+    """A broker restart loses every session; auto-reconnecting clients
+    re-establish theirs and replay subscriptions, so flows resume."""
+    broker_node = runtime.add_node("hub")
+    broker = Broker(broker_node)
+    pub = make_client(runtime, broker, "pub", auto_reconnect=True)
+    sub = make_client(runtime, broker, "sub", auto_reconnect=True)
+    got = []
+    sub.subscribe("t", lambda _t, p, _pkt: got.append(p))
+    settle(runtime)
+    pub.publish("t", "before")
+    settle(runtime)
+    assert got == ["before"]
+
+    # Restart: the old broker component dies with all session state.
+    broker.stop()
+    restarted = Broker(broker_node)
+    assert restarted.session_count() == 0
+
+    # Clients notice the silence, reconnect, and replay subscriptions.
+    settle(runtime, 15.0)
+    assert pub.connected and sub.connected
+    assert sub.reconnects >= 1
+    assert restarted.session_count() == 2
+    pub.publish("t", "after")
+    settle(runtime)
+    assert got == ["before", "after"]
+
+
+def test_reconnect_traced_and_counted(runtime):
+    broker_node = runtime.add_node("hub")
+    broker = Broker(broker_node)
+    client = make_client(runtime, broker, "c", auto_reconnect=True)
+    settle(runtime)
+    broker.stop()
+    Broker(broker_node)
+    settle(runtime, 15.0)
+    assert client.reconnects == 1
+    assert runtime.tracer.count("mqtt.client.session_lost") == 1
+
+
+def test_no_reconnect_without_optin(runtime):
+    broker_node = runtime.add_node("hub")
+    broker = Broker(broker_node)
+    client = make_client(runtime, broker, "c")  # auto_reconnect off
+    settle(runtime)
+    broker.stop()
+    Broker(broker_node)
+    settle(runtime, 15.0)
+    assert client.reconnects == 0
+    assert not client.connected or client.messages_received == 0
+
+
+def test_first_connect_does_not_replay(runtime):
+    """Replay fires only on reconnects; a fresh session subscribing
+    normally must not double-subscribe."""
+    broker = Broker(runtime.add_node("hub"))
+    client = make_client(runtime, broker, "c", auto_reconnect=True)
+    client.subscribe("a", lambda *_: None)
+    settle(runtime, 5.0)
+    assert runtime.tracer.count("mqtt.client.resubscribed") == 0
+    assert broker.subscription_count() == 1
+
+
+def test_watchdog_retries_until_broker_appears(runtime):
+    """A client started before any broker exists connects once one does."""
+    broker_node = runtime.add_node("hub")  # no broker bound yet
+    client = MqttClient(
+        runtime.add_node("c"),
+        broker_node.address("mqtt"),
+        client_id="c",
+        keepalive_s=2.0,
+        auto_reconnect=True,
+    )
+    client.connect()
+    settle(runtime, 10.0)
+    assert not client.connected
+    broker = Broker(broker_node)
+    settle(runtime, 10.0)
+    assert client.connected
+    assert broker.session_count() == 1

@@ -1,0 +1,38 @@
+import pytest
+
+from repro.errors import AddressError
+from repro.net.address import Address
+
+
+def test_construction_and_str():
+    a = Address("pi-1", "mqtt")
+    assert str(a) == "pi-1/mqtt"
+    assert Address("pi-1").service == "default"
+
+
+def test_parse():
+    assert Address.parse("pi-1/mqtt") == Address("pi-1", "mqtt")
+    assert Address.parse("pi-1") == Address("pi-1", "default")
+
+
+def test_parse_rejects_bad_forms():
+    for bad in ("", "a/b/c"):
+        with pytest.raises(AddressError):
+            Address.parse(bad)
+
+
+def test_invalid_station_and_service():
+    with pytest.raises(AddressError):
+        Address("", "svc")
+    with pytest.raises(AddressError):
+        Address("a/b", "svc")
+    with pytest.raises(AddressError):
+        Address("a", "")
+    with pytest.raises(AddressError):
+        Address("a", "s/vc")
+
+
+def test_hashable_and_ordered():
+    a, b = Address("a", "x"), Address("b", "x")
+    assert a < b
+    assert len({a, b, Address("a", "x")}) == 2

@@ -1,0 +1,103 @@
+"""Stateful property test: the broker against a reference model.
+
+A hypothesis rule-based state machine drives a simulated broker with
+connect / subscribe / unsubscribe / publish operations and checks, after
+every publish, that each client's callback count advanced by exactly the
+number of its local filters matching the topic (if at least one matches,
+the broker must have delivered exactly one message; if none match, zero).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.mqtt.broker import Broker
+from repro.mqtt.client import MqttClient
+from repro.mqtt.topics import topic_matches
+from repro.runtime.sim import SimRuntime
+
+CLIENT_NAMES = ["c0", "c1", "c2"]
+LEVELS = ["a", "b", "c"]
+
+topics = st.lists(st.sampled_from(LEVELS), min_size=1, max_size=3).map("/".join)
+filters = st.lists(
+    st.sampled_from(LEVELS + ["+"]), min_size=1, max_size=3
+).map("/".join) | topics.map(lambda t: t + "/#")
+
+
+class BrokerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.runtime = SimRuntime(seed=99)
+        self.runtime.tracer.enabled = False
+        self.broker = Broker(self.runtime.add_node("hub"))
+        self.clients: dict[str, MqttClient] = {}
+        self.received: dict[str, int] = {}
+        self.model_filters: dict[str, list[str]] = {}
+        self.subscriptions: dict[tuple[str, str], object] = {}
+        for name in CLIENT_NAMES:
+            client = MqttClient(
+                self.runtime.add_node(f"node-{name}"),
+                self.broker.address,
+                client_id=name,
+            )
+            client.connect()
+            self.clients[name] = client
+            self.received[name] = 0
+            self.model_filters[name] = []
+        self._settle()
+
+    def _settle(self):
+        self.runtime.run(until=self.runtime.now + 1.0)
+
+    @rule(name=st.sampled_from(CLIENT_NAMES), topic_filter=filters)
+    def subscribe(self, name, topic_filter):
+        key = (name, topic_filter)
+        if key in self.subscriptions:
+            return  # one subscription per (client, filter) in the model
+        client = self.clients[name]
+
+        def on_message(_topic, _payload, _packet, name=name):
+            self.received[name] += 1
+
+        self.subscriptions[key] = client.subscribe(topic_filter, on_message)
+        self.model_filters[name].append(topic_filter)
+        self._settle()
+
+    @rule(name=st.sampled_from(CLIENT_NAMES), topic_filter=filters)
+    def unsubscribe(self, name, topic_filter):
+        key = (name, topic_filter)
+        subscription = self.subscriptions.pop(key, None)
+        if subscription is None:
+            return
+        self.clients[name].unsubscribe(subscription)
+        self.model_filters[name].remove(topic_filter)
+        self._settle()
+
+    @rule(publisher=st.sampled_from(CLIENT_NAMES), topic=topics)
+    def publish(self, publisher, topic):
+        before = dict(self.received)
+        self.clients[publisher].publish(topic, {"n": 1})
+        self._settle()
+        for name in CLIENT_NAMES:
+            expected = sum(
+                1 for f in self.model_filters[name] if topic_matches(f, topic)
+            )
+            actual = self.received[name] - before[name]
+            assert actual == expected, (
+                f"{name}: expected {expected} callbacks for {topic!r} "
+                f"with filters {self.model_filters[name]}, got {actual}"
+            )
+
+    @invariant()
+    def broker_subscription_count_matches_model(self):
+        if not hasattr(self, "broker"):
+            return
+        expected = sum(len(f) for f in self.model_filters.values())
+        assert self.broker.subscription_count() == expected
+
+
+TestBrokerMachine = BrokerMachine.TestCase
+TestBrokerMachine.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)

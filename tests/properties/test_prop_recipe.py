@@ -1,0 +1,122 @@
+"""Property tests: recipe graph algorithms and assignment invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import (
+    LoadAwareStrategy,
+    ModuleInfo,
+    RoundRobinStrategy,
+    TaskAssignment,
+    estimate_cost,
+)
+from repro.core.recipe import Recipe, TaskSpec
+from repro.core.splitter import RecipeSplit, shard_of
+
+
+@st.composite
+def dag_recipes(draw):
+    """Random layered DAG: tasks in layer k consume streams of layers < k."""
+    layer_sizes = draw(st.lists(st.integers(1, 3), min_size=1, max_size=4))
+    tasks = []
+    produced: list[str] = []
+    counter = 0
+    for layer, size in enumerate(layer_sizes):
+        new_streams = []
+        for _ in range(size):
+            tid = f"t{counter}"
+            counter += 1
+            if layer == 0 or not produced:
+                inputs = []
+            else:
+                inputs = draw(
+                    st.lists(st.sampled_from(produced), max_size=3, unique=True)
+                )
+            outputs = [f"s{counter}"]
+            new_streams.extend(outputs)
+            parallelism = draw(st.integers(1, 3))
+            tasks.append(
+                TaskSpec(
+                    tid,
+                    "map",
+                    inputs=inputs,
+                    outputs=outputs,
+                    params={"fn": "identity"},
+                    parallelism=parallelism,
+                )
+            )
+        produced.extend(new_streams)
+    return Recipe("generated", tasks)
+
+
+@settings(max_examples=50)
+@given(recipe=dag_recipes())
+def test_topological_order_respects_dependencies(recipe):
+    order = recipe.topological_order
+    position = {tid: i for i, tid in enumerate(order)}
+    for tid in recipe.tasks:
+        for upstream in recipe.upstream_of(tid):
+            assert position[upstream] < position[tid]
+
+
+@settings(max_examples=50)
+@given(recipe=dag_recipes())
+def test_stages_partition_tasks_and_are_independent(recipe):
+    stages = recipe.stages()
+    flat = [tid for stage in stages for tid in stage]
+    assert sorted(flat) == sorted(recipe.tasks)
+    for stage in stages:
+        stage_set = set(stage)
+        for tid in stage:
+            assert recipe.upstream_of(tid).isdisjoint(stage_set)
+
+
+@settings(max_examples=50)
+@given(recipe=dag_recipes())
+def test_split_covers_all_tasks_with_exact_shards(recipe):
+    subtasks = RecipeSplit().split(recipe)
+    by_task: dict[str, int] = {}
+    for subtask in subtasks:
+        by_task[subtask.task_id] = by_task.get(subtask.task_id, 0) + 1
+        assert 0 <= subtask.shard_index < subtask.shard_count
+    for tid, task in recipe.tasks.items():
+        assert by_task[tid] == task.parallelism
+
+
+@settings(max_examples=50)
+@given(recipe=dag_recipes(), module_count=st.integers(1, 5), strategy_kind=st.sampled_from(["rr", "load"]))
+def test_assignment_places_every_subtask_on_a_real_module(
+    recipe, module_count, strategy_kind
+):
+    subtasks = RecipeSplit().split(recipe)
+    modules = [ModuleInfo(f"m{i}") for i in range(module_count)]
+    strategy = RoundRobinStrategy() if strategy_kind == "rr" else LoadAwareStrategy()
+    assignment = TaskAssignment(strategy).assign(subtasks, modules)
+    names = {m.name for m in modules}
+    assert set(assignment.placements) == {s.subtask_id for s in subtasks}
+    assert set(assignment.placements.values()) <= names
+    # Projected load equals the sum of estimated costs.
+    total = sum(estimate_cost(s) for s in subtasks)
+    assert abs(sum(assignment.projected_load.values()) - total) < 1e-9
+
+
+@given(
+    sample_ids=st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=50),
+    shard_count=st.integers(1, 8),
+)
+def test_shard_of_total_and_stable(sample_ids, shard_count):
+    for sid in sample_ids:
+        shard = shard_of(sid, shard_count)
+        assert 0 <= shard < shard_count
+        assert shard == shard_of(sid, shard_count)
+
+
+@settings(max_examples=30)
+@given(recipe=dag_recipes())
+def test_recipe_json_round_trip(recipe):
+    clone = Recipe.from_json(recipe.to_json())
+    assert set(clone.tasks) == set(recipe.tasks)
+    for tid in recipe.tasks:
+        assert clone.tasks[tid].inputs == recipe.tasks[tid].inputs
+        assert clone.tasks[tid].parallelism == recipe.tasks[tid].parallelism
+    assert clone.stages() == recipe.stages()

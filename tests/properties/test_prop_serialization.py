@@ -1,0 +1,90 @@
+"""Property tests: payloads, datums, flow records survive the wire."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.flow import FlowRecord
+from repro.ml.features import Datum
+from repro.util.serialization import decode_payload, encode_payload
+
+keys = st.text(alphabet="abcdefgh_", min_size=1, max_size=6)
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-(2**31), max_value=2**31), finite, st.text(max_size=20)
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(keys, children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@given(value=json_values)
+def test_payload_round_trip(value):
+    assert decode_payload(encode_payload(value)) == value
+
+
+@given(value=json_values)
+def test_encoding_is_deterministic(value):
+    assert encode_payload(value) == encode_payload(value)
+
+
+datum_strategy = st.builds(
+    Datum,
+    string_values=st.dictionaries(keys, st.text(max_size=10), max_size=5),
+    num_values=st.dictionaries(keys, finite, max_size=5),
+)
+
+
+@given(datum=datum_strategy)
+def test_datum_round_trip(datum):
+    assert Datum.from_payload(datum.to_payload()) == datum
+
+
+@given(
+    datum=datum_strategy,
+    sample_id=st.text(min_size=1, max_size=12),
+    sensed_at=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    path=st.lists(keys, max_size=4),
+)
+def test_flow_record_round_trip(datum, sample_id, sensed_at, path):
+    record = FlowRecord(
+        sample_id=sample_id,
+        source="node",
+        sensed_at=sensed_at,
+        datum=datum,
+        path=path,
+    )
+    clone = FlowRecord.from_payload(record.to_payload())
+    assert clone.sample_id == record.sample_id
+    assert clone.sensed_at == record.sensed_at
+    assert clone.datum == record.datum
+    assert clone.path == record.path
+
+
+@given(records=st.lists(
+    st.builds(
+        FlowRecord,
+        sample_id=st.text(alphabet="abc123", min_size=1, max_size=6),
+        source=st.sampled_from(["s1", "s2", "s3"]),
+        sensed_at=st.floats(min_value=0, max_value=100, allow_nan=False),
+        datum=datum_strategy,
+    ),
+    min_size=1,
+    max_size=6,
+))
+def test_merge_invariants(records):
+    merged = FlowRecord.merge("w", records)
+    assert merged.sensed_at == min(r.sensed_at for r in records)
+    assert merged.sample_id in {r.sample_id for r in records}
+    assert set(merged.merged_ids) == {r.sample_id for r in records}
+    # Merged datum keys are the union of member keys.
+    expected_keys = set()
+    for r in records:
+        expected_keys |= set(r.datum.num_values) | set(r.datum.string_values)
+    got_keys = set(merged.datum.num_values) | set(merged.datum.string_values)
+    assert got_keys == expected_keys

@@ -1,0 +1,100 @@
+import pytest
+
+from repro.runtime.component import Component, PeriodicTimer
+from repro.runtime.sim import SimRuntime
+
+
+@pytest.fixture
+def runtime():
+    return SimRuntime(seed=1)
+
+
+def test_periodic_timer_is_drift_free(runtime):
+    node = runtime.add_node("n")
+    comp = Component(node, "c")
+    ticks = []
+    comp.every(0.1, lambda: ticks.append(round(runtime.now, 10)))
+    runtime.run(until=1.0)
+    assert len(ticks) == 10
+    assert ticks[0] == pytest.approx(0.1)
+    assert ticks[-1] == pytest.approx(1.0)
+
+
+def test_periodic_timer_start_delay(runtime):
+    node = runtime.add_node("n")
+    comp = Component(node, "c")
+    ticks = []
+    comp.every(1.0, lambda: ticks.append(runtime.now), start_delay=0.5)
+    runtime.run(until=4.0)
+    assert ticks == [pytest.approx(1.5), pytest.approx(2.5), pytest.approx(3.5)]
+
+
+def test_periodic_timer_cancel(runtime):
+    node = runtime.add_node("n")
+    comp = Component(node, "c")
+    ticks = []
+    timer = comp.every(0.1, lambda: ticks.append(1))
+    runtime.run(until=0.35)
+    timer.cancel()
+    runtime.run(until=1.0)
+    assert len(ticks) == 3
+    assert timer.fire_count == 3
+
+
+def test_periodic_timer_rejects_bad_interval(runtime):
+    node = runtime.add_node("n")
+    with pytest.raises(ValueError):
+        PeriodicTimer(runtime, 0.0, lambda: None)
+
+
+def test_after_one_shot(runtime):
+    node = runtime.add_node("n")
+    comp = Component(node, "c")
+    fired = []
+    comp.after(0.5, fired.append, "x")
+    runtime.run_until_idle()
+    assert fired == ["x"]
+
+
+def test_stop_cancels_timers(runtime):
+    node = runtime.add_node("n")
+    comp = Component(node, "c")
+    fired = []
+    comp.after(0.5, fired.append, "once")
+    comp.every(0.1, lambda: fired.append("tick"))
+    comp.stop()
+    runtime.run(until=2.0)
+    assert fired == []
+    assert comp.stopped
+
+
+def test_stop_is_idempotent_and_calls_hook(runtime):
+    node = runtime.add_node("n")
+    hooks = []
+
+    class Sub(Component):
+        def on_stop(self):
+            hooks.append(1)
+
+    comp = Sub(node, "c")
+    comp.stop()
+    comp.stop()
+    assert hooks == [1]
+
+
+def test_callbacks_guarded_after_node_failure(runtime):
+    node = runtime.add_node("n")
+    comp = Component(node, "c")
+    fired = []
+    comp.every(0.1, lambda: fired.append(runtime.now))
+    runtime.call_later(0.25, node.fail)
+    runtime.run(until=1.0)
+    assert len(fired) == 2  # 0.1 and 0.2 only
+
+
+def test_trace_helper(runtime):
+    node = runtime.add_node("n")
+    comp = Component(node, "me")
+    comp.trace("custom.event", detail=42)
+    records = runtime.tracer.select("custom.event")
+    assert records and records[0].source == "me" and records[0]["detail"] == 42

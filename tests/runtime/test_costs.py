@@ -1,0 +1,40 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.costs import NULL_COST_MODEL, CostModel, OpCost
+
+
+def test_unknown_op_costs_zero():
+    assert CostModel().cost("anything") == 0.0
+    assert NULL_COST_MODEL.cost("ml.train", nbytes=1000) == 0.0
+
+
+def test_base_and_per_byte():
+    model = CostModel()
+    model.define("op", OpCost(base_s=0.01, per_byte_s=0.001))
+    assert model.cost("op") == pytest.approx(0.01)
+    assert model.cost("op", nbytes=5) == pytest.approx(0.015)
+
+
+def test_warmup_applies_to_first_invocations():
+    cost = OpCost(base_s=0.01, warmup_extra_s=0.1, warmup_ops=2)
+    assert cost.cost(0, 0) == pytest.approx(0.11)
+    assert cost.cost(0, 1) == pytest.approx(0.11)
+    assert cost.cost(0, 2) == pytest.approx(0.01)
+
+
+def test_scale_multiplies():
+    model = CostModel()
+    model.define("op", OpCost(base_s=0.01))
+    scaled = model.scaled(3.0)
+    assert scaled.cost("op") == pytest.approx(0.03)
+    assert model.cost("op") == pytest.approx(0.01)  # original untouched
+
+
+def test_negative_params_rejected():
+    with pytest.raises(ConfigurationError):
+        OpCost(base_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        OpCost(per_byte_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        OpCost(warmup_extra_s=-0.1)

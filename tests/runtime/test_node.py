@@ -1,0 +1,94 @@
+import pytest
+
+from repro.net.address import Address
+from repro.runtime.costs import CostModel, OpCost
+from repro.runtime.sim import SimRuntime
+
+
+@pytest.fixture
+def runtime():
+    return SimRuntime(seed=1)
+
+
+def test_execute_charges_cost_and_serializes(runtime):
+    node = runtime.add_node("n")
+    node.cost_model = CostModel({"work": OpCost(base_s=0.5)})
+    done = []
+    for i in range(2):
+        node.execute("work", lambda i=i: done.append((i, runtime.now)))
+    runtime.run_until_idle()
+    assert done == [(0, 0.5), (1, 1.0)]
+
+
+def test_execute_warmup_counts_per_node(runtime):
+    node = runtime.add_node("n")
+    node.cost_model = CostModel(
+        {"op": OpCost(base_s=0.1, warmup_extra_s=1.0, warmup_ops=1)}
+    )
+    done = []
+    node.execute("op", lambda: done.append(runtime.now))
+    node.execute("op", lambda: done.append(runtime.now))
+    runtime.run_until_idle()
+    assert done[0] == pytest.approx(1.1)
+    assert done[1] == pytest.approx(1.2)
+    assert node.op_count("op") == 2
+
+
+def test_failed_node_drops_compute_and_messages(runtime):
+    a = runtime.add_node("a")
+    b = runtime.add_node("b")
+    got = []
+    b.bind("svc", lambda src, data: got.append(data))
+    a.fail()
+    a.execute("op", got.append, "never")
+    a.send("cli", Address("b", "svc"), b"never")
+    runtime.run_until_idle()
+    assert got == []
+
+
+def test_failed_node_drops_inbound(runtime):
+    a = runtime.add_node("a")
+    b = runtime.add_node("b")
+    got = []
+    b.bind("svc", lambda src, data: got.append(data))
+    b.fail()
+    a.send("cli", Address("b", "svc"), b"x")
+    runtime.run_until_idle()
+    assert got == []
+
+
+def test_recover_restores_operation(runtime):
+    a = runtime.add_node("a")
+    b = runtime.add_node("b")
+    got = []
+    b.bind("svc", lambda src, data: got.append(data))
+    b.fail()
+    b.recover()
+    a.send("cli", Address("b", "svc"), b"x")
+    runtime.run_until_idle()
+    assert got == [b"x"]
+
+
+def test_in_flight_work_dropped_on_failure(runtime):
+    """Work queued before a crash must not complete after it."""
+    node = runtime.add_node("n")
+    node.cost_model = CostModel({"op": OpCost(base_s=1.0)})
+    done = []
+    node.execute("op", done.append, 1)
+    runtime.call_later(0.5, node.fail)
+    runtime.run_until_idle()
+    assert done == []
+
+
+def test_address_helper(runtime):
+    node = runtime.add_node("n")
+    assert node.address("svc") == Address("n", "svc")
+    assert node.address() == Address("n", "default")
+
+
+def test_duplicate_node_rejected(runtime):
+    runtime.add_node("dup")
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        runtime.add_node("dup")

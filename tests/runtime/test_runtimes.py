@@ -1,0 +1,88 @@
+import pytest
+
+from repro.runtime.real import AsyncioRuntime
+from repro.runtime.sim import SimRuntime
+
+
+class TestSimRuntime:
+    def test_clock_and_timers(self):
+        rt = SimRuntime()
+        fired = []
+        rt.call_later(1.5, lambda: fired.append(rt.now))
+        rt.run(until=10.0)
+        assert fired == [1.5]
+        assert rt.now == 10.0
+
+    def test_timer_cancel(self):
+        rt = SimRuntime()
+        fired = []
+        handle = rt.call_later(1.0, fired.append, "x")
+        handle.cancel()
+        rt.run(until=2.0)
+        assert fired == []
+
+    def test_call_soon_ordering(self):
+        rt = SimRuntime()
+        order = []
+        rt.call_soon(order.append, 1)
+        rt.call_soon(order.append, 2)
+        rt.run_until_idle()
+        assert order == [1, 2]
+
+    def test_node_lookup(self):
+        rt = SimRuntime()
+        node = rt.add_node("x")
+        assert rt.node("x") is node
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            rt.node("ghost")
+
+    def test_same_seed_same_trajectory(self):
+        def run(seed):
+            rt = SimRuntime(seed=seed)
+            values = []
+            stream = rt.rng.stream("s")
+            rt.call_later(1.0, lambda: values.append(stream.random()))
+            rt.run_until_idle()
+            return values
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestAsyncioRuntime:
+    def test_now_advances_with_wall_clock(self):
+        with AsyncioRuntime() as rt:
+            before = rt.now
+            rt.run_for(0.02)
+            assert rt.now - before >= 0.015
+
+    def test_call_later_fires(self):
+        with AsyncioRuntime() as rt:
+            fired = []
+            rt.call_later(0.01, fired.append, "x")
+            rt.run_for(0.05)
+            assert fired == ["x"]
+
+    def test_call_later_cancel(self):
+        with AsyncioRuntime() as rt:
+            fired = []
+            handle = rt.call_later(0.01, fired.append, "x")
+            handle.cancel()
+            rt.run_for(0.03)
+            assert fired == []
+
+    def test_duplicate_node_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with AsyncioRuntime() as rt:
+            rt.add_node("a")
+            with pytest.raises(ConfigurationError):
+                rt.add_node("a")
+
+    def test_trace_uses_runtime_clock(self):
+        with AsyncioRuntime() as rt:
+            rt.trace("src", "ev")
+            record = rt.tracer.select("ev")[0]
+            assert record.time >= 0.0

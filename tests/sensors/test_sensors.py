@@ -1,0 +1,161 @@
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensors.base import EventSchedule, EventWindow
+from repro.sensors.devices import (
+    AccelerometerModel,
+    AlertActuator,
+    CrowdSensorModel,
+    DimmerActuator,
+    EnvironmentSensorModel,
+    FixedPayloadModel,
+    HvacActuator,
+    SwitchActuator,
+)
+from repro.sensors.waveforms import diurnal, random_walk, sine_wave, square_wave
+
+
+class TestEventSchedule:
+    def test_active_windows(self):
+        events = EventSchedule()
+        events.add(10.0, 2.0, "fall")
+        events.add(5.0, 1.0, "occupied")
+        assert events.is_active(10.5, "fall")
+        assert not events.is_active(12.0, "fall")  # end exclusive
+        assert not events.is_active(10.5, "occupied")
+        assert len(events.active(10.5)) == 1
+
+    def test_sorted_and_filtered_listing(self):
+        events = EventSchedule([EventWindow(5.0, 1.0, "b"), EventWindow(1.0, 1.0, "a")])
+        assert [e.kind for e in events.all_events()] == ["a", "b"]
+        assert len(events.all_events("a")) == 1
+        assert len(events) == 2
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            EventWindow(0.0, 0.0, "x")
+        with pytest.raises(ConfigurationError):
+            EventWindow(-1.0, 1.0, "x")
+
+
+class TestWaveforms:
+    def test_sine_period(self):
+        assert sine_wave(0.0, period=1.0) == pytest.approx(0.0)
+        assert sine_wave(0.25, period=1.0) == pytest.approx(1.0)
+
+    def test_square_duty(self):
+        assert square_wave(0.1, period=1.0, duty=0.5) == 1.0
+        assert square_wave(0.6, period=1.0, duty=0.5) == 0.0
+
+    def test_diurnal_bounds(self):
+        for t in (0.0, 100.0, 43200.0, 86399.0):
+            value = diurnal(t)
+            assert 0.0 <= value <= 1.0
+        assert diurnal(43200.0) == pytest.approx(1.0)
+
+    def test_random_walk_bounded(self):
+        walk = random_walk(start=5.0, step=10.0, low=0.0, high=10.0)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 0.0 <= walk(rng) <= 10.0
+
+    def test_random_walk_bad_bounds(self):
+        with pytest.raises(ValueError):
+            random_walk(low=1.0, high=0.0)
+
+
+class TestSensorModels:
+    def test_fixed_payload_fields_and_label(self):
+        model = FixedPayloadModel(values=3, label_period_s=2.0)
+        rng = random.Random(0)
+        sample = model.sample(0.5, rng)
+        assert set(sample) == {"v0", "v1", "v2", "label"}
+        assert sample["label"] == "hi"
+        assert model.sample(1.5, rng)["label"] == "lo"
+
+    def test_fixed_payload_is_small(self):
+        from repro.util.serialization import payload_size
+
+        model = FixedPayloadModel(values=3)
+        size = payload_size(model.sample(0.0, random.Random(0)))
+        assert size < 120  # same order as the paper's 32-byte samples
+
+    def test_accelerometer_baseline_vs_fall(self):
+        events = EventSchedule()
+        events.add(10.0, 1.5, "fall", intensity=1.0)
+        model = AccelerometerModel(events)
+        rng = random.Random(1)
+        baseline = [model.sample(t / 10.0, rng) for t in range(50)]
+        impact = model.sample(10.1, rng)
+        still = model.sample(11.0, rng)
+        base_mag = max(abs(s["ax"]) + abs(s["ay"]) for s in baseline)
+        assert abs(impact["ax"]) + abs(impact["ay"]) + abs(impact["az"]) > base_mag
+        assert abs(still["az"]) < 0.5  # lying down: z no longer ~1g
+
+    def test_environment_occupancy_raises_sound(self):
+        events = EventSchedule()
+        events.add(100.0, 50.0, "occupied")
+        model = EnvironmentSensorModel(events)
+        rng = random.Random(2)
+        quiet = [model.sample(t, rng)["sound_db"] for t in range(0, 50)]
+        busy = [model.sample(t, rng)["sound_db"] for t in range(100, 150)]
+        assert sum(busy) / len(busy) > sum(quiet) / len(quiet) + 5.0
+
+    def test_environment_diurnal_light(self):
+        model = EnvironmentSensorModel(EventSchedule(), day_length_s=100.0)
+        rng = random.Random(3)
+        midday = model.sample(50.0, rng)["illuminance_lux"]
+        midnight = model.sample(0.0, rng)["illuminance_lux"]
+        assert midday > midnight + 100.0
+
+    def test_crowd_surge_multiplies_count(self):
+        events = EventSchedule()
+        events.add(300.0, 60.0, "surge", intensity=1.0)
+        model = CrowdSensorModel(events, popularity=1.0, day_length_s=600.0)
+        rng = random.Random(4)
+        normal = [model.sample(250.0, rng)["people_count"] for _ in range(30)]
+        surged = [model.sample(310.0, rng)["people_count"] for _ in range(30)]
+        assert sum(surged) > 2 * sum(normal)
+
+    def test_crowd_flow_slows_with_count(self):
+        model = CrowdSensorModel(EventSchedule(), popularity=3.0)
+        rng = random.Random(5)
+        samples = [model.sample(300.0, rng) for _ in range(50)]
+        assert all(s["flow_speed_mps"] > 0 for s in samples)
+
+
+class TestActuators:
+    def test_switch(self):
+        switch = SwitchActuator()
+        state = switch.actuate(0.0, {"on": True})
+        assert state == {"on": True}
+        switch.actuate(1.0, {"on": True})
+        switch.actuate(2.0, {"on": False})
+        assert switch.toggle_count == 2
+        assert len(switch.command_log) == 3
+
+    def test_switch_requires_on_key(self):
+        with pytest.raises(ConfigurationError):
+            SwitchActuator().actuate(0.0, {"level": 1})
+
+    def test_dimmer_clamps(self):
+        dimmer = DimmerActuator()
+        assert dimmer.actuate(0.0, {"level": 1.5})["level"] == 1.0
+        assert dimmer.actuate(0.0, {"level": -0.5})["level"] == 0.0
+
+    def test_hvac_modes(self):
+        hvac = HvacActuator()
+        hvac.actuate(0.0, {"mode": "cool", "setpoint_c": 22.0})
+        assert hvac.state == {"mode": "cool", "setpoint_c": 22.0}
+        with pytest.raises(ConfigurationError):
+            hvac.actuate(1.0, {"mode": "turbo"})
+
+    def test_alert_records(self):
+        alert = AlertActuator()
+        alert.actuate(5.0, {"message": "fall detected", "severity": "high"})
+        assert alert.state == {"alert_count": 1}
+        t, message, command = alert.alerts[0]
+        assert t == 5.0 and message == "fall detected"
+        assert command["severity"] == "high"

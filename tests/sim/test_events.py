@@ -1,0 +1,62 @@
+from repro.sim.events import EventQueue
+
+
+def test_pop_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, fired.append, ("c",))
+    q.push(1.0, fired.append, ("a",))
+    q.push(2.0, fired.append, ("b",))
+    while (handle := q.pop()) is not None:
+        handle.callback(*handle.args)
+    assert fired == ["a", "b", "c"]
+
+
+def test_fifo_tie_break_at_same_time():
+    q = EventQueue()
+    order = []
+    for i in range(5):
+        q.push(1.0, order.append, (i,))
+    while (handle := q.pop()) is not None:
+        handle.callback(*handle.args)
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_cancel_skips_event():
+    q = EventQueue()
+    fired = []
+    keep = q.push(1.0, fired.append, ("keep",))
+    drop = q.push(0.5, fired.append, ("drop",))
+    drop.cancel()
+    while (handle := q.pop()) is not None:
+        handle.callback(*handle.args)
+    assert fired == ["keep"]
+    assert keep.time == 1.0
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    handle = q.push(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert q.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    first.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty():
+    assert EventQueue().peek_time() is None
+
+
+def test_clear():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.pop() is None

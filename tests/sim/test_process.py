@@ -1,0 +1,144 @@
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim.kernel import SimKernel
+from repro.sim.process import Process, Signal
+
+
+def test_sleep_sequence():
+    k = SimKernel()
+    log = []
+
+    def script():
+        log.append(k.now)
+        yield 1.0
+        log.append(k.now)
+        yield 2.5
+        log.append(k.now)
+        return "done"
+
+    p = Process(k, script())
+    k.run()
+    assert log == [0.0, 1.0, 3.5]
+    assert p.done and p.result == "done"
+
+
+def test_signal_wait_and_value():
+    k = SimKernel()
+    sig = Signal("data")
+    got = []
+
+    def waiter():
+        value = yield sig
+        got.append((k.now, value))
+
+    Process(k, waiter())
+    k.schedule(2.0, sig.fire, 42)
+    k.run()
+    assert got == [(2.0, 42)]
+
+
+def test_signal_already_fired_wakes_immediately():
+    k = SimKernel()
+    sig = Signal()
+    sig.fire("early")
+    got = []
+
+    def waiter():
+        value = yield sig
+        got.append(value)
+
+    Process(k, waiter())
+    k.run()
+    assert got == ["early"]
+
+
+def test_signal_double_fire_rejected():
+    sig = Signal("s")
+    sig.fire()
+    with pytest.raises(ProcessError):
+        sig.fire()
+
+
+def test_process_error_surfaces():
+    k = SimKernel()
+
+    def bad():
+        yield 1.0
+        raise RuntimeError("boom")
+
+    p = Process(k, bad())
+    errors = []
+    p.on_done(lambda proc: errors.append(proc.error))
+    k.run()
+    assert isinstance(errors[0], RuntimeError)
+
+
+def test_unhandled_process_error_raises():
+    k = SimKernel()
+
+    def bad():
+        yield 0.5
+        raise RuntimeError("boom")
+
+    Process(k, bad())
+    with pytest.raises(ProcessError, match="boom"):
+        k.run()
+
+
+def test_invalid_yield_type():
+    k = SimKernel()
+
+    def bad():
+        yield "nope"
+
+    p = Process(k, bad())
+    p.on_done(lambda proc: None)  # swallow
+    k.run()
+    assert isinstance(p.error, ProcessError)
+
+
+def test_negative_sleep_is_error():
+    k = SimKernel()
+
+    def bad():
+        yield -1.0
+
+    p = Process(k, bad())
+    p.on_done(lambda proc: None)
+    k.run()
+    assert isinstance(p.error, ProcessError)
+
+
+def test_on_done_after_completion():
+    k = SimKernel()
+
+    def quick():
+        return "x"
+        yield  # pragma: no cover
+
+    p = Process(k, quick())
+    k.run()
+    seen = []
+    p.on_done(lambda proc: seen.append(proc.result))
+    assert seen == ["x"]
+
+
+def test_two_processes_interleave():
+    k = SimKernel()
+    log = []
+
+    def a():
+        yield 1.0
+        log.append("a1")
+        yield 2.0
+        log.append("a2")
+
+    def b():
+        yield 2.0
+        log.append("b1")
+
+    Process(k, a(), name="a")
+    Process(k, b(), name="b")
+    k.run()
+    assert log == ["a1", "b1", "a2"]

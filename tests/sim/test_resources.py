@@ -1,0 +1,119 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import SimKernel
+from repro.sim.resources import CpuResource
+
+
+def test_fifo_serialization():
+    k = SimKernel()
+    cpu = CpuResource(k)
+    done = []
+    for i in range(3):
+        cpu.submit(1.0, lambda i=i: done.append((i, k.now)))
+    k.run()
+    assert done == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+
+def test_speed_scales_service_time():
+    k = SimKernel()
+    cpu = CpuResource(k, speed=2.0)
+    done = []
+    cpu.submit(1.0, lambda: done.append(k.now))
+    k.run()
+    assert done == [0.5]
+
+
+def test_multiple_servers_run_in_parallel():
+    k = SimKernel()
+    cpu = CpuResource(k, servers=2)
+    done = []
+    for i in range(3):
+        cpu.submit(1.0, lambda i=i: done.append((i, k.now)))
+    k.run()
+    assert done == [(0, 1.0), (1, 1.0), (2, 2.0)]
+
+
+def test_zero_cost_job_completes_immediately():
+    k = SimKernel()
+    cpu = CpuResource(k)
+    done = []
+    cpu.submit(0.0, lambda: done.append(k.now))
+    k.run()
+    assert done == [0.0]
+
+
+def test_negative_cost_rejected():
+    k = SimKernel()
+    cpu = CpuResource(k)
+    with pytest.raises(ConfigurationError):
+        cpu.submit(-1.0, lambda: None)
+
+
+def test_stats_and_utilization():
+    k = SimKernel()
+    cpu = CpuResource(k)
+    for _ in range(4):
+        cpu.submit(0.5, None)
+    k.run(until=10.0)
+    assert cpu.stats.jobs_submitted == 4
+    assert cpu.stats.jobs_completed == 4
+    assert cpu.stats.busy_time == pytest.approx(2.0)
+    assert cpu.stats.utilization(10.0) == pytest.approx(0.2)
+    assert cpu.stats.max_queue_length >= 1
+
+
+def test_wait_time_recorded():
+    k = SimKernel()
+    cpu = CpuResource(k)
+    cpu.submit(2.0, None)
+    cpu.submit(1.0, None)
+    k.run()
+    # Second job waited 2.0s behind the first.
+    assert cpu.wait_times.maximum == pytest.approx(2.0)
+    assert cpu.service_times.mean == pytest.approx(1.5)
+
+
+def test_queue_limit_drops_newest():
+    k = SimKernel()
+    cpu = CpuResource(k, queue_limit=2)
+    done = []
+    # One in service + two queued = capacity; the 4th is dropped.
+    for i in range(4):
+        cpu.submit(1.0, lambda i=i: done.append(i))
+    k.run()
+    assert done == [0, 1, 2]
+    assert cpu.stats.jobs_dropped == 1
+    assert cpu.stats.jobs_submitted == 4
+    assert cpu.stats.jobs_completed == 3
+
+
+def test_queue_limit_allows_after_drain():
+    k = SimKernel()
+    cpu = CpuResource(k, queue_limit=1)
+    done = []
+    cpu.submit(1.0, lambda: done.append("a"))
+    cpu.submit(1.0, lambda: done.append("b"))
+    k.run()
+    cpu.submit(1.0, lambda: done.append("c"))
+    k.run()
+    assert done == ["a", "b", "c"]
+
+
+def test_execute_convenience():
+    k = SimKernel()
+    cpu = CpuResource(k)
+    out = []
+    cpu.execute(0.25, out.append, 7)
+    k.run()
+    assert out == [7]
+    assert k.now == 0.25
+
+
+def test_queue_length_property():
+    k = SimKernel()
+    cpu = CpuResource(k)
+    cpu.submit(1.0, None)
+    cpu.submit(1.0, None)
+    assert cpu.busy_servers == 1
+    assert cpu.queue_length == 1

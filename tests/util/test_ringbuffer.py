@@ -1,0 +1,64 @@
+import pytest
+
+from repro.util.ringbuffer import RingBuffer
+
+
+def test_append_until_full_then_evict():
+    buf = RingBuffer(3)
+    assert buf.append(1) is None
+    assert buf.append(2) is None
+    assert buf.append(3) is None
+    assert buf.full
+    assert buf.append(4) == 1
+    assert buf.to_list() == [2, 3, 4]
+
+
+def test_indexing_and_negatives():
+    buf = RingBuffer(4, items=[10, 20, 30])
+    assert buf[0] == 10
+    assert buf[-1] == 30
+    assert buf[2] == 30
+    with pytest.raises(IndexError):
+        buf[3]
+    with pytest.raises(IndexError):
+        buf[-4]
+
+
+def test_oldest_newest():
+    buf = RingBuffer(2)
+    with pytest.raises(IndexError):
+        buf.oldest()
+    with pytest.raises(IndexError):
+        buf.newest()
+    buf.append("a")
+    buf.append("b")
+    buf.append("c")
+    assert buf.oldest() == "b"
+    assert buf.newest() == "c"
+
+
+def test_iteration_order_after_wrap():
+    buf = RingBuffer(3)
+    for i in range(7):
+        buf.append(i)
+    assert list(buf) == [4, 5, 6]
+
+
+def test_clear():
+    buf = RingBuffer(3, items=[1, 2, 3])
+    buf.clear()
+    assert len(buf) == 0
+    buf.append(9)
+    assert buf.to_list() == [9]
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        RingBuffer(0)
+
+
+def test_len_tracks_size():
+    buf = RingBuffer(5)
+    assert len(buf) == 0
+    buf.append(1)
+    assert len(buf) == 1

@@ -1,0 +1,123 @@
+import math
+
+import pytest
+
+from repro.util.stats import Histogram, LatencyRecorder, RunningStats
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert math.isnan(s.mean)
+        assert math.isnan(s.variance)
+        assert math.isnan(s.minimum)
+        assert math.isnan(s.maximum)
+
+    def test_basic_moments(self):
+        s = RunningStats()
+        for x in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            s.add(x)
+        assert s.mean == pytest.approx(5.0)
+        assert s.variance == pytest.approx(4.0)
+        assert s.stddev == pytest.approx(2.0)
+        assert s.minimum == 2.0
+        assert s.maximum == 9.0
+
+    def test_single_value(self):
+        s = RunningStats()
+        s.add(3.5)
+        assert s.mean == 3.5
+        assert s.variance == 0.0
+        assert s.minimum == s.maximum == 3.5
+
+    def test_merge_matches_sequential(self):
+        values = [float(i * i % 17) for i in range(50)]
+        whole = RunningStats()
+        for v in values:
+            whole.add(v)
+        left, right = RunningStats(), RunningStats()
+        for v in values[:20]:
+            left.add(v)
+        for v in values[20:]:
+            right.add(v)
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.mean == pytest.approx(whole.mean)
+        assert left.variance == pytest.approx(whole.variance)
+        assert left.minimum == whole.minimum
+        assert left.maximum == whole.maximum
+
+    def test_merge_empty_cases(self):
+        s = RunningStats()
+        s.add(1.0)
+        empty = RunningStats()
+        s.merge(empty)
+        assert s.count == 1
+        empty2 = RunningStats()
+        empty2.merge(s)
+        assert empty2.mean == 1.0
+
+
+class TestLatencyRecorder:
+    def test_summary_columns(self):
+        rec = LatencyRecorder("t")
+        rec.extend([10.0, 20.0, 30.0])
+        summary = rec.summary()
+        assert summary["count"] == 3
+        assert summary["avg"] == pytest.approx(20.0)
+        assert summary["max"] == 30.0
+        assert summary["min"] == 10.0
+        assert summary["p50"] == pytest.approx(20.0)
+
+    def test_percentile_interpolation(self):
+        rec = LatencyRecorder()
+        rec.extend([0.0, 10.0])
+        assert rec.percentile(50) == pytest.approx(5.0)
+        assert rec.percentile(0) == 0.0
+        assert rec.percentile(100) == 10.0
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(LatencyRecorder().percentile(50))
+
+    def test_percentile_range_check(self):
+        rec = LatencyRecorder()
+        rec.add(1.0)
+        with pytest.raises(ValueError):
+            rec.percentile(101)
+
+    def test_samples_are_copies(self):
+        rec = LatencyRecorder()
+        rec.add(1.0)
+        rec.samples().clear() if callable(rec.samples) else None
+        # samples is a property returning a copy
+        snapshot = rec.samples
+        snapshot.append(99.0)
+        assert rec.count == 1
+
+
+class TestHistogram:
+    def test_binning(self):
+        h = Histogram(lower=0.0, upper=10.0, bins=5)
+        for v in (0.0, 1.9, 2.0, 9.99):
+            h.add(v)
+        assert h.counts == [2, 1, 0, 0, 1]
+
+    def test_under_overflow(self):
+        h = Histogram(lower=0.0, upper=1.0, bins=2)
+        h.add(-0.1)
+        h.add(1.0)  # upper edge is exclusive
+        assert h.underflow == 1
+        assert h.overflow == 1
+        assert h.total == 2
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Histogram(lower=0.0, upper=0.0, bins=3)
+        with pytest.raises(ValueError):
+            Histogram(lower=0.0, upper=1.0, bins=0)
+
+    def test_render_has_one_line_per_bin(self):
+        h = Histogram(lower=0.0, upper=4.0, bins=4)
+        h.add(1.0)
+        assert len(h.render().splitlines()) == 4

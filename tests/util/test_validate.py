@@ -1,0 +1,38 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validate import (
+    require_in_range,
+    require_name,
+    require_non_negative,
+    require_positive,
+)
+
+
+def test_require_positive():
+    assert require_positive(1, "x") == 1
+    assert require_positive(0.5, "x") == 0.5
+    for bad in (0, -1, -0.1):
+        with pytest.raises(ConfigurationError, match="x"):
+            require_positive(bad, "x")
+
+
+def test_require_non_negative():
+    assert require_non_negative(0, "x") == 0
+    with pytest.raises(ConfigurationError):
+        require_non_negative(-1e-9, "x")
+
+
+def test_require_in_range():
+    assert require_in_range(0.5, 0.0, 1.0, "x") == 0.5
+    assert require_in_range(0.0, 0.0, 1.0, "x") == 0.0
+    assert require_in_range(1.0, 0.0, 1.0, "x") == 1.0
+    with pytest.raises(ConfigurationError):
+        require_in_range(1.01, 0.0, 1.0, "x")
+
+
+def test_require_name():
+    assert require_name("ok", "x") == "ok"
+    for bad in ("", " padded", "padded ", None, 7):
+        with pytest.raises(ConfigurationError):
+            require_name(bad, "x")
