@@ -1,0 +1,299 @@
+"""End-to-end delivery invariants, checked against the trace after a run.
+
+The checker consumes the same trace the benchmarks use and asserts the
+properties that make "failover happens to work" into "failure behaviour
+is specified and checked":
+
+1. **No silent QoS 1 loss** — every QoS 1 message the broker forwarded is
+   either delivered to the subscriber, given up after max retransmissions
+   (traced), dropped with an explained reason (session ended, broker
+   restarted — traced), or still awaiting a PUBACK at the end of the run.
+   Anything else is a silent loss and fails the check.
+2. **Effectively-once into ML** — QoS 1 redelivery means at-least-once
+   transport; the ``dedup`` operator must restore effectively-once before
+   records reach learning/judging, so no ``(operator, sample_id)`` pair
+   may appear twice in ``ml.trained`` / ``ml.judged``.
+3. **Bounded recovery** — for each configured :class:`RecoveryCheck`, the
+   first matching signal event after each fault (or after its
+   ``chaos.restored`` mark) must arrive within the bound.
+4. **Directory convergence** — after the run settles, every alive
+   module's directory must agree on the set of alive modules (requires a
+   cluster handle).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.middleware import IFoTCluster
+
+__all__ = ["RecoveryCheck", "CheckResult", "InvariantReport", "Invariants"]
+
+
+@dataclass(frozen=True)
+class RecoveryCheck:
+    """Bound on time-to-signal after a fault.
+
+    For every ``chaos.fault`` trace with ``kind == fault_kind`` (or the
+    matching ``chaos.restored`` mark when ``measure_from='restored'``),
+    the first later trace of ``signal_event`` — optionally filtered to
+    sources containing ``source_contains`` — must occur within
+    ``bound_s`` seconds.
+    """
+
+    fault_kind: str
+    signal_event: str
+    bound_s: float
+    measure_from: str = "fault"  # "fault" | "restored"
+    source_contains: str | None = None
+
+
+@dataclass
+class CheckResult:
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of an invariant pass: per-check verdicts plus metrics."""
+
+    checks: list[CheckResult] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def failed(self) -> list[CheckResult]:
+        return [check for check in self.checks if not check.ok]
+
+    def render(self) -> str:
+        lines = ["invariants: " + ("PASS" if self.ok else "FAIL")]
+        for check in self.checks:
+            mark = "ok  " if check.ok else "FAIL"
+            line = f"  [{mark}] {check.name}"
+            if check.detail:
+                line += f" — {check.detail}"
+            lines.append(line)
+        if self.metrics:
+            lines.append("metrics:")
+            for key in sorted(self.metrics):
+                value = self.metrics[key]
+                rendered = f"{value:.4f}".rstrip("0").rstrip(".")
+                lines.append(f"  {key} = {rendered}")
+        return "\n".join(lines)
+
+
+def _preview(items: list[str], limit: int = 5) -> str:
+    head = ", ".join(items[:limit])
+    more = len(items) - limit
+    return head + (f" (+{more} more)" if more > 0 else "")
+
+
+class Invariants:
+    """Checks the four end-to-end properties against a finished trace."""
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        cluster: "IFoTCluster | None" = None,
+    ) -> None:
+        self.tracer = tracer
+        self.cluster = cluster
+
+    def check(
+        self, recovery: "tuple[RecoveryCheck, ...] | list[RecoveryCheck]" = ()
+    ) -> InvariantReport:
+        report = InvariantReport()
+        self._check_qos1_accounting(report)
+        self._check_ml_dedup(report)
+        for spec in recovery:
+            self._check_recovery(report, spec)
+        if self.cluster is not None:
+            self._check_directory_convergence(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # 1. QoS 1 accounting
+    # ------------------------------------------------------------------
+
+    def _check_qos1_accounting(self, report: InvariantReport) -> None:
+        forwarded: set[str] = set()
+        for record in self.tracer.select(event="mqtt.broker.forward"):
+            fwd_id = record.fields.get("fwd_id")
+            if fwd_id is not None:
+                forwarded.add(str(fwd_id))
+        delivery_counts: Counter[str] = Counter(
+            str(record["fwd_id"])
+            for record in self.tracer.select(event="mqtt.client.deliver")
+        )
+        delivered = set(delivery_counts)
+        given_up = {
+            str(record.fields.get("fwd_id"))
+            for record in self.tracer.select(event="mqtt.broker.give_up")
+            if record.fields.get("fwd_id") is not None
+        }
+        dropped_explained: set[str] = set()
+        for record in self.tracer.select(event="mqtt.broker.inflight_dropped"):
+            dropped_explained.update(str(f) for f in record.fields.get("fwd_ids", ()))
+        pending: set[str] = set()
+        if self.cluster is not None:
+            pending = set(self.cluster.broker.inflight_fwd_ids())
+
+        unaccounted = sorted(
+            forwarded - delivered - given_up - dropped_explained - pending
+        )
+        dup_deliveries = sum(
+            count - 1 for count in delivery_counts.values() if count > 1
+        )
+        report.metrics.update(
+            qos1_forwarded=float(len(forwarded)),
+            qos1_delivered=float(len(delivered & forwarded)),
+            qos1_given_up=float(len(given_up & forwarded)),
+            qos1_dropped_explained=float(len(dropped_explained & forwarded)),
+            qos1_pending=float(len(pending & forwarded)),
+            qos1_unaccounted=float(len(unaccounted)),
+            qos1_duplicate_deliveries=float(dup_deliveries),
+        )
+        if forwarded:
+            report.metrics["qos1_explained_loss_rate"] = len(
+                (given_up | dropped_explained) & forwarded
+            ) / len(forwarded)
+        report.checks.append(
+            CheckResult(
+                name="qos1-no-silent-loss",
+                ok=not unaccounted,
+                detail=(
+                    f"{len(forwarded)} forwarded, all accounted"
+                    if not unaccounted
+                    else f"unaccounted fwd_ids: {_preview(unaccounted)}"
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # 2. Effectively-once into ML
+    # ------------------------------------------------------------------
+
+    def _check_ml_dedup(self, report: InvariantReport) -> None:
+        duplicates: list[str] = []
+        total = 0
+        for event in ("ml.trained", "ml.judged"):
+            seen: Counter[tuple[str, str]] = Counter()
+            for record in self.tracer.select(event=event):
+                total += 1
+                seen[(record.source, str(record["sample_id"]))] += 1
+            duplicates.extend(
+                f"{event}:{source}:{sample_id}(x{count})"
+                for (source, sample_id), count in sorted(seen.items())
+                if count > 1
+            )
+        report.metrics["ml_records"] = float(total)
+        report.metrics["ml_duplicates"] = float(len(duplicates))
+        report.checks.append(
+            CheckResult(
+                name="ml-effectively-once",
+                ok=not duplicates,
+                detail=(
+                    f"{total} ML records, no duplicates"
+                    if not duplicates
+                    else f"duplicate ML inputs: {_preview(duplicates)}"
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # 3. Bounded recovery
+    # ------------------------------------------------------------------
+
+    def _check_recovery(self, report: InvariantReport, spec: RecoveryCheck) -> None:
+        mark_event = (
+            "chaos.restored" if spec.measure_from == "restored" else "chaos.fault"
+        )
+        marks = [
+            record
+            for record in self.tracer.select(event=mark_event)
+            if record.fields.get("kind") == spec.fault_kind
+        ]
+        signals = [
+            record
+            for record in self.tracer.select(event=spec.signal_event)
+            if spec.source_contains is None
+            or spec.source_contains in record.source
+        ]
+        name = f"recovery:{spec.fault_kind}->{spec.signal_event}"
+        if not marks:
+            report.checks.append(
+                CheckResult(name=name, ok=False, detail="fault never injected")
+            )
+            return
+        worst = 0.0
+        failures: list[str] = []
+        for mark in marks:
+            after = [s for s in signals if s.time >= mark.time]
+            if not after:
+                failures.append(f"t={mark.time:.2f}: no signal")
+                continue
+            delta = after[0].time - mark.time
+            worst = max(worst, delta)
+            if delta > spec.bound_s:
+                failures.append(
+                    f"t={mark.time:.2f}: {delta:.2f}s > bound {spec.bound_s:.2f}s"
+                )
+        report.metrics[f"recovery_s:{spec.fault_kind}"] = worst
+        report.checks.append(
+            CheckResult(
+                name=name,
+                ok=not failures,
+                detail=(
+                    f"worst {worst:.2f}s <= bound {spec.bound_s:.2f}s"
+                    if not failures
+                    else _preview(failures)
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # 4. Directory convergence
+    # ------------------------------------------------------------------
+
+    def _check_directory_convergence(self, report: InvariantReport) -> None:
+        cluster = self.cluster
+        assert cluster is not None
+        agents: dict[str, Any] = {}
+        for name, module in cluster.modules.items():
+            agent = getattr(module, "agent", None)
+            if agent is not None and module.node.alive:
+                agents[name] = agent
+        mgmt_name = cluster.management.module.name
+        expected = set(agents) | {mgmt_name}
+        mismatches: list[str] = []
+        views = dict(agents)
+        views[mgmt_name] = cluster.management.agent
+        for name, agent in sorted(views.items()):
+            got = {record.name for record in agent.directory.modules()}
+            if got != expected:
+                missing = sorted(expected - got)
+                extra = sorted(got - expected)
+                mismatches.append(
+                    f"{name}: missing={missing or '-'} extra={extra or '-'}"
+                )
+        report.metrics["directory_views"] = float(len(views))
+        report.checks.append(
+            CheckResult(
+                name="directory-convergence",
+                ok=not mismatches,
+                detail=(
+                    f"{len(views)} views agree on {len(expected)} members"
+                    if not mismatches
+                    else _preview(mismatches)
+                ),
+            )
+        )

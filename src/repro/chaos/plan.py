@@ -1,0 +1,284 @@
+"""Declarative fault plans: typed fault events on a timeline.
+
+A :class:`FaultPlan` is data, not code — a named, validated, serializable
+timeline of fault events. The same plan object drives the injector, the
+chaos benchmark matrix and the CLI, and because every stochastic element
+underneath (jitter, loss, bursts, backoff) draws from seed-derived
+streams, *plan + seed* fully determines a run.
+
+Event taxonomy (see ``docs/ARCHITECTURE.md`` for the fault model):
+
+========================  ====================================================
+:class:`NodeCrash`        crash-stop a node (radio + CPU silent; RAM kept)
+:class:`NodeRecover`      end a crash as a *blip*: state + timers resume
+:class:`NodeRestart`      end-of-crash as *amnesia*: components torn down,
+                          fresh incarnation boots, software re-deployed
+:class:`BrokerRestart`    power-cycle the broker node (all sessions lost)
+:class:`Partition`        cut layer-2 reachability between station groups
+:class:`Heal`             remove a partition (or all of them)
+:class:`LinkDegrade`      Gilbert–Elliott bursty loss and/or bitrate
+                          throttling, channel-wide or per-station, timed
+:class:`SensorFlap`       a sensor device stops producing, then resumes
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, ClassVar, Iterator
+
+from repro.errors import ConfigurationError
+from repro.net.wlan import GilbertElliottConfig
+
+__all__ = [
+    "FaultEvent",
+    "NodeCrash",
+    "NodeRecover",
+    "NodeRestart",
+    "BrokerRestart",
+    "Partition",
+    "Heal",
+    "LinkDegrade",
+    "SensorFlap",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base event: something happens at virtual time ``at``."""
+
+    at: float
+    kind: ClassVar[str] = ""
+
+    def validate(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(f"{self.kind}: at={self.at} must be >= 0")
+
+    def describe(self) -> dict[str, Any]:
+        """Trace-friendly summary (flat JSON-encodable fields)."""
+        payload = asdict(self)
+        payload.pop("at", None)
+        return {
+            k: (sorted(v) if isinstance(v, (set, frozenset)) else v)
+            for k, v in payload.items()
+            if v is not None
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "at": self.at, **self.describe()}
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """Crash-stop ``node``: no sends, receives or compute until a
+    :class:`NodeRecover` / :class:`NodeRestart` brings it back."""
+
+    node: str = ""
+    kind: ClassVar[str] = "node_crash"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.node:
+            raise ConfigurationError("node_crash needs a node name")
+
+
+@dataclass(frozen=True)
+class NodeRecover(FaultEvent):
+    """Blip recovery of a crashed ``node``: RAM and timers intact."""
+
+    node: str = ""
+    kind: ClassVar[str] = "node_recover"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.node:
+            raise ConfigurationError("node_recover needs a node name")
+
+
+@dataclass(frozen=True)
+class NodeRestart(FaultEvent):
+    """Amnesia restart of ``node``: components torn down, incarnation
+    bumped, middleware stack rebuilt (via the cluster when available)."""
+
+    node: str = ""
+    kind: ClassVar[str] = "node_restart"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.node:
+            raise ConfigurationError("node_restart needs a node name")
+
+
+@dataclass(frozen=True)
+class BrokerRestart(FaultEvent):
+    """Power-cycle the cluster broker: every session, subscription,
+    retained message and queued QoS 1 message is lost."""
+
+    kind: ClassVar[str] = "broker_restart"
+
+
+@dataclass(frozen=True)
+class Partition(FaultEvent):
+    """Cut reachability between every station in ``group_a`` and every
+    station in ``group_b`` (traffic within each group is unaffected)."""
+
+    group_a: tuple[str, ...] = ()
+    group_b: tuple[str, ...] = ()
+    kind: ClassVar[str] = "partition"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.group_a or not self.group_b:
+            raise ConfigurationError("partition needs two station groups")
+        if set(self.group_a) & set(self.group_b):
+            raise ConfigurationError("partition groups must not overlap")
+
+
+@dataclass(frozen=True)
+class Heal(FaultEvent):
+    """Remove the cut between ``group_a`` and ``group_b``; with both
+    omitted, heal every active partition."""
+
+    group_a: tuple[str, ...] | None = None
+    group_b: tuple[str, ...] | None = None
+    kind: ClassVar[str] = "heal"
+
+
+@dataclass(frozen=True)
+class LinkDegrade(FaultEvent):
+    """Degrade the channel for ``duration_s`` seconds.
+
+    ``stations`` limits the effect to frames touching any named station
+    (``None`` = whole channel). ``bitrate_factor`` throttles the
+    effective bitrate; ``burst`` layers a Gilbert–Elliott loss process on
+    top of the configured i.i.d. loss.
+    """
+
+    duration_s: float = 0.0
+    stations: tuple[str, ...] | None = None
+    bitrate_factor: float = 1.0
+    burst: GilbertElliottConfig | None = None
+    kind: ClassVar[str] = "link_degrade"
+
+    def validate(self) -> None:
+        super().validate()
+        if self.duration_s <= 0:
+            raise ConfigurationError("link_degrade needs duration_s > 0")
+        if not 0.0 < self.bitrate_factor <= 1.0:
+            raise ConfigurationError(
+                f"bitrate_factor must be in (0, 1], got {self.bitrate_factor}"
+            )
+        if self.burst is not None:
+            self.burst.validate()
+
+    def describe(self) -> dict[str, Any]:
+        payload = super().describe()
+        if self.burst is not None:
+            payload["burst"] = asdict(self.burst)
+        return payload
+
+
+@dataclass(frozen=True)
+class SensorFlap(FaultEvent):
+    """Sensor ``device`` on ``module`` stops sampling for ``down_s``
+    seconds (loose cable, undervoltage), then resumes phase-aligned."""
+
+    module: str = ""
+    device: str = ""
+    down_s: float = 0.0
+    kind: ClassVar[str] = "sensor_flap"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.module or not self.device:
+            raise ConfigurationError("sensor_flap needs module and device")
+        if self.down_s <= 0:
+            raise ConfigurationError("sensor_flap needs down_s > 0")
+
+
+#: kind -> event class, for declarative (de)serialization.
+EVENT_KINDS: dict[str, type[FaultEvent]] = {
+    cls.kind: cls
+    for cls in (
+        NodeCrash,
+        NodeRecover,
+        NodeRestart,
+        BrokerRestart,
+        Partition,
+        Heal,
+        LinkDegrade,
+        SensorFlap,
+    )
+}
+
+
+def _event_from_dict(payload: dict[str, Any]) -> FaultEvent:
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    cls = EVENT_KINDS.get(str(kind))
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown fault kind {kind!r} (known: {sorted(EVENT_KINDS)})"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(f"{kind}: unknown fields {sorted(unknown)}")
+    for key in ("group_a", "group_b", "stations"):
+        if isinstance(data.get(key), list):
+            data[key] = tuple(data[key])
+    if isinstance(data.get("burst"), dict):
+        data["burst"] = GilbertElliottConfig(**data["burst"])
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, time-ordered sequence of fault events.
+
+    Events are sorted by ``at`` on construction (stable, so same-time
+    events keep their authored order — a ``Heal`` written after a
+    ``Partition`` at the same instant applies after it).
+    """
+
+    name: str
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: e.at))
+        object.__setattr__(self, "events", ordered)
+
+    def validate(self) -> "FaultPlan":
+        if not self.name:
+            raise ConfigurationError("fault plan needs a name")
+        for event in self.events:
+            event.validate()
+        return self
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Virtual time at which the last fault effect has been applied
+        (timed effects like :class:`LinkDegrade` included)."""
+        end = 0.0
+        for event in self.events:
+            end = max(end, event.at)
+            if isinstance(event, LinkDegrade):
+                end = max(end, event.at + event.duration_s)
+            elif isinstance(event, SensorFlap):
+                end = max(end, event.at + event.down_s)
+        return end
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultPlan":
+        events = tuple(_event_from_dict(e) for e in payload.get("events", []))
+        return cls(name=str(payload.get("name", "")), events=events).validate()

@@ -13,6 +13,9 @@ Commands
     Canonically re-format a recipe (DSL in, DSL out; JSON in, DSL out).
 ``operators``
     List the operators recipes can use.
+``chaos``
+    Run a fault-injection scenario (or all of them) on the simulated
+    chaos testbed and print the end-to-end invariant report.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from repro.bench import (
 )
 from repro.bench.reporting import write_results_csv, write_results_json
 from repro.bench.calibration import PAPER_RATES_HZ
+from repro.chaos import SCENARIOS, run_scenario
 from repro.core.assignment import ModuleInfo, TaskAssignment
 from repro.core.dsl import format_recipe, parse_recipe
 from repro.core.operators import registered_operators
@@ -122,6 +126,29 @@ def _cmd_operators(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.list:
+        width = max(len(name) for name in SCENARIOS)
+        for name in sorted(SCENARIOS):
+            print(f"{name:<{width}}  {SCENARIOS[name].description}")
+        return 0
+    names = [args.scenario] if args.scenario else sorted(SCENARIOS)
+    all_ok = True
+    for name in names:
+        result = run_scenario(name, seed=args.seed)
+        all_ok = all_ok and result.report.ok
+        print(
+            f"scenario {result.name} (seed {result.seed}, "
+            f"{result.duration_s:g}s, {result.faults_applied} faults, "
+            f"{result.trace_records} trace records)"
+        )
+        print(f"  trace digest: {result.trace_digest[:16]}")
+        for line in result.report.render().splitlines():
+            print(f"  {line}")
+        print()
+    return 0 if all_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -155,6 +182,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     ops = sub.add_parser("operators", help="list recipe operators")
     ops.set_defaults(fn=_cmd_operators)
+
+    chaos = sub.add_parser(
+        "chaos", help="run fault-injection scenarios and check invariants"
+    )
+    chaos.add_argument(
+        "scenario",
+        nargs="?",
+        default="",
+        help="scenario name (default: run all); see --list",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.set_defaults(fn=_cmd_chaos)
     return parser
 
 

@@ -48,6 +48,10 @@ class ModuleRecord:
     announced_at: float
     assignable: bool = True
     load: float = 0.0
+    #: The announcing node's boot count. A changed incarnation under the
+    #: same name means the module lost its RAM (amnesia restart), not
+    #: merely its connectivity.
+    incarnation: int = 0
 
 
 @dataclass
@@ -121,6 +125,18 @@ class StreamDirectory(Component):
             if self._modules.pop(name, None) is not None:
                 self._notify_members(name, False)
             return
+        previous = self._modules.get(name)
+        incarnation = int(payload.get("incarnation", 0))
+        if (
+            previous is not None
+            and incarnation != previous.incarnation
+            and name in self._known_alive
+        ):
+            # Amnesia restart: same identity, fresh boot. Watchers see a
+            # leave *then* a join, so orchestration layers reclaim lost
+            # state (re-deploy sub-tasks) even when the restart was faster
+            # than the keep-alive/TTL detectors.
+            self._notify_members(name, False)
         is_new = name not in self._known_alive
         self._modules[name] = ModuleRecord(
             name=name,
@@ -129,6 +145,7 @@ class StreamDirectory(Component):
             announced_at=self.runtime.now,
             assignable=bool(payload.get("assignable", True)),
             load=float(payload.get("load", 0.0)),
+            incarnation=incarnation,
         )
         if is_new:
             self._notify_members(name, True)
@@ -204,6 +221,7 @@ class StreamDirectory(Component):
         capacity: float = 1.0,
         assignable: bool = True,
         load: float = 0.0,
+        incarnation: int = 0,
     ) -> None:
         self.client.publish(
             module_topic(name),
@@ -212,6 +230,7 @@ class StreamDirectory(Component):
                 "capacity": capacity,
                 "assignable": assignable,
                 "load": load,
+                "incarnation": incarnation,
                 "ts": self.runtime.now,
             },
             retain=True,

@@ -47,9 +47,24 @@ class SensorClass(StreamOperator):
         self.model = self.module.sensor(self.device)
         self._rng = self.runtime.rng.stream(f"sensor.{self.node.name}.{self.device}")
         self.samples_taken = 0
+        self.paused = False
         self.every(1.0 / rate_hz, self._tick)
 
+    def pause(self) -> None:
+        """Stop emitting samples (device flap / undervoltage); the sampling
+        clock keeps running so :meth:`resume` stays phase-aligned."""
+        if not self.paused:
+            self.paused = True
+            self.trace("sensor.paused", device=self.device)
+
+    def resume(self) -> None:
+        if self.paused:
+            self.paused = False
+            self.trace("sensor.resumed", device=self.device)
+
     def _tick(self) -> None:
+        if self.paused:
+            return
         sensed_at = self.runtime.now
         # Reading the hardware + packing the sample costs CPU; the
         # timestamp is the sensing instant, before that cost is paid.

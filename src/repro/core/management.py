@@ -107,6 +107,10 @@ class ModuleAgent(Component):
         client.subscribe("ifot/ctl/status/request", self._on_status_request)
         self._announce()
         module.capability_listeners.append(self._announce)
+        # Re-announce the moment the session is re-established (broker
+        # restart, node restart, partition heal) instead of waiting out a
+        # heartbeat period: peers' directories converge immediately.
+        client.reconnect_listeners.append(self._announce)
         self.every(heartbeat_s, self._announce)
 
     def _announce(self) -> None:
@@ -116,6 +120,7 @@ class ModuleAgent(Component):
             capacity=self.capacity,
             assignable=self.assignable,
             load=self.module.current_load(),
+            incarnation=self.module.node.incarnation,
         )
 
     # ------------------------------------------------------------------
@@ -208,6 +213,8 @@ class ModuleAgent(Component):
     def on_stop(self) -> None:
         if self._announce in self.module.capability_listeners:
             self.module.capability_listeners.remove(self._announce)
+        if self._announce in self.module.client.reconnect_listeners:
+            self.module.client.reconnect_listeners.remove(self._announce)
         self.directory.withdraw_module(self.module.name)
         self.directory.stop()
 
@@ -231,6 +238,7 @@ class ManagementNode:
         self.status_reports: dict[str, dict[str, Any]] = {}
         self.auto_failover = auto_failover
         self.failovers_performed = 0
+        self.reinstatements_performed = 0
         #: Applications this node led: name -> (recipe, live assignment).
         self._led: dict[str, tuple[Recipe, Assignment]] = {}
         module.client.subscribe("ifot/ctl/status/report/+", self._on_status)
@@ -286,9 +294,45 @@ class ManagementNode:
     # ------------------------------------------------------------------
 
     def _on_membership_change(self, name: str, alive: bool) -> None:
-        if alive or not self.auto_failover:
+        if not self.auto_failover:
             return
-        self._fail_over_module(name)
+        if alive:
+            self._reinstate_module(name)
+        else:
+            self._fail_over_module(name)
+
+    def _reinstate_module(self, joined_module: str) -> None:
+        """Re-send every sub-task still placed on a (re)joined module.
+
+        Closes the dynamic-join/leave loop: a module that crashed and came
+        back with amnesia (or returned from the wrong side of a partition)
+        gets its assigned sub-tasks re-deployed. Deploy is idempotent on
+        the agent side — a module that kept its operators (blip) rejects
+        the duplicate and keeps running.
+        """
+        for app_name, (recipe, assignment) in self._led.items():
+            owned = sorted(
+                sid
+                for sid, module_name in assignment.placements.items()
+                if module_name == joined_module
+            )
+            if not owned:
+                continue
+            subtasks = {s.subtask_id: s for s in RecipeSplit().split(recipe)}
+            for sid in owned:
+                self.module.client.publish(
+                    f"ifot/ctl/module/{joined_module}/deploy",
+                    {"application": app_name, "subtask": subtasks[sid].to_dict()},
+                    qos=1,
+                )
+                self.module.node.runtime.trace(
+                    "mgmt",
+                    "mgmt.reinstated",
+                    application=app_name,
+                    subtask=sid,
+                    module=joined_module,
+                )
+            self.reinstatements_performed += 1
 
     def _fail_over_module(self, dead_module: str) -> None:
         """Re-place every non-pinned sub-task that was on ``dead_module``.

@@ -86,15 +86,29 @@ class IFoTCluster:
         node_kwargs: dict[str, Any] | None = None,
         heartbeat_s: float = 5.0,
         auto_failover: bool = False,
+        client_keepalive_s: float = 30.0,
+        auto_reconnect: bool = False,
+        broker_params: dict[str, Any] | None = None,
     ) -> None:
         self.runtime = runtime
         self.heartbeat_s = heartbeat_s
+        #: Keep-alive applied to every module's MQTT session. Chaos
+        #: scenarios shrink this so failure detection (and therefore
+        #: recovery) happens within a short simulated window.
+        self.client_keepalive_s = client_keepalive_s
+        self.auto_reconnect = auto_reconnect
+        self._broker_params = dict(broker_params or {})
         self.modules: dict[str, NeuronModule] = {}
         broker_node = self._make_node(broker_node_name, **(broker_kwargs or {}))
-        self.broker = Broker(broker_node)
+        self.broker = Broker(broker_node, **self._broker_params)
         management_node = self._make_node(management_node_name, **(node_kwargs or {}))
         self.management = ManagementNode(
-            NeuronModule(management_node, self.broker.address),
+            NeuronModule(
+                management_node,
+                self.broker.address,
+                keepalive_s=client_keepalive_s,
+                auto_reconnect=auto_reconnect,
+            ),
             heartbeat_s=heartbeat_s,
             auto_failover=auto_failover,
         )
@@ -131,7 +145,11 @@ class IFoTCluster:
             raise ConfigurationError(f"module {name!r} already exists")
         node = self._make_node(name, **node_kwargs)
         module = NeuronModule(
-            node, self.broker.address, extra_capabilities=extra_capabilities
+            node,
+            self.broker.address,
+            extra_capabilities=extra_capabilities,
+            keepalive_s=self.client_keepalive_s,
+            auto_reconnect=self.auto_reconnect,
         )
         if agent:
             module.agent = ModuleAgent(module, heartbeat_s=self.heartbeat_s)  # type: ignore[attr-defined]
@@ -143,6 +161,60 @@ class IFoTCluster:
             return self.modules[name]
         except KeyError:
             raise ConfigurationError(f"unknown module {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Restart orchestration (chaos / dynamic join-leave)
+    # ------------------------------------------------------------------
+
+    def restart_module(self, name: str) -> NeuronModule:
+        """Power-cycle module ``name``: amnesia restart + software re-boot.
+
+        The node loses all component state (operators, MQTT session,
+        directory view); its physical devices (sensor/actuator models) and
+        identity survive, as on a real reboot. A fresh
+        :class:`NeuronModule` + agent come up and announce a new
+        incarnation, which triggers management-side re-deployment when
+        auto-failover is on.
+        """
+        from repro.core.management import ModuleAgent  # late: avoid cycle at import
+
+        old = self.module(name)
+        sensors = dict(old.sensors)
+        actuators = dict(old.actuators)
+        extra = set(old._extra_capabilities)
+        had_agent = getattr(old, "agent", None) is not None
+        node = old.node
+        node.restart()
+        module = NeuronModule(
+            node,
+            self.broker.address,
+            extra_capabilities=extra,
+            keepalive_s=self.client_keepalive_s,
+            auto_reconnect=self.auto_reconnect,
+        )
+        for device, model in sensors.items():
+            module.attach_sensor(device, model)
+        for device, model in actuators.items():
+            module.attach_actuator(device, model)
+        if had_agent:
+            module.agent = ModuleAgent(module, heartbeat_s=self.heartbeat_s)  # type: ignore[attr-defined]
+        self.modules[name] = module
+        return module
+
+    def restart_broker(self) -> Broker:
+        """Power-cycle the broker node and boot a fresh broker.
+
+        All sessions, subscriptions, retained messages and queued QoS 1
+        messages are lost (this broker has no persistence). Clients with
+        auto-reconnect re-establish sessions via their keep-alive
+        watchdogs, observe ``session_present=False`` and replay their
+        subscriptions; agents then re-announce, rebuilding the retained
+        registry from live state.
+        """
+        node = self.broker.node
+        node.restart()
+        self.broker = Broker(node, **self._broker_params)
+        return self.broker
 
     # ------------------------------------------------------------------
     # Applications

@@ -37,11 +37,17 @@ class NeuronModule:
         node: Node,
         broker: Address,
         extra_capabilities: set[str] | None = None,
+        keepalive_s: float = 30.0,
+        auto_reconnect: bool = False,
     ) -> None:
         self.node = node
         self.name = node.name
         self.client = MqttClient(
-            node, broker, client_id=f"ifot.{node.name}", keepalive_s=30.0
+            node,
+            broker,
+            client_id=f"ifot.{node.name}",
+            keepalive_s=keepalive_s,
+            auto_reconnect=auto_reconnect,
         )
         self.client.connect()
         self.sensors: dict[str, SensorModel] = {}

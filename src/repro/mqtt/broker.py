@@ -94,6 +94,7 @@ class Broker(Component):
         self.retry_interval_s = retry_interval_s
         self.max_retries = max_retries
         self.keepalive_grace = keepalive_grace
+        self.sweep_interval_s = sweep_interval_s
         self.stats = BrokerStats()
         self._sessions: dict[str, _Session] = {}
         self._address_index: dict[Address, str] = {}
@@ -175,10 +176,12 @@ class Broker(Component):
         existing = self._sessions.get(client_id)
         session_present = existing is not None and not clean
         if existing is not None:
-            # Take over: drop the old address binding and inflight timers.
+            # Take over: drop the old address binding and pause inflight
+            # retransmissions (they resume towards the new address below).
             self._address_index.pop(existing.address, None)
-            self._cancel_inflight(existing)
+            self._pause_inflight(existing)
             if clean:
+                self._cancel_inflight(existing, reason="clean_takeover")
                 self._drop_subscriptions(existing)
                 existing = None
         if existing is None:
@@ -201,6 +204,10 @@ class Broker(Component):
         self._address_index[source] = client_id
         self.trace("mqtt.broker.connect", client=client_id, clean=clean)
         self._send(source, Packet.connack(session_present=session_present))
+        if session_present:
+            # MQTT 3.1.1 §4.4: unacknowledged PUBLISH packets are resent
+            # (dup-flagged) when a persistent session resumes.
+            self._resume_inflight(session)
 
     def _on_disconnect(
         self, _source: Address, session: _Session | None, _packet: Packet
@@ -337,9 +344,20 @@ class Broker(Component):
             packet_id=packet_id,
             headers=headers,
         )
+        fwd_id: str | None = None
+        if qos == 1:
+            # Packet ids recycle (and restart from 1 after a broker
+            # restart); the fwd_id uniquely names this delivery attempt so
+            # end-to-end accounting can pair forwards with outcomes.
+            fwd_id = self.runtime.ids.next("mqtt.fwd")
+            packet.fields["fwd_id"] = fwd_id
         self.stats.publishes_out += 1
         self.trace(
-            "mqtt.broker.forward", client=session.client_id, topic=topic, qos=qos
+            "mqtt.broker.forward",
+            client=session.client_id,
+            topic=topic,
+            qos=qos,
+            **({"fwd_id": fwd_id} if fwd_id is not None else {}),
         )
         if qos == 1 and packet_id is not None:
             inflight = _Inflight(
@@ -369,7 +387,10 @@ class Broker(Component):
             del session.inflight[packet_id]
             self.stats.drops_give_up += 1
             self.trace(
-                "mqtt.broker.give_up", client=session.client_id, packet_id=packet_id
+                "mqtt.broker.give_up",
+                client=session.client_id,
+                packet_id=packet_id,
+                fwd_id=inflight.packet.get("fwd_id"),
             )
             return
         inflight.retries_left -= 1
@@ -432,20 +453,69 @@ class Broker(Component):
         self._on_publish(session.address, session, packet)
 
     def _remove_session(self, session: _Session, expired: bool) -> None:
-        self._cancel_inflight(session)
         self._address_index.pop(session.address, None)
         if session.clean:
+            self._cancel_inflight(
+                session, reason="expired" if expired else "disconnect"
+            )
             self._drop_subscriptions(session)
             self._sessions.pop(session.client_id, None)
         else:
-            # Persistent session: keep subscriptions, mark disconnected.
+            # Persistent session: keep subscriptions AND unacknowledged
+            # QoS 1 messages (retransmission resumes on reconnect), mark
+            # disconnected.
+            self._pause_inflight(session)
             session.connected = False
 
-    def _cancel_inflight(self, session: _Session) -> None:
+    def _pause_inflight(self, session: _Session) -> None:
+        """Stop retransmission timers but keep the messages queued."""
         for inflight in session.inflight.values():
             if inflight.timer is not None:
                 inflight.timer.cancel()
+                inflight.timer = None
+
+    def _resume_inflight(self, session: _Session) -> None:
+        """Re-send every queued QoS 1 message (dup-flagged) and re-arm."""
+        for packet_id, inflight in list(session.inflight.items()):
+            inflight.destination = session.address
+            dup = Packet(PacketType.PUBLISH, {**inflight.packet.fields, "dup": True})
+            inflight.packet = dup
+            self.stats.retransmissions += 1
+            self._send(session.address, dup)
+            self._arm_retry(session, packet_id, inflight)
+
+    def _cancel_inflight(self, session: _Session, reason: str = "teardown") -> None:
+        """Drop all queued QoS 1 messages for ``session``.
+
+        Never silent: the dropped ``fwd_id`` set is traced so end-to-end
+        accounting (``repro.chaos.invariants``) can distinguish an
+        *explained* loss (session ended, broker restarted) from a bug.
+        """
+        for inflight in session.inflight.values():
+            if inflight.timer is not None:
+                inflight.timer.cancel()
+        if session.inflight:
+            self.trace(
+                "mqtt.broker.inflight_dropped",
+                client=session.client_id,
+                reason=reason,
+                fwd_ids=sorted(
+                    str(i.packet.get("fwd_id"))
+                    for i in session.inflight.values()
+                    if i.packet.get("fwd_id") is not None
+                ),
+            )
         session.inflight.clear()
+
+    def inflight_fwd_ids(self) -> list[str]:
+        """fwd_ids of every QoS 1 message still awaiting a PUBACK."""
+        ids = [
+            str(inflight.packet.get("fwd_id"))
+            for session in self._sessions.values()
+            for inflight in session.inflight.values()
+            if inflight.packet.get("fwd_id") is not None
+        ]
+        return sorted(ids)
 
     def _drop_subscriptions(self, session: _Session) -> None:
         for topic_filter in session.subscriptions:
@@ -454,7 +524,7 @@ class Broker(Component):
 
     def on_stop(self) -> None:
         for session in list(self._sessions.values()):
-            self._cancel_inflight(session)
+            self._cancel_inflight(session, reason="broker_stop")
         self.node.unbind(BROKER_SERVICE)
 
 

@@ -64,6 +64,8 @@ class MqttClient(Component):
         max_retries: int = 5,
         will: dict[str, Any] | None = None,
         auto_reconnect: bool = False,
+        reconnect_initial_s: float | None = None,
+        reconnect_max_s: float | None = None,
     ) -> None:
         client_id = client_id or node.runtime.ids.next(f"{node.name}.mqtt")
         super().__init__(node, f"mqtt.client.{client_id}")
@@ -73,6 +75,11 @@ class MqttClient(Component):
         self.keepalive_s = keepalive_s
         self.retry_interval_s = retry_interval_s
         self.max_retries = max_retries
+        #: Exponential reconnect backoff bounds. ``None`` derives them from
+        #: the keep-alive at attempt time (½× initial, 4× cap) so they stay
+        #: sensible when ``keepalive_s`` is tuned after construction.
+        self.reconnect_initial_s = reconnect_initial_s
+        self.reconnect_max_s = reconnect_max_s
         #: Last-will testament: {"topic", "payload", "qos", "retain"},
         #: published by the broker if this session dies without DISCONNECT.
         #: May be (re)set before connect().
@@ -84,17 +91,31 @@ class MqttClient(Component):
         self._subscriptions: list[Subscription] = []
         self._dispatch: TopicTree[Subscription] = TopicTree()
         self._pending_ops: list[Callable[[], None]] = []
+        #: Bound on ops buffered while disconnected with auto-reconnect
+        #: armed; beyond it the oldest buffered op is dropped (counted).
+        self.max_pending_ops = 1024
+        self.ops_dropped_disconnected = 0
         self._inflight: dict[int, _PendingPublish] = {}
         self._next_packet_id = 1
         self._ping_timer = None
         self._on_connected: list[Callable[[], None]] = []
+        #: Fired after every CONNACK that re-establishes a session (i.e.
+        #: not the first connect). Orchestration layers use this to
+        #: re-announce/re-subscribe without polling.
+        self.reconnect_listeners: list[Callable[[], None]] = []
         self.messages_received = 0
         self.messages_published = 0
         self.reconnects = 0
+        self.connect_attempts = 0
+        self.pubacks_received = 0
+        self.publishes_abandoned = 0
         self.callback_errors = 0
         self._last_inbound = self.runtime.now
         self._ever_connected = False
         self._watchdog = None
+        self._backoff_s: float | None = None
+        self._reconnect_timer: TimerHandle | None = None
+        self._backoff_rng = node.runtime.rng.stream(f"mqtt.backoff.{client_id}")
         if auto_reconnect:
             self.enable_auto_reconnect()
         node.bind(self._service, self._on_datagram)
@@ -129,8 +150,9 @@ class MqttClient(Component):
         While connected, the broker answers PINGREQs at least every
         ``keepalive_s / 2``; inbound silence for more than two keep-alive
         periods therefore means the session (or broker) is gone. The
-        watchdog then re-CONNECTs; if the CONNACK reports no prior session
-        state, all subscriptions are replayed.
+        watchdog then starts exponential-backoff reconnect attempts
+        (jittered, capped); once a CONNACK reporting no prior session
+        state arrives, all subscriptions are replayed.
         """
         if self._watchdog is not None:
             return
@@ -138,12 +160,10 @@ class MqttClient(Component):
 
     def _check_liveness(self) -> None:
         if not self.connected:
-            if not self._connecting:
-                self.connect()  # keep trying until a broker answers
-            else:
-                # A CONNECT is outstanding but unanswered: resend it.
-                self._connecting = False
-                self.connect()
+            # Either a CONNECT is outstanding and unanswered, or an earlier
+            # backoff attempt failed: schedule the next attempt (no-op when
+            # one is already pending).
+            self._begin_reconnect()
             return
         silence = self.runtime.now - self._last_inbound
         if silence > 2.0 * self.keepalive_s:
@@ -154,7 +174,42 @@ class MqttClient(Component):
                 self._ping_timer.cancel()
                 self._ping_timer = None
             self.reconnects += 1
-            self.connect()
+            self._begin_reconnect()
+
+    # ------------------------------------------------------------------
+    # Exponential-backoff reconnect
+    # ------------------------------------------------------------------
+
+    def _begin_reconnect(self) -> None:
+        """Schedule the next reconnect attempt (idempotent while pending)."""
+        if self._reconnect_timer is not None or self.connected:
+            return
+        delay = self._next_backoff()
+        self.trace("mqtt.client.backoff", delay_s=round(delay, 6))
+        self._reconnect_timer = self.after(delay, self._attempt_reconnect)
+
+    def _next_backoff(self) -> float:
+        initial = self.reconnect_initial_s
+        if initial is None:
+            initial = max(self.keepalive_s / 2.0, 1e-3)
+        cap = self.reconnect_max_s
+        if cap is None:
+            cap = max(4.0 * self.keepalive_s, initial)
+        if self._backoff_s is None:
+            self._backoff_s = initial
+        else:
+            self._backoff_s = min(self._backoff_s * 2.0, cap)
+        # ±15% jitter (seeded stream) de-synchronizes a fleet of clients
+        # reconnecting after a broker restart.
+        return self._backoff_s * self._backoff_rng.uniform(0.85, 1.15)
+
+    def _attempt_reconnect(self) -> None:
+        self._reconnect_timer = None
+        if self.connected:
+            return
+        self.connect_attempts += 1
+        self._connecting = False  # resend even if an old CONNECT is pending
+        self.connect()
 
     def refresh_session(self) -> None:
         """Re-send CONNECT with the current ``will``/``keepalive_s``.
@@ -270,7 +325,13 @@ class MqttClient(Component):
     def _when_connected(self, op: Callable[[], None]) -> None:
         if self.connected:
             op()
-        elif self._connecting:
+        elif self._connecting or self._watchdog is not None:
+            # Connecting, or auto-reconnect is armed and will re-establish
+            # the session: buffer the operation (bounded, oldest dropped —
+            # fresh sensor data beats stale during an outage).
+            if len(self._pending_ops) >= self.max_pending_ops:
+                self._pending_ops.pop(0)
+                self.ops_dropped_disconnected += 1
             self._pending_ops.append(op)
         else:
             raise NotConnectedError(
@@ -302,6 +363,7 @@ class MqttClient(Component):
             return
         if pending.retries_left <= 0:
             del self._inflight[packet_id]
+            self.publishes_abandoned += 1
             self.trace("mqtt.client.give_up", packet_id=packet_id)
             return
         pending.retries_left -= 1
@@ -325,6 +387,7 @@ class MqttClient(Component):
         elif packet.type is PacketType.PUBLISH:
             self._on_publish(packet)
         elif packet.type is PacketType.PUBACK:
+            self.pubacks_received += 1
             pending = self._inflight.pop(packet["packet_id"], None)
             if pending is not None and pending.timer is not None:
                 pending.timer.cancel()
@@ -347,6 +410,10 @@ class MqttClient(Component):
         self._ever_connected = True
         self.connected = True
         self._connecting = False
+        self._backoff_s = None  # healthy again: next outage starts small
+        if self._reconnect_timer is not None:
+            self._reconnect_timer.cancel()
+            self._reconnect_timer = None
         if self.keepalive_s > 0 and self._ping_timer is None:
             self._ping_timer = self.every(
                 self.keepalive_s / 2.0, lambda: self._send(Packet.pingreq())
@@ -369,11 +436,24 @@ class MqttClient(Component):
         callbacks, self._on_connected = self._on_connected, []
         for callback in callbacks:
             callback()
+        if was_reconnect:
+            for listener in list(self.reconnect_listeners):
+                listener()
 
     def _on_publish(self, packet: Packet) -> None:
         topic = packet["topic"]
         if int(packet.get("qos", 0)) == 1:
             self._send(Packet.puback(packet["packet_id"]))
+        fwd_id = packet.get("fwd_id")
+        if fwd_id is not None:
+            # End-to-end QoS 1 accounting: this delivery attempt reached
+            # the subscriber (possibly as a dup-flagged retransmission).
+            self.trace(
+                "mqtt.client.deliver",
+                topic=topic,
+                fwd_id=fwd_id,
+                dup=bool(packet.get("dup", False)),
+            )
         self.messages_received += 1
         for subscription in self._dispatch.match(topic):
             try:
@@ -390,6 +470,9 @@ class MqttClient(Component):
 
     def on_stop(self) -> None:
         self.disconnect()
+        if self._reconnect_timer is not None:
+            self._reconnect_timer.cancel()
+            self._reconnect_timer = None
         for pending in self._inflight.values():
             if pending.timer is not None:
                 pending.timer.cancel()

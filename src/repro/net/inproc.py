@@ -48,6 +48,8 @@ class InprocNetwork(Medium):
 
     def transmit(self, frame: Frame) -> None:
         self.frames_transmitted += 1
+        if self.is_blocked(frame.source.station, frame.destination.station):
+            return  # partitioned: the datagram vanishes, as on a real cut
         loop = self._resolve_loop()
         deliver: Callable[[Frame], None] = self._deliver
         if self.latency_s > 0.0:

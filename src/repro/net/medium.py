@@ -11,7 +11,7 @@ is provided above this layer by MQTT QoS 1.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.errors import AddressError, TransportError
 from repro.net.address import Address
@@ -80,10 +80,20 @@ class NetworkInterface:
 
 
 class Medium(ABC):
-    """A set of attached stations plus a frame transmission discipline."""
+    """A set of attached stations plus a frame transmission discipline.
+
+    Besides attachment bookkeeping, the base class owns the *partition
+    mask*: an unordered set of station pairs that currently cannot hear
+    each other. Partitions model layer-2 reachability faults (a wall, a
+    failed access point, a split between rooms); concrete media consult
+    :meth:`is_blocked` on every transmission and drop frames crossing a
+    cut. Partitions are symmetric and purely additive — healing restores
+    exactly the pre-partition connectivity.
+    """
 
     def __init__(self) -> None:
         self._interfaces: dict[str, NetworkInterface] = {}
+        self._blocked_pairs: set[frozenset[str]] = set()
 
     def attach(self, station: str) -> NetworkInterface:
         """Attach a new station and return its interface."""
@@ -107,6 +117,50 @@ class Medium(ABC):
     def stations(self) -> list[str]:
         return sorted(self._interfaces)
 
+    # ------------------------------------------------------------------
+    # Partition mask (chaos / fault injection)
+    # ------------------------------------------------------------------
+
+    def partition(
+        self, group_a: "Iterable[str]", group_b: "Iterable[str]"
+    ) -> None:
+        """Cut connectivity between every station in ``group_a`` and every
+        station in ``group_b`` (both directions). Stations may be named
+        before they attach; traffic *within* each group is unaffected."""
+        pairs = _cross_pairs(group_a, group_b)
+        if not pairs:
+            raise AddressError("partition needs two non-overlapping groups")
+        self._blocked_pairs |= pairs
+
+    def heal(
+        self,
+        group_a: "Iterable[str] | None" = None,
+        group_b: "Iterable[str] | None" = None,
+    ) -> None:
+        """Remove a partition. With no arguments, heal every cut."""
+        if group_a is None and group_b is None:
+            self._blocked_pairs.clear()
+            return
+        self._blocked_pairs -= _cross_pairs(group_a or (), group_b or ())
+
+    def is_blocked(self, station_a: str, station_b: str) -> bool:
+        """True when a partition currently separates the two stations."""
+        if not self._blocked_pairs:
+            return False
+        return frozenset((station_a, station_b)) in self._blocked_pairs
+
+    @property
+    def partitioned_pairs(self) -> int:
+        """Number of station pairs currently cut (for tests/inspection)."""
+        return len(self._blocked_pairs)
+
     @abstractmethod
     def transmit(self, frame: Frame) -> None:
         """Accept ``frame`` for (eventual) delivery."""
+
+
+def _cross_pairs(
+    group_a: "Iterable[str]", group_b: "Iterable[str]"
+) -> set[frozenset[str]]:
+    a, b = set(group_a), set(group_b)
+    return {frozenset((x, y)) for x in a for y in b if x != y}

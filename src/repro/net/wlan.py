@@ -17,6 +17,22 @@ the paper's offered loads (tens to hundreds of small frames per second) the
 channel operates far from collision collapse, and mean access delay is
 captured by the FIFO + overhead model. The calibration (``repro.bench``)
 fits the overhead to the paper's low-rate latency floor.
+
+Fault modelling (used by :mod:`repro.chaos`): on top of the i.i.d. loss
+model the medium supports
+
+* **partitions** — per-station-pair reachability cuts inherited from
+  :class:`~repro.net.medium.Medium`; partitioned frames burn airtime (the
+  sender transmits into the void) but are never delivered;
+* **link degradations** — windows during which frames touching a chosen
+  station set suffer a two-state Gilbert–Elliott bursty loss process
+  and/or a throttled bitrate, modelling interference bursts, rate
+  adaptation fallback and marginal links.
+
+All stochastic draws (jitter, i.i.d. loss, burst transitions) come from
+named streams derived from one seed via :mod:`repro.util.rng`, so a run is
+exactly reproducible — including its chaos schedule — from the runtime
+seed alone.
 """
 
 from __future__ import annotations
@@ -28,9 +44,10 @@ from repro.net.frame import Frame
 from repro.net.medium import Medium
 from repro.sim.kernel import SimKernel
 from repro.sim.trace import Tracer
+from repro.util.rng import RngRegistry
 from repro.util.validate import require_in_range, require_non_negative, require_positive
 
-__all__ = ["WlanConfig", "WlanMedium"]
+__all__ = ["WlanConfig", "WlanMedium", "GilbertElliottConfig"]
 
 
 @dataclass(frozen=True)
@@ -61,26 +78,112 @@ class WlanConfig:
         return self.per_frame_overhead_s + (wire_size * 8.0) / self.bitrate_bps
 
 
+@dataclass(frozen=True)
+class GilbertElliottConfig:
+    """Two-state bursty loss process (Gilbert–Elliott).
+
+    The channel flips between a *good* and a *bad* state once per frame:
+    from good it enters bad with probability ``p_enter``; from bad it
+    returns with probability ``p_exit``. Frames are lost with
+    ``loss_good`` / ``loss_bad`` depending on the state, producing the
+    clustered losses real 802.11 links show under interference — which
+    i.i.d. loss cannot reproduce (QoS 1 retransmissions that would always
+    win against i.i.d. loss can die inside one long burst).
+
+    Mean burst length is ``1 / p_exit`` frames; stationary bad-state
+    probability is ``p_enter / (p_enter + p_exit)``.
+    """
+
+    p_enter: float
+    p_exit: float
+    loss_bad: float = 1.0
+    loss_good: float = 0.0
+
+    def validate(self) -> "GilbertElliottConfig":
+        require_in_range(self.p_enter, 0.0, 1.0, "p_enter")
+        require_positive(self.p_exit, "p_exit")
+        require_in_range(self.p_exit, 0.0, 1.0, "p_exit")
+        require_in_range(self.loss_bad, 0.0, 1.0, "loss_bad")
+        require_in_range(self.loss_good, 0.0, 1.0, "loss_good")
+        return self
+
+
+class _GilbertElliott:
+    """Mutable state machine for one :class:`GilbertElliottConfig`."""
+
+    def __init__(self, config: GilbertElliottConfig, rng: random.Random) -> None:
+        self.config = config
+        self._rng = rng
+        self.bad = False
+        self.transitions = 0
+
+    def step(self) -> float:
+        """Advance one frame; returns the loss rate governing that frame."""
+        threshold = self.config.p_exit if self.bad else self.config.p_enter
+        if self._rng.random() < threshold:
+            self.bad = not self.bad
+            self.transitions += 1
+        return self.config.loss_bad if self.bad else self.config.loss_good
+
+
+@dataclass
+class _Degradation:
+    """One active link degradation window."""
+
+    handle: int
+    stations: frozenset[str] | None  # None = whole channel
+    bitrate_factor: float
+    burst: _GilbertElliott | None
+    until: float | None  # absolute end time; None = until restored
+
+    def matches(self, frame: Frame) -> bool:
+        if self.stations is None:
+            return True
+        return (
+            frame.source.station in self.stations
+            or frame.destination.station in self.stations
+        )
+
+
 class WlanMedium(Medium):
-    """Single-channel shared medium over a simulation kernel."""
+    """Single-channel shared medium over a simulation kernel.
+
+    ``rng`` may be a plain :class:`random.Random` (legacy: one stream
+    drives jitter, loss and bursts alike) or an
+    :class:`~repro.util.rng.RngRegistry`, in which case jitter, i.i.d.
+    loss and burst transitions draw from independent named streams — so a
+    chaos schedule added to an experiment never perturbs the jitter draws
+    of the baseline run. When omitted, streams are derived from seed 0 via
+    :func:`repro.util.rng.derive_seed` (never a bare ``random.Random(0)``).
+    """
 
     def __init__(
         self,
         kernel: SimKernel,
         config: WlanConfig | None = None,
-        rng: random.Random | None = None,
+        rng: random.Random | RngRegistry | None = None,
         tracer: Tracer | None = None,
     ) -> None:
         super().__init__()
         self._kernel = kernel
         self.config = (config or WlanConfig()).validate()
-        self._rng = rng or random.Random(0)
+        if rng is None:
+            rng = RngRegistry(0).fork("wlan")
+        if isinstance(rng, RngRegistry):
+            self._jitter_rng = rng.stream("wlan.jitter")
+            self._loss_rng = rng.stream("wlan.loss")
+            self._burst_rng = rng.stream("wlan.burst")
+        else:  # single legacy stream
+            self._jitter_rng = self._loss_rng = self._burst_rng = rng
         self._tracer = tracer
         self._channel_free_at = 0.0
         self.frames_transmitted = 0
         self.frames_lost = 0
+        self.frames_partitioned = 0
         self.total_airtime = 0.0
         self._interference: list[tuple[float, float, float]] = []
+        self._degradations: list[_Degradation] = []
+        self._next_degradation_handle = 0
 
     def schedule_interference(
         self, start: float, duration: float, loss_rate: float
@@ -97,6 +200,64 @@ class WlanMedium(Medium):
         require_in_range(loss_rate, 0.0, 1.0, "loss_rate")
         self._interference.append((start, start + duration, loss_rate))
 
+    # ------------------------------------------------------------------
+    # Link degradation (bursty loss + throttling)
+    # ------------------------------------------------------------------
+
+    def degrade_link(
+        self,
+        stations: "frozenset[str] | set[str] | None" = None,
+        bitrate_factor: float = 1.0,
+        burst: GilbertElliottConfig | None = None,
+        duration_s: float | None = None,
+    ) -> int:
+        """Start a degradation window; returns a handle for
+        :meth:`restore_link`.
+
+        ``stations`` limits the effect to frames touching any named
+        station (``None`` degrades the whole channel). ``bitrate_factor``
+        scales the effective bitrate (0.25 = rate adaptation fell back to
+        a quarter of nominal). ``burst`` adds a Gilbert–Elliott loss
+        process on top of the configured i.i.d. loss. ``duration_s``
+        auto-expires the window; ``None`` keeps it until restored.
+        """
+        require_in_range(bitrate_factor, 1e-6, 1.0, "bitrate_factor")
+        if burst is not None:
+            burst.validate()
+        if duration_s is not None:
+            require_positive(duration_s, "duration_s")
+        handle = self._next_degradation_handle
+        self._next_degradation_handle += 1
+        self._degradations.append(
+            _Degradation(
+                handle=handle,
+                stations=frozenset(stations) if stations is not None else None,
+                bitrate_factor=bitrate_factor,
+                burst=_GilbertElliott(burst, self._burst_rng) if burst else None,
+                until=None if duration_s is None else self._kernel.now + duration_s,
+            )
+        )
+        return handle
+
+    def restore_link(self, handle: int) -> bool:
+        """End the degradation window ``handle``. Returns True if found."""
+        before = len(self._degradations)
+        self._degradations = [d for d in self._degradations if d.handle != handle]
+        return len(self._degradations) < before
+
+    @property
+    def degradations_active(self) -> int:
+        """Unexpired degradation windows (for tests/inspection)."""
+        return len(self._active_degradations(self._kernel.now))
+
+    def _active_degradations(self, now: float) -> list[_Degradation]:
+        if not self._degradations:
+            return []
+        live = [d for d in self._degradations if d.until is None or now < d.until]
+        if len(live) != len(self._degradations):
+            self._degradations = live
+        return live
+
     def _loss_rate_at(self, t: float) -> float:
         rate = self.config.loss_rate
         for start, end, window_rate in self._interference:
@@ -107,17 +268,36 @@ class WlanMedium(Medium):
     def transmit(self, frame: Frame) -> None:
         """Queue ``frame`` on the channel and schedule its delivery."""
         now = self._kernel.now
-        airtime = self.config.airtime(frame.wire_size)
+        degradations = [
+            d for d in self._active_degradations(now) if d.matches(frame)
+        ]
+        bitrate_factor = 1.0
+        for degradation in degradations:
+            bitrate_factor = min(bitrate_factor, degradation.bitrate_factor)
+        airtime = self.config.per_frame_overhead_s + (frame.wire_size * 8.0) / (
+            self.config.bitrate_bps * bitrate_factor
+        )
         if self.config.jitter_s > 0.0:
-            airtime += self._rng.uniform(0.0, self.config.jitter_s)
+            airtime += self._jitter_rng.uniform(0.0, self.config.jitter_s)
         start = max(now, self._channel_free_at)
         finish = start + airtime
         self._channel_free_at = finish
         self.frames_transmitted += 1
         self.total_airtime += airtime
         delivery_time = finish + self.config.propagation_delay_s
-        loss_rate = self._loss_rate_at(start)
-        lost = loss_rate > 0.0 and self._rng.random() < loss_rate
+
+        # A partitioned sender still transmits (burning airtime), but the
+        # destination cannot hear it.
+        partitioned = self.is_blocked(
+            frame.source.station, frame.destination.station
+        )
+        lost = False
+        if not partitioned:
+            loss_rate = self._loss_rate_at(start)
+            for degradation in degradations:
+                if degradation.burst is not None:
+                    loss_rate = max(loss_rate, degradation.burst.step())
+            lost = loss_rate > 0.0 and self._loss_rng.random() < loss_rate
         if self._tracer is not None:
             self._tracer.emit(
                 now,
@@ -128,8 +308,12 @@ class WlanMedium(Medium):
                 dst=str(frame.destination),
                 size=frame.wire_size,
                 queued_s=start - now,
-                lost=lost,
+                lost=lost or partitioned,
+                **({"reason": "partition"} if partitioned else {}),
             )
+        if partitioned:
+            self.frames_partitioned += 1
+            return
         if lost:
             self.frames_lost += 1
             return

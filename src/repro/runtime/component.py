@@ -78,6 +78,7 @@ class Component:
         self._timers: list[TimerHandle] = []
         self._periodic: list[PeriodicTimer] = []
         self.stopped = False
+        node.components.append(self)
 
     # ------------------------------------------------------------------
     # Timers
@@ -130,6 +131,8 @@ class Component:
         for timer in self._periodic:
             timer.cancel()
         self._periodic.clear()
+        if self in self.node.components:
+            self.node.components.remove(self)
         self.on_stop()
 
     def on_stop(self) -> None:

@@ -53,6 +53,14 @@ class Node:
         self.cost_model = cost_model
         self._op_counts: dict[str, int] = defaultdict(int)
         self.alive = True
+        #: Bumped by :meth:`restart`; queued CPU work from an earlier
+        #: incarnation is discarded when it completes.
+        self.incarnation = 0
+        #: Components currently hosted here (self-registered by
+        #: :class:`~repro.runtime.component.Component`).
+        self.components: list[Any] = []
+        #: Callbacks invoked after :meth:`restart` brings the node back.
+        self.restart_hooks: list[Callable[["Node"], None]] = []
 
     # ------------------------------------------------------------------
     # Compute
@@ -78,12 +86,16 @@ class Node:
         self._op_counts[op] = index + 1
         cost = self.cost_model.cost(op, nbytes=nbytes, invocation_index=index)
         if self.cpu is not None:
-            self.cpu.execute(cost, self._guarded, fn, args)
+            self.cpu.execute(cost, self._guarded, fn, args, self.incarnation)
         else:
-            self._guarded(fn, args)
+            self._guarded(fn, args, self.incarnation)
 
-    def _guarded(self, fn: Callable[..., None], args: tuple[Any, ...]) -> None:
-        if self.alive:
+    def _guarded(
+        self, fn: Callable[..., None], args: tuple[Any, ...], incarnation: int
+    ) -> None:
+        # Work queued before a restart belongs to a dead incarnation: its
+        # closures reference components that no longer exist.
+        if self.alive and incarnation == self.incarnation:
             fn(*args)
 
     def op_count(self, op: str) -> int:
@@ -126,9 +138,55 @@ class Node:
         self.alive = False
 
     def recover(self) -> None:
-        """Bring a failed node back (state held by components persists —
-        callers wanting amnesia recreate components)."""
+        """Blip recovery: bring a failed node back **with its state intact**.
+
+        Guarantees:
+
+        * all component state (queues, sessions, windows) survives — the
+          node behaves as if it merely lost power to its radio and CPU for
+          the failure window;
+        * timers armed before the failure fire again (their callbacks were
+          guarded, not cancelled), so periodic behaviour resumes without
+          re-registration;
+        * in-flight CPU work queued before the failure completes normally
+          (same incarnation).
+
+        Models a brief freeze (GC pause, transient brown-out). For a crash
+        that loses RAM contents, use :meth:`restart`.
+        """
         self.alive = True
+
+    def restart(self) -> None:
+        """Amnesia restart: crash the node and boot a **fresh incarnation**.
+
+        Guarantees:
+
+        * every component hosted on the node is stopped (timers cancelled,
+          services unbound via ``on_stop``) — no timer armed before the
+          restart ever fires afterwards;
+        * CPU work queued by the previous incarnation is discarded when it
+          surfaces, never executed;
+        * per-operation cost counters reset (warm-up costs are charged
+          again, as on a real reboot);
+        * the node comes back ``alive`` with no components; callers rebuild
+          the software stack, then :attr:`restart_hooks` fire so
+          orchestration layers (e.g. a cluster) can re-announce/re-deploy.
+
+        Models a power-cycled device whose RAM is lost but whose identity
+        (station name, address) persists.
+        """
+        self.alive = False  # no goodbye packets escape mid-teardown
+        # LIFO: dependents (agents, operators) stop before what they were
+        # built on (MQTT client), mirroring construction order.
+        for component in reversed(list(self.components)):
+            component.stop()
+        self.components.clear()
+        self._op_counts.clear()
+        self.incarnation += 1
+        self.alive = True
+        self.runtime.trace(self.name, "node.restart", incarnation=self.incarnation)
+        for hook in list(self.restart_hooks):
+            hook(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.alive else "failed"

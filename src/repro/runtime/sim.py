@@ -45,7 +45,11 @@ class SimRuntime(Runtime):
         self.wlan = WlanMedium(
             self.kernel,
             config=wlan_config,
-            rng=self.rng.stream("wlan.jitter"),
+            # A forked sub-registry gives the medium independent named
+            # streams (jitter / loss / burst), all derived from this
+            # runtime's seed: identical seeds replay identical runs,
+            # chaos schedules included.
+            rng=self.rng.fork("wlan"),
             tracer=self.tracer,
         )
         self.nodes: dict[str, Node] = {}

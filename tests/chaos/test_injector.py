@@ -1,0 +1,97 @@
+"""Injector behaviour: faults land at their planned times, traced."""
+
+import pytest
+
+from repro.chaos.injector import Injector
+from repro.chaos.plan import (
+    FaultPlan,
+    Heal,
+    LinkDegrade,
+    NodeCrash,
+    NodeRecover,
+    Partition,
+    SensorFlap,
+)
+from repro.errors import ConfigurationError
+from repro.runtime.sim import SimRuntime
+
+
+@pytest.fixture
+def runtime():
+    return SimRuntime(seed=5)
+
+
+def fault_marks(runtime, event="chaos.fault"):
+    return [(r.time, r.fields.get("kind")) for r in runtime.tracer.select(event)]
+
+
+def test_crash_and_recover_at_planned_times(runtime):
+    node = runtime.add_node("n")
+    plan = FaultPlan(
+        "blip",
+        (NodeCrash(at=2.0, node="n"), NodeRecover(at=4.0, node="n")),
+    )
+    injector = Injector(runtime)
+    injector.schedule(plan)
+    runtime.run(until=3.0)
+    assert not node.alive
+    runtime.run(until=5.0)
+    assert node.alive
+    assert injector.faults_applied == 2
+    assert fault_marks(runtime) == [(2.0, "node_crash"), (4.0, "node_recover")]
+    assert fault_marks(runtime, "chaos.restored") == [(4.0, "node_crash")]
+
+
+def test_partition_and_heal_drive_the_medium(runtime):
+    runtime.add_node("a")
+    runtime.add_node("b")
+    plan = FaultPlan(
+        "cut",
+        (
+            Partition(at=1.0, group_a=("a",), group_b=("b",)),
+            Heal(at=3.0, group_a=("a",), group_b=("b",)),
+        ),
+    )
+    Injector(runtime).schedule(plan)
+    runtime.run(until=2.0)
+    assert runtime.wlan.is_blocked("a", "b")
+    runtime.run(until=4.0)
+    assert not runtime.wlan.is_blocked("a", "b")
+    assert fault_marks(runtime, "chaos.restored") == [(3.0, "partition")]
+
+
+def test_link_degrade_expires_with_restored_mark(runtime):
+    plan = FaultPlan(
+        "slow", (LinkDegrade(at=1.0, duration_s=2.0, bitrate_factor=0.5),)
+    )
+    Injector(runtime).schedule(plan)
+    runtime.run(until=2.0)
+    assert runtime.wlan.degradations_active == 1
+    runtime.run(until=4.0)
+    assert runtime.wlan.degradations_active == 0
+    assert fault_marks(runtime, "chaos.restored") == [(3.0, "link_degrade")]
+
+
+def test_unknown_node_rejected(runtime):
+    Injector(runtime).schedule(
+        FaultPlan("p", (NodeCrash(at=1.0, node="ghost"),))
+    )
+    with pytest.raises(ConfigurationError, match="unknown node"):
+        runtime.run(until=2.0)
+
+
+def test_past_events_rejected(runtime):
+    runtime.add_node("n")
+    runtime.run(until=5.0)
+    with pytest.raises(ConfigurationError, match="in the past"):
+        Injector(runtime).schedule(FaultPlan("p", (NodeCrash(at=1.0, node="n"),)))
+
+
+def test_sensor_flap_needs_a_cluster(runtime):
+    Injector(runtime).schedule(
+        FaultPlan(
+            "p", (SensorFlap(at=1.0, module="m", device="d", down_s=1.0),)
+        )
+    )
+    with pytest.raises(ConfigurationError, match="IFoTCluster"):
+        runtime.run(until=2.0)

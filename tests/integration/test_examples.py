@@ -46,3 +46,8 @@ def test_mobility_support_ranking_reacts_to_surge():
 def test_resilient_pipeline_fails_over():
     module = load_example("resilient_pipeline")
     assert module.main() == 0
+
+
+def test_chaos_demo_survives_partition():
+    module = load_example("chaos_demo")
+    assert module.main() == 0

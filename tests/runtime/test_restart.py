@@ -1,0 +1,107 @@
+"""Node.restart(): amnesia semantics, vs Node.recover(): blip semantics."""
+
+from repro.runtime.component import Component
+from repro.runtime.sim import SimRuntime
+
+
+class Beeper(Component):
+    """Periodic component recording its own activity and teardown."""
+
+    def __init__(self, node, name, log):
+        super().__init__(node, name)
+        self.log = log
+        self.every(1.0, lambda: self.log.append((node.runtime.now, name)))
+
+    def on_stop(self):
+        self.log.append(("stopped", self.name))
+
+
+def test_restart_bumps_incarnation_and_stays_alive():
+    runtime = SimRuntime(seed=0)
+    node = runtime.add_node("n")
+    assert node.incarnation == 0
+    node.restart()
+    assert node.alive
+    assert node.incarnation == 1
+    marks = runtime.tracer.select("node.restart")
+    assert [r["incarnation"] for r in marks] == [1]
+
+
+def test_restart_stops_components_in_reverse_order():
+    runtime = SimRuntime(seed=0)
+    node = runtime.add_node("n")
+    log = []
+    Beeper(node, "base", log)
+    Beeper(node, "dependent", log)
+    assert [c.name for c in node.components] == ["base", "dependent"]
+    node.restart()
+    # Dependents stop before what they were built on (LIFO).
+    assert log == [("stopped", "dependent"), ("stopped", "base")]
+    assert node.components == []
+
+
+def test_restart_silences_old_incarnation_timers():
+    runtime = SimRuntime(seed=0)
+    node = runtime.add_node("n")
+    log = []
+    Beeper(node, "b", log)
+    runtime.run(until=2.5)
+    assert [entry for entry in log if entry[1] == "b" and entry[0] != "stopped"]
+    ticks_before = len(log)
+    node.restart()
+    runtime.run(until=10.0)
+    ticks = [e for e in log if isinstance(e[0], float) and e[0] > 2.5]
+    assert ticks == []  # no timer armed before the restart ever fires after
+    assert len(log) == ticks_before + 1  # only the stop record was added
+
+
+def test_restart_discards_queued_cpu_work():
+    runtime = SimRuntime(seed=0)
+    node = runtime.add_node("n")
+    ran = []
+    node.execute("op", lambda: ran.append("old"))
+    node.restart()
+    runtime.run(until=1.0)
+    assert ran == []  # stale incarnation's closure never executed
+    node.execute("op", lambda: ran.append("new"))
+    runtime.run(until=2.0)
+    assert ran == ["new"]
+
+
+def test_restart_resets_op_counts():
+    runtime = SimRuntime(seed=0)
+    node = runtime.add_node("n")
+    node.execute("op", lambda: None)
+    runtime.run(until=0.5)
+    assert node.op_count("op") == 1
+    node.restart()
+    assert node.op_count("op") == 0
+
+
+def test_restart_hooks_fire_after_boot():
+    runtime = SimRuntime(seed=0)
+    node = runtime.add_node("n")
+    seen = []
+    node.restart_hooks.append(lambda n: seen.append((n.alive, n.incarnation)))
+    node.restart()
+    node.restart()
+    assert seen == [(True, 1), (True, 2)]
+
+
+def test_recover_keeps_components_and_timers():
+    """The contrast case: a blip keeps state, timers and incarnation."""
+    runtime = SimRuntime(seed=0)
+    node = runtime.add_node("n")
+    log = []
+    beeper = Beeper(node, "b", log)
+    runtime.run(until=1.5)
+    node.fail()
+    runtime.run(until=3.5)  # ticks during the outage are suppressed
+    suppressed = [e for e in log if isinstance(e[0], float) and 1.5 < e[0] <= 3.5]
+    node.recover()
+    runtime.run(until=5.5)
+    resumed = [e for e in log if isinstance(e[0], float) and e[0] > 3.5]
+    assert suppressed == []
+    assert resumed  # the same timer resumed without re-registration
+    assert node.incarnation == 0
+    assert node.components == [beeper]
