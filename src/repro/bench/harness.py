@@ -32,6 +32,9 @@ class ExperimentResult:
     batches_judged: int = 0
     jobs_dropped: dict[str, int] = field(default_factory=dict)
     wlan_utilization: float = 0.0
+    #: The run's tracer (set by the driver) — carries ``obs.span`` records
+    #: when the experiment ran with ``observe=True``.
+    tracer: Any = None
 
     def __post_init__(self) -> None:
         self.training = LatencyRecorder("sensing-training")
@@ -67,6 +70,7 @@ def run_paper_experiment(
     settle_s: float = 2.0,
     qos: int = 0,
     broker_cpu_speed: float = 1.0,
+    observe: bool = False,
 ) -> ExperimentResult:
     """Run the Fig. 7/9 experiment at one sensing rate.
 
@@ -83,6 +87,13 @@ def run_paper_experiment(
     )
     testbed.qos = qos
     runtime = testbed.runtime
+    if observe:
+        from repro.obs import enable_observability
+
+        # The bench testbed keeps trace storage off for speed; an observed
+        # run exists to produce the trace, so turn it back on.
+        runtime.tracer.enabled = True
+        enable_observability(runtime)
     result = ExperimentResult(rate_hz=rate_hz, duration_s=duration_s)
 
     sensed = {"count": 0}
@@ -110,6 +121,7 @@ def run_paper_experiment(
         if node.cpu is not None and node.cpu.stats.jobs_dropped:
             result.jobs_dropped[name] = node.cpu.stats.jobs_dropped
     result.wlan_utilization = runtime.wlan.utilization()
+    result.tracer = runtime.tracer
     return result
 
 

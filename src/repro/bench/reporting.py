@@ -7,10 +7,12 @@ import json
 from pathlib import Path
 
 from repro.bench.harness import ExperimentResult
+from repro.sim.trace import Tracer
 
 __all__ = [
     "format_result_table",
     "format_comparison_table",
+    "format_trace_breakdown",
     "write_results_csv",
     "write_results_json",
 ]
@@ -56,6 +58,37 @@ def format_comparison_table(
             f"{avg_ratio:>6.2f} | {reference['max']:>10.3f} {row['max_ms']:>10.3f} "
             f"{max_ratio:>6.2f}"
         )
+    return "\n".join(lines)
+
+
+def format_trace_breakdown(tracer: Tracer, title: str = "") -> str:
+    """Per-stage latency breakdown of an observed run's span trees.
+
+    The stage rows decompose the paper's end-to-end numbers: each stage's
+    own service time plus the queue/network gap in front of it, with
+    end-to-end rows per leaf stage (train / predict / actuator paths).
+    """
+    from repro.obs import (
+        check_span_integrity,
+        format_stage_table,
+        spans_from_tracer,
+        stage_breakdown,
+    )
+
+    spans = spans_from_tracer(tracer)
+    if not spans:
+        return "no spans in trace (was the run observed? see `repro trace`)"
+    breakdown = stage_breakdown(spans)
+    lines = [format_stage_table(breakdown, title=title)]
+    lines.append("")
+    lines.append(
+        f"{breakdown.spans} spans in {breakdown.traces} traces"
+        + (f", {breakdown.truncated} truncated paths" if breakdown.truncated else "")
+    )
+    problems = check_span_integrity(spans)
+    if problems:
+        lines.append(f"WARNING: {len(problems)} span integrity violations:")
+        lines.extend(f"  {p}" for p in problems[:10])
     return "\n".join(lines)
 
 

@@ -10,6 +10,7 @@ trains; module F does the same but predicts (Fig. 9).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.bench.calibration import (
     BROKER_QUEUE_LIMIT,
@@ -22,7 +23,14 @@ from repro.core.recipe import Recipe, TaskSpec
 from repro.runtime.sim import SimRuntime
 from repro.sensors.devices import FixedPayloadModel
 
-__all__ = ["PaperTestbed", "build_paper_testbed", "build_paper_recipe"]
+__all__ = [
+    "PaperTestbed",
+    "build_paper_testbed",
+    "build_paper_recipe",
+    "FIG5_RECIPE_PATH",
+    "build_fig5_testbed",
+    "run_fig5_experiment",
+]
 
 #: Module names of Fig. 7 (the management node is created by the cluster).
 SENSOR_MODULES = ("module-a", "module-b", "module-c")
@@ -148,3 +156,75 @@ def build_paper_recipe(rate_hz: float, qos: int = 0) -> Recipe:
         ),
     ]
     return Recipe("paper-exp", tasks)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 "start watching" testbed (shared by `repro trace` and the
+# golden-trace tests, which fingerprint a run of exactly this build).
+# ---------------------------------------------------------------------------
+
+FIG5_RECIPE_PATH = (
+    Path(__file__).resolve().parents[3] / "examples" / "recipes" / "fig5_watching.recipe"
+)
+
+#: The planted fall event driving the Fig. 5 scenario.
+FIG5_FALL_AT = 20.0
+FIG5_FALL_LEN = 2.0
+
+
+def build_fig5_testbed(
+    seed: int = 55, observe: bool = False
+) -> tuple[SimRuntime, IFoTCluster]:
+    """The Fig. 5 cluster: wrist/waist accelerometers, room sensors +
+    camera, an analysis module and a pager, with a fall planted at t=20 s.
+
+    With ``observe=True`` flow tracing and metrics are enabled *before*
+    any component exists, so the span trees cover the whole run.
+    """
+    from repro.sensors import (
+        AccelerometerModel,
+        AlertActuator,
+        CameraModel,
+        EnvironmentSensorModel,
+        EventSchedule,
+    )
+
+    events = EventSchedule()
+    events.add(FIG5_FALL_AT, FIG5_FALL_LEN, "fall", intensity=1.2)
+    runtime = SimRuntime(seed=seed)
+    if observe:
+        from repro.obs import enable_observability
+
+        enable_observability(runtime)
+    cluster = IFoTCluster(runtime)
+    wrist = cluster.add_module("pi-wrist")
+    wrist.attach_sensor("accel-wrist", AccelerometerModel(events))
+    waist = cluster.add_module("pi-waist")
+    waist.attach_sensor("accel-waist", AccelerometerModel(events, sway_sigma=0.06))
+    room = cluster.add_module("pi-room")
+    room.attach_sensor("environment", EnvironmentSensorModel(events))
+    room.attach_sensor("camera", CameraModel(events))
+    cluster.add_module("pi-analysis")
+    pager_module = cluster.add_module("pi-pager")
+    pager_module.attach_actuator("pager", AlertActuator())
+    cluster.settle(2.0)
+    return runtime, cluster
+
+
+def run_fig5_experiment(
+    seed: int = 55, duration_s: float = 30.0, observe: bool = True
+) -> SimRuntime:
+    """Deploy the shipped Fig. 5 recipe and run for ``duration_s``.
+
+    Returns the runtime; its tracer carries the full event trace (span
+    trees and metric scrapes included when ``observe`` is on).
+    """
+    from repro.core.dsl import parse_recipe
+
+    runtime, cluster = build_fig5_testbed(seed=seed, observe=observe)
+    recipe = parse_recipe(FIG5_RECIPE_PATH.read_text())
+    app = cluster.submit(recipe)
+    cluster.settle(2.0)
+    runtime.run(until=runtime.now + duration_s)
+    app.stop()
+    return runtime

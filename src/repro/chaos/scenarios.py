@@ -173,6 +173,8 @@ class ScenarioResult:
     trace_digest: str
     trace_records: int
     faults_applied: int
+    #: The run's full tracer (span trees included when observed).
+    tracer: Tracer | None = None
 
 
 def trace_digest(tracer: Tracer) -> str:
@@ -382,12 +384,21 @@ def get_scenario(name: str) -> ChaosScenario:
 
 
 def run_scenario(
-    scenario: ChaosScenario | str, seed: int = 0
+    scenario: ChaosScenario | str, seed: int = 0, observe: bool = False
 ) -> ScenarioResult:
-    """Build the testbed, inject the scenario's plan, check invariants."""
+    """Build the testbed, inject the scenario's plan, check invariants.
+
+    ``observe=True`` enables flow tracing + metrics (``repro.obs``) before
+    the workload starts, so the resulting trace carries span trees through
+    the injected faults — the golden-trace tests fingerprint exactly that.
+    """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     runtime, cluster = build_chaos_cluster(seed)
+    if observe:
+        from repro.obs import enable_observability
+
+        enable_observability(runtime)
     app = cluster.submit(build_chaos_recipe())
     cluster.settle(2.0)
     plan = scenario.build_plan(cluster, app).validate()
@@ -405,4 +416,5 @@ def run_scenario(
         trace_digest=trace_digest(runtime.tracer),
         trace_records=len(runtime.tracer),
         faults_applied=injector.faults_applied,
+        tracer=runtime.tracer,
     )

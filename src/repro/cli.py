@@ -16,6 +16,10 @@ Commands
 ``chaos``
     Run a fault-injection scenario (or all of them) on the simulated
     chaos testbed and print the end-to-end invariant report.
+``trace``
+    Run an observed pipeline (or load a trace dump) and print the
+    per-stage latency breakdown reconstructed from its span trees;
+    optionally export the trace as JSONL and/or Chrome trace_event JSON.
 """
 
 from __future__ import annotations
@@ -149,6 +153,55 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_trace_breakdown
+    from repro.obs import spans_from_tracer, to_chrome_trace
+    from repro.sim.trace import Tracer
+
+    if args.input:
+        tracer = Tracer.from_jsonl(Path(args.input))
+        title = f"Latency breakdown — {args.input}"
+    elif args.pipeline == "fig5":
+        from repro.bench.scenarios import run_fig5_experiment
+
+        print(
+            f"running the Fig. 5 recipe with tracing on "
+            f"(duration {args.duration:g}s, seed {args.seed})..."
+        )
+        runtime = run_fig5_experiment(
+            seed=args.seed, duration_s=args.duration, observe=True
+        )
+        tracer = runtime.tracer
+        title = "Latency breakdown — Fig. 5 'start watching' pipeline"
+    else:
+        from repro.bench.harness import run_paper_experiment
+
+        print(
+            f"running the Fig. 7/9 testbed with tracing on "
+            f"({args.rate:g} Hz, duration {args.duration:g}s, seed {args.seed})..."
+        )
+        result = run_paper_experiment(
+            args.rate, duration_s=args.duration, seed=args.seed, observe=True
+        )
+        tracer = result.tracer
+        title = f"Latency breakdown — paper pipeline at {args.rate:g} Hz"
+    print()
+    print(format_trace_breakdown(tracer, title=title))
+    if args.jsonl:
+        count = tracer.to_jsonl(args.jsonl)
+        print(f"wrote {count} trace records to {args.jsonl}")
+    if args.chrome:
+        chrome = to_chrome_trace(spans_from_tracer(tracer))
+        Path(args.chrome).write_text(
+            json.dumps(chrome, sort_keys=True), encoding="utf-8"
+        )
+        print(
+            f"wrote {len(chrome['traceEvents'])} trace events to {args.chrome} "
+            "(load in chrome://tracing or Perfetto)"
+        )
+    return 0 if spans_from_tracer(tracer) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -197,6 +250,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.set_defaults(fn=_cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace", help="observed run + per-stage latency breakdown"
+    )
+    trace.add_argument(
+        "--pipeline",
+        choices=("paper", "fig5"),
+        default="paper",
+        help="which pipeline to run (default: paper Fig. 7/9 testbed)",
+    )
+    trace.add_argument("--rate", type=float, default=5.0, help="sensing rate (paper)")
+    trace.add_argument("--duration", type=float, default=2.5)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument(
+        "--input", default="", help="analyze an existing trace JSONL instead of running"
+    )
+    trace.add_argument("--jsonl", default="", help="dump the full trace as JSONL")
+    trace.add_argument(
+        "--chrome", default="", help="export spans as Chrome trace_event JSON"
+    )
+    trace.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -111,6 +111,7 @@ class LearningClass(StreamOperator):
             sensed_at=record.sensed_at,
             latency_s=now - record.sensed_at,
             merged=len(record.merged_ids) or 1,
+            **({"trace_id": record.ctx.trace_id} if record.ctx is not None else {}),
             **accuracy_field,
             **{k: v for k, v in info.items() if k in ("trained", "label")},
         )
@@ -230,6 +231,7 @@ class JudgingClass(StreamOperator):
             sensed_at=record.sensed_at,
             latency_s=now - record.sensed_at,
             judged=out.attributes["judged"],
+            **({"trace_id": record.ctx.trace_id} if record.ctx is not None else {}),
         )
         if self.publishers:
             self.emit(out)

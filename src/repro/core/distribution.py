@@ -19,6 +19,7 @@ from repro.core.flow import FlowRecord, topic_for_stream
 from repro.mqtt.broker import Broker as BrokerClass
 from repro.mqtt.client import MqttClient
 from repro.mqtt.packets import Packet
+from repro.obs.context import FlowContext
 from repro.runtime.component import Component
 from repro.runtime.node import Node
 from repro.errors import SerializationError
@@ -57,11 +58,25 @@ class PublishClass(Component):
             sample_id=record.sample_id,
             sensed_at=record.sensed_at,
         )
+        headers = {"published_at": self.runtime.now, "stream": self.stream}
+        obs = self.runtime.obs
+        if obs is not None and record.ctx is not None:
+            # The publish hop is a point span; its context travels to the
+            # broker in the message user-properties, never in the payload.
+            ctx = obs.point(
+                "publish",
+                self.node,
+                parent=record.ctx,
+                links=tuple(record.ctx_links),
+                stream=self.stream,
+                sample=record.sample_id,
+            )
+            headers["obs"] = ctx.to_wire()
         self.client.publish(
             self.topic,
             record.to_payload(),
             qos=self.qos,
-            headers={"published_at": self.runtime.now, "stream": self.stream},
+            headers=headers,
         )
 
 
@@ -119,6 +134,11 @@ class SubscribeClass(Component):
             self.decode_errors += 1
             self.trace("flow.decode_error", topic=topic)
             return
+        if self.runtime.obs is not None:
+            headers = _packet.get("headers") or {}
+            wire = headers.get("obs")
+            if wire is not None:
+                record.ctx = FlowContext.from_wire(wire)
         self.records_received += 1
         self.callback(stream, record)
 

@@ -50,6 +50,12 @@ class FlowRecord:
         Sample ids folded into this record by window/merge operators.
     attributes:
         Free-form operator outputs (scores, labels, judgements...).
+    ctx / ctx_links:
+        Transient observability context (:class:`repro.obs.FlowContext`
+        of the span that produced this record, plus extra parent span ids
+        folded in by merges). Never serialized — on the wire the context
+        travels in MQTT user-properties, so payload bytes are identical
+        whether tracing is on or off.
     """
 
     sample_id: str
@@ -59,6 +65,8 @@ class FlowRecord:
     path: list[str] = field(default_factory=list)
     merged_ids: list[str] = field(default_factory=list)
     attributes: dict[str, Any] = field(default_factory=dict)
+    ctx: Any = field(default=None, repr=False, compare=False)
+    ctx_links: list[str] = field(default_factory=list, repr=False, compare=False)
 
     def derive(self, step: str, datum: Datum | None = None) -> "FlowRecord":
         """A new record that went through ``step`` (provenance appended)."""
@@ -70,6 +78,8 @@ class FlowRecord:
             path=self.path + [step],
             merged_ids=list(self.merged_ids),
             attributes=dict(self.attributes),
+            ctx=self.ctx,
+            ctx_links=list(self.ctx_links),
         )
 
     @classmethod
@@ -92,6 +102,17 @@ class FlowRecord:
         attributes: dict[str, Any] = {}
         for record in records:
             attributes.update(record.attributes)
+        # Causality: the merged record's primary parent is the oldest
+        # contributor's span; every other contributor becomes a link so the
+        # span tree keeps all inbound chains.
+        links: list[str] = []
+        for record in records:
+            for link in record.ctx_links:
+                if link not in links:
+                    links.append(link)
+            if record.ctx is not None and record is not oldest:
+                if record.ctx.span_id not in links:
+                    links.append(record.ctx.span_id)
         return cls(
             sample_id=oldest.sample_id,
             source=oldest.source,
@@ -100,6 +121,8 @@ class FlowRecord:
             path=[step],
             merged_ids=all_ids,
             attributes=attributes,
+            ctx=oldest.ctx,
+            ctx_links=links,
         )
 
     # ------------------------------------------------------------------

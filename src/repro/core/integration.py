@@ -81,6 +81,18 @@ class SensorClass(StreamOperator):
             datum=Datum.from_mapping(reading),
             path=[self.subtask.task_id],
         )
+        obs = self.runtime.obs
+        if obs is not None:
+            # Root of the span tree: sensing instant -> sample packed.
+            span = obs.start_span(
+                "sense",
+                self.node,
+                start=sensed_at,
+                task=self.subtask.task_id,
+                sample=record.sample_id,
+                device=self.device,
+            )
+            record.ctx = obs.finish(span)
         self.samples_taken += 1
         self.trace(
             "sensor.sample",

@@ -101,6 +101,8 @@ class StreamOperator(Component):
         #: crash-looping task must not monopolize its module's CPU.
         self.max_consecutive_errors = 25
         self._consecutive_errors = 0
+        self._obs_span: Any = None
+        self._obs_hist: Any = None
         self.configure()
 
     def configure(self) -> None:
@@ -120,7 +122,46 @@ class StreamOperator(Component):
                 self.records_skipped += 1
                 return
         self.records_in += 1
-        self.node.execute(self.cost_op, self._process, stream, record)
+        if self.runtime.obs is not None:
+            self.node.execute(
+                self.cost_op, self._process_traced, stream, record, self.runtime.now
+            )
+        else:
+            self.node.execute(self.cost_op, self._process, stream, record)
+
+    def _process_traced(
+        self, stream: str, record: FlowRecord, enqueued_at: float
+    ) -> None:
+        """Traced variant of :meth:`_process`: wraps the record in an
+        operator span covering CPU queueing + service + handling, and makes
+        that span the causal parent of everything :meth:`emit` publishes."""
+        obs = self.runtime.obs
+        if obs is None:
+            self._process(stream, record)
+            return
+        span = obs.start_span(
+            f"op.{self.subtask.operator}",
+            self.node,
+            parent=record.ctx,
+            start=enqueued_at,
+            task=self.subtask.task_id,
+            sample=record.sample_id,
+        )
+        self._obs_span = span
+        try:
+            self._process(stream, record)
+        finally:
+            self._obs_span = None
+            obs.finish(span)
+            if obs.metrics is not None:
+                hist = self._obs_hist
+                if hist is None:
+                    hist = self._obs_hist = obs.metrics.histogram(
+                        "operator.latency_s",
+                        node=self.node.name,
+                        operator=self.subtask.operator,
+                    )
+                hist.observe(self.runtime.now - enqueued_at)
 
     def _process(self, stream: str, record: FlowRecord) -> None:
         if self.stopped:
@@ -158,6 +199,18 @@ class StreamOperator(Component):
                     f"{self.name}: not a declared output stream: {stream!r}"
                 )
             targets = [publisher]
+        span = self._obs_span
+        if span is not None:
+            # Re-parent the outgoing record onto this operator's span. A
+            # merge-assigned context (window/merge output) is preserved as
+            # a link so no causal chain is dropped.
+            if record.ctx is not None and record.ctx.span_id not in (
+                span.ctx.span_id,
+                span.ctx.parent_id,
+            ):
+                if record.ctx.span_id not in record.ctx_links:
+                    record.ctx_links.append(record.ctx.span_id)
+            record.ctx = span.ctx
         self.records_out += 1
         for publisher in targets:
             publisher.publish_record(record)

@@ -18,6 +18,7 @@ from typing import Any
 from repro.net.address import Address
 from repro.mqtt.packets import Packet, PacketType
 from repro.mqtt.topics import TopicTree, validate_topic
+from repro.obs.context import FlowContext
 from repro.runtime.base import TimerHandle
 from repro.runtime.component import Component
 from repro.runtime.node import Node
@@ -291,6 +292,17 @@ class Broker(Component):
         payload = packet.get("payload")
         headers = packet.get("headers") or {}
         self.stats.publishes_in += 1
+
+        obs = self.runtime.obs
+        if obs is not None:
+            parent = FlowContext.from_wire(headers.get("obs"))
+            if parent is not None:
+                # Routing hop: one broker span per inbound publish, and the
+                # forwarded copies (retained ones included) carry *its*
+                # context. Header rewrite is on a copy — the publisher's
+                # packet is never mutated.
+                ctx = obs.point("broker", self.node, parent=parent, topic=topic)
+                headers = {**headers, "obs": ctx.to_wire()}
 
         if packet.get("retain", False):
             if payload is None:

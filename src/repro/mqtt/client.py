@@ -444,6 +444,13 @@ class MqttClient(Component):
         topic = packet["topic"]
         if int(packet.get("qos", 0)) == 1:
             self._send(Packet.puback(packet["packet_id"]))
+        obs = self.runtime.obs
+        if (
+            obs is not None
+            and obs.metrics is not None
+            and bool(packet.get("dup", False))
+        ):
+            obs.metrics.counter("mqtt.redeliveries", node=self.node.name).inc()
         fwd_id = packet.get("fwd_id")
         if fwd_id is not None:
             # End-to-end QoS 1 accounting: this delivery attempt reached

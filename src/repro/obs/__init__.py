@@ -1,0 +1,65 @@
+"""End-to-end observability: flow tracing, metrics, latency breakdown.
+
+The layer has three parts (see ``docs/ARCHITECTURE.md``):
+
+* :mod:`repro.obs.context` — :class:`FlowContext`/:class:`Span`, the
+  causal references carried through the middleware in MQTT
+  user-properties and on in-process flow records;
+* :mod:`repro.obs.metrics` — the instrument registry scraped into the
+  trace at sim-time intervals;
+* :mod:`repro.obs.breakdown` — offline span-tree reconstruction,
+  integrity checks, per-stage latency tables and Chrome export.
+
+Instrumentation is zero-cost-when-disabled: every site in the middleware
+checks ``runtime.obs is not None`` before allocating anything, and
+``runtime.obs`` only becomes non-None through
+:func:`enable_observability`, which itself honours the module-level
+:data:`ENABLED` kill switch below.
+"""
+
+from __future__ import annotations
+
+from repro.obs.breakdown import (
+    SpanRecord,
+    StageBreakdown,
+    canonical_span_lines,
+    check_span_integrity,
+    decompose_path,
+    format_stage_table,
+    path_to_root,
+    span_index,
+    spans_from_tracer,
+    stage_breakdown,
+    to_chrome_trace,
+)
+from repro.obs.context import SPAN_EVENT, FlowContext, Span
+from repro.obs.metrics import MetricsRegistry, metric_key
+from repro.obs.state import METRICS_EVENT, ObsState, enable_observability
+
+#: Module-level kill switch. When False, :func:`enable_observability` is a
+#: no-op and the middleware's ``runtime.obs`` stays ``None``, so the hot
+#: path performs exactly one attribute load + identity check per site.
+ENABLED: bool = True
+
+__all__ = [
+    "ENABLED",
+    "FlowContext",
+    "Span",
+    "SPAN_EVENT",
+    "METRICS_EVENT",
+    "MetricsRegistry",
+    "metric_key",
+    "ObsState",
+    "enable_observability",
+    "SpanRecord",
+    "StageBreakdown",
+    "spans_from_tracer",
+    "span_index",
+    "check_span_integrity",
+    "path_to_root",
+    "decompose_path",
+    "stage_breakdown",
+    "format_stage_table",
+    "to_chrome_trace",
+    "canonical_span_lines",
+]

@@ -1,0 +1,154 @@
+"""Metrics registry: counters, gauges and histograms over ``util.stats``.
+
+Instruments are identified by a name plus sorted ``key=value`` labels
+(``operator.latency_s{node=module-e,operator=train}``), so per-node and
+per-component series coexist in one registry. Registration is
+get-or-create and therefore idempotent — a component re-created after a
+node restart re-attaches to the same series.
+
+The registry itself never touches the clock; an
+:class:`~repro.obs.state.ObsState` scrapes :meth:`MetricsRegistry.snapshot`
+at sim-time intervals into the shared :class:`~repro.sim.trace.Tracer`, so
+metric samples are ordinary trace records and inherit the trace layer's
+determinism and JSONL round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.util.stats import RunningStats
+
+__all__ = ["Counter", "Gauge", "HistogramMetric", "MetricsRegistry", "metric_key"]
+
+
+def metric_key(name: str, labels: dict[str, str]) -> str:
+    """Fully-qualified series name: ``name{k1=v1,k2=v2}`` (labels sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotone event counter."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Point-in-time value: either set directly or computed by a callback."""
+
+    __slots__ = ("key", "_value", "fn")
+
+    def __init__(self, key: str, fn: Callable[[], float] | None = None) -> None:
+        self.key = key
+        self.fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def read(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+
+class HistogramMetric:
+    """Streaming distribution (Welford) of observed values.
+
+    Raw samples are *not* kept — scrapes report count/mean/min/max, which
+    is what fits on a constrained device; exact percentiles come from the
+    span layer instead.
+    """
+
+    __slots__ = ("key", "stats")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.stats = RunningStats()
+
+    def observe(self, value: float) -> None:
+        self.stats.add(value)
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in one runtime."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, HistogramMetric] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument factories (idempotent by fully-qualified name)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = metric_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(key)
+        return instrument
+
+    def gauge(
+        self, name: str, fn: Callable[[], float] | None = None, **labels: str
+    ) -> Gauge:
+        key = metric_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(key, fn)
+        elif fn is not None:
+            instrument.fn = fn  # re-bind after a node restart
+        return instrument
+
+    def histogram(self, name: str, **labels: str) -> HistogramMetric:
+        key = metric_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = HistogramMetric(key)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Scraping
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """One flat, sorted ``series -> value`` mapping.
+
+        Counters report their count, gauges their current read (callback
+        errors surface as the value staying at the last good read — a
+        dead gauge must not kill the scraper), histograms a 4-tuple-ish
+        dict of count/mean/min/max.
+        """
+        out: dict[str, Any] = {}
+        for key in sorted(self._counters):
+            out[key] = self._counters[key].value
+        for key in sorted(self._gauges):
+            try:
+                out[key] = round(self._gauges[key].read(), 9)
+            except Exception:  # noqa: BLE001 - scrape isolation
+                continue
+        for key in sorted(self._histograms):
+            stats = self._histograms[key].stats
+            if stats.count == 0:
+                out[key] = {"count": 0}
+            else:
+                out[key] = {
+                    "count": stats.count,
+                    "mean": round(stats.mean, 9),
+                    "min": round(stats.minimum, 9),
+                    "max": round(stats.maximum, 9),
+                }
+        return out
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -1,0 +1,187 @@
+"""Observability state attached to a runtime.
+
+``Runtime.obs`` is ``None`` by default; every instrumentation site in the
+middleware guards with ``if runtime.obs is not None`` and allocates
+nothing when it is. :func:`enable_observability` installs an
+:class:`ObsState`, which owns:
+
+* span bookkeeping — deterministic trace/span ids from the runtime's
+  sequential id generator, finished spans emitted as ``obs.span`` trace
+  records (see :mod:`repro.obs.context`);
+* the :class:`~repro.obs.metrics.MetricsRegistry`, plus a sim-time
+  scraper that samples every instrument into ``obs.metrics`` trace
+  records at a fixed interval.
+
+Determinism contract: with the same seed and topology, two runs produce
+byte-identical trace dumps — nothing here reads wall-clock, ``random`` or
+``uuid``, and all iteration over registries is sorted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.context import SPAN_EVENT, FlowContext, Span
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import Runtime
+    from repro.runtime.node import Node
+
+__all__ = ["ObsState", "enable_observability", "METRICS_EVENT"]
+
+#: Trace event name under which metric scrapes are recorded.
+METRICS_EVENT = "obs.metrics"
+
+
+class ObsState:
+    """Per-runtime observability: span factory + metrics registry."""
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        scrape_interval_s: float = 1.0,
+        metrics: bool = True,
+    ) -> None:
+        self.runtime = runtime
+        self.metrics: MetricsRegistry | None = MetricsRegistry() if metrics else None
+        self.scrape_interval_s = scrape_interval_s
+        self.spans_emitted = 0
+        self.scrapes = 0
+        self._scraping = False
+        if self.metrics is not None and scrape_interval_s > 0:
+            self._scraping = True
+            runtime.call_later(scrape_interval_s, self._scrape)
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        node: "Node",
+        parent: FlowContext | None = None,
+        start: float | None = None,
+        links: tuple[str, ...] = (),
+        **fields: Any,
+    ) -> Span:
+        """Open a span; roots (``parent=None``) also open a new trace."""
+        span_id = f"sp-{self.runtime.ids.next_int('obs.span')}"
+        if parent is None:
+            trace_id = f"tr-{self.runtime.ids.next_int('obs.trace')}"
+            ctx = FlowContext(trace_id, span_id, parent_id="", hop=0)
+        else:
+            ctx = FlowContext(
+                parent.trace_id, span_id, parent_id=parent.span_id, hop=parent.hop + 1
+            )
+        return Span(
+            ctx=ctx,
+            name=name,
+            node=node.name,
+            incarnation=node.incarnation,
+            start=self.runtime.now if start is None else start,
+            links=tuple(links),
+            fields=fields,
+        )
+
+    def finish(self, span: Span, **fields: Any) -> FlowContext:
+        """Close ``span`` now, emit its trace record, return its context."""
+        self.spans_emitted += 1
+        extra = dict(span.fields)
+        extra.update(fields)
+        if span.links:
+            extra["links"] = list(span.links)
+        self.runtime.tracer.emit(
+            self.runtime.now,
+            span.node,
+            SPAN_EVENT,
+            trace=span.ctx.trace_id,
+            span=span.ctx.span_id,
+            parent=span.ctx.parent_id,
+            name=span.name,
+            hop=span.ctx.hop,
+            inc=span.incarnation,
+            start=span.start,
+            **extra,
+        )
+        return span.ctx
+
+    def point(
+        self,
+        name: str,
+        node: "Node",
+        parent: FlowContext | None = None,
+        links: tuple[str, ...] = (),
+        **fields: Any,
+    ) -> FlowContext:
+        """Zero-duration span (a causal hop without a measured interval)."""
+        return self.finish(self.start_span(name, node, parent, links=links, **fields))
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def register_node(self, node: "Node") -> None:
+        """Idempotently attach the per-node instruments (queue depth, CPU
+        service time). Called from ``Component.__init__`` so any node that
+        hosts software is covered, including nodes added after enable."""
+        registry = self.metrics
+        if registry is None:
+            return
+        cpu = node.cpu
+        if cpu is None:
+            return
+        registry.gauge(
+            "node.cpu.queue_depth", fn=lambda: float(cpu.queue_length), node=node.name
+        )
+        registry.gauge(
+            "node.cpu.busy_s", fn=lambda: cpu.stats.busy_time, node=node.name
+        )
+        registry.gauge(
+            "node.cpu.service_mean_s",
+            fn=lambda: cpu.service_times.mean if cpu.service_times.count else 0.0,
+            node=node.name,
+        )
+
+    def _scrape(self) -> None:
+        if not self._scraping or self.metrics is None:
+            return
+        self.scrapes += 1
+        self.runtime.tracer.emit(
+            self.runtime.now, "obs", METRICS_EVENT, m=self.metrics.snapshot()
+        )
+        self.runtime.call_later(self.scrape_interval_s, self._scrape)
+
+    def stop_scraping(self) -> None:
+        self._scraping = False
+
+
+def enable_observability(
+    runtime: "Runtime",
+    scrape_interval_s: float = 1.0,
+    metrics: bool = True,
+) -> ObsState | None:
+    """Install observability on ``runtime`` (idempotent).
+
+    Returns the installed :class:`ObsState`, or ``None`` when the
+    module-level kill switch :data:`repro.obs.ENABLED` is off — callers
+    never need to re-check the flag themselves.
+    """
+    import repro.obs as obs_module
+
+    if not obs_module.ENABLED:
+        return None
+    if runtime.obs is not None:
+        return runtime.obs
+    state = ObsState(runtime, scrape_interval_s=scrape_interval_s, metrics=metrics)
+    runtime.obs = state
+    if state.metrics is not None:
+        wlan = getattr(runtime, "wlan", None)
+        if wlan is not None:
+            state.metrics.gauge("wlan.airtime_share", fn=wlan.utilization)
+        nodes = getattr(runtime, "nodes", None)
+        if nodes:
+            for name in sorted(nodes):
+                state.register_node(nodes[name])
+    return state

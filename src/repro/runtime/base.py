@@ -31,6 +31,10 @@ class Runtime(ABC):
         self.tracer = tracer if tracer is not None else Tracer()
         self.rng = RngRegistry(seed)
         self.ids = IdGenerator()
+        # Observability hook (repro.obs.ObsState). None means disabled, and
+        # every instrumentation site guards on that — the hot path cost of
+        # tracing being off is one attribute load + identity check.
+        self.obs: Any = None
 
     @property
     @abstractmethod

@@ -79,6 +79,8 @@ class Component:
         self._periodic: list[PeriodicTimer] = []
         self.stopped = False
         node.components.append(self)
+        if self.runtime.obs is not None:
+            self.runtime.obs.register_node(node)
 
     # ------------------------------------------------------------------
     # Timers

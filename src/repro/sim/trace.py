@@ -86,26 +86,26 @@ class Tracer:
     def to_jsonl(self, path: str | Path) -> int:
         """Dump the trace as JSON Lines; returns the record count.
 
-        Only JSON-encodable field values survive (others are repr'd), so
-        dumping never fails mid-run.
+        Each line is ``{"t": time, "src": source, "ev": event, "f": fields}``
+        with fields recursively encoded: tuples are tagged (so they come
+        back as tuples, not lists), dict keys are stringified, and any
+        non-JSON value is repr'd — dumping never fails mid-run, and
+        :meth:`from_jsonl` reproduces the original field structure for
+        everything JSON-representable.
         """
         path = Path(path)
         with path.open("w", encoding="utf-8") as fh:
             for record in self._records:
-                fields = {}
-                for key, value in record.fields.items():
-                    try:
-                        json.dumps(value)
-                        fields[key] = value
-                    except (TypeError, ValueError):
-                        fields[key] = repr(value)
                 fh.write(
                     json.dumps(
                         {
                             "t": record.time,
                             "src": record.source,
                             "ev": record.event,
-                            **fields,
+                            "f": {
+                                key: _encode_field(value)
+                                for key, value in record.fields.items()
+                            },
                         },
                         sort_keys=True,
                     )
@@ -115,7 +115,11 @@ class Tracer:
 
     @classmethod
     def from_jsonl(cls, path: str | Path) -> "Tracer":
-        """Rebuild a tracer from a :meth:`to_jsonl` dump."""
+        """Rebuild a tracer from a :meth:`to_jsonl` dump.
+
+        Also reads the legacy flat format (fields merged into the top-level
+        object), which cannot distinguish tuples from lists.
+        """
         tracer = cls()
         with Path(path).open("r", encoding="utf-8") as fh:
             for line in fh:
@@ -126,5 +130,39 @@ class Tracer:
                 time = data.pop("t")
                 source = data.pop("src")
                 event = data.pop("ev")
-                tracer.emit(time, source, event, **data)
+                if "f" in data and isinstance(data["f"], dict) and len(data) == 1:
+                    fields = {k: _decode_field(v) for k, v in data["f"].items()}
+                else:
+                    fields = data  # legacy flat format
+                tracer.emit(time, source, event, **fields)
         return tracer
+
+
+#: Tag marking an encoded tuple; chosen to be implausible as a real key.
+_TUPLE_TAG = "__tuple__"
+
+
+def _encode_field(value: Any) -> Any:
+    """JSON-ready deep copy of one field value (see :meth:`Tracer.to_jsonl`)."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (str, int, float)):
+        return value
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [_encode_field(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_field(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _encode_field(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _decode_field(value: Any) -> Any:
+    """Inverse of :func:`_encode_field` (tuples restored from their tag)."""
+    if isinstance(value, dict):
+        if len(value) == 1 and _TUPLE_TAG in value:
+            return tuple(_decode_field(v) for v in value[_TUPLE_TAG])
+        return {k: _decode_field(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_field(v) for v in value]
+    return value

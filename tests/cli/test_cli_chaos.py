@@ -1,0 +1,76 @@
+"""``repro chaos`` CLI: exit codes, determinism, violation reporting."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_every_scenario(capsys):
+    from repro.chaos import SCENARIOS
+
+    assert main(["chaos", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in SCENARIOS:
+        assert name in out
+
+
+def test_unknown_scenario_exits_one(capsys):
+    assert main(["chaos", "no-such-scenario"]) == 1
+    assert "unknown chaos scenario" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_passing_scenario_exits_zero(capsys):
+    assert main(["chaos", "partition_heal", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario partition_heal (seed 3" in out
+    assert "PASS" in out
+
+
+@pytest.mark.slow
+def test_same_seed_reports_same_digest(capsys):
+    def digest() -> str:
+        assert main(["chaos", "sensor_flap", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        (line,) = [l for l in out.splitlines() if "trace digest:" in l]
+        return line.split()[-1]
+
+    assert digest() == digest()
+
+
+def _stub_result(ok: bool):
+    report = SimpleNamespace(
+        ok=ok,
+        render=lambda: "invariants: " + ("PASS" if ok else "FAIL\n  FAIL qos1-loss"),
+    )
+    return SimpleNamespace(
+        name="stubbed",
+        seed=0,
+        duration_s=1.0,
+        report=report,
+        trace_digest="deadbeef" * 8,
+        trace_records=42,
+        faults_applied=1,
+    )
+
+
+def test_invariant_violation_exits_one_and_is_reported(capsys, monkeypatch):
+    import repro.cli as cli
+
+    monkeypatch.setattr(cli, "run_scenario", lambda name, seed: _stub_result(False))
+    assert main(["chaos", "partition_heal"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL qos1-loss" in out
+
+
+def test_any_failure_fails_the_whole_run(capsys, monkeypatch):
+    import repro.cli as cli
+
+    results = iter([_stub_result(True), _stub_result(False), _stub_result(True)])
+    monkeypatch.setattr(cli, "run_scenario", lambda name, seed: next(results))
+    monkeypatch.setattr(
+        cli, "SCENARIOS", {"a": None, "b": None, "c": None}
+    )
+    assert main(["chaos"]) == 1

@@ -1,0 +1,220 @@
+"""Span-tree reconstruction, integrity checking, tables, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs.breakdown import (
+    SpanRecord,
+    check_span_integrity,
+    decompose_path,
+    format_stage_table,
+    path_to_root,
+    span_index,
+    spans_from_tracer,
+    stage_breakdown,
+    to_chrome_trace,
+)
+from repro.obs.context import SPAN_EVENT
+from repro.sim.trace import Tracer
+
+
+def _span(
+    span_id: str,
+    parent_id: str = "",
+    hop: int = 0,
+    start: float = 0.0,
+    end: float = 1.0,
+    name: str = "stage",
+    trace_id: str = "tr-0",
+    links: tuple = (),
+    **fields,
+) -> SpanRecord:
+    return SpanRecord(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        node="n1",
+        incarnation=0,
+        hop=hop,
+        start=start,
+        end=end,
+        links=links,
+        fields=fields,
+    )
+
+
+def _chain():
+    return [
+        _span("sp-0", name="sense", start=0.0, end=0.1),
+        _span("sp-1", "sp-0", hop=1, name="publish", start=0.2, end=0.2),
+        _span("sp-2", "sp-1", hop=2, name="op.train", start=0.3, end=0.6),
+    ]
+
+
+def test_healthy_chain_has_no_problems():
+    assert check_span_integrity(_chain()) == []
+
+
+def test_orphan_detected():
+    spans = [_span("sp-1", "sp-missing", hop=1)]
+    problems = check_span_integrity(spans)
+    assert any("orphan" in p for p in problems)
+
+
+def test_duplicate_id_detected():
+    problems = check_span_integrity([_span("sp-0"), _span("sp-0")])
+    assert any("duplicate" in p for p in problems)
+
+
+def test_hop_must_increment():
+    spans = [_span("sp-0"), _span("sp-1", "sp-0", hop=5)]
+    problems = check_span_integrity(spans)
+    assert any("hop" in p for p in problems)
+
+
+def test_root_must_be_hop_zero():
+    problems = check_span_integrity([_span("sp-0", hop=2)])
+    assert any("root" in p for p in problems)
+
+
+def test_interval_sanity():
+    problems = check_span_integrity([_span("sp-0", start=2.0, end=1.0)])
+    assert any("before start" in p for p in problems)
+
+
+def test_child_cannot_start_before_parent():
+    spans = [
+        _span("sp-0", start=1.0, end=2.0),
+        _span("sp-1", "sp-0", hop=1, start=0.5, end=2.5),
+    ]
+    problems = check_span_integrity(spans)
+    assert any("before parent" in p for p in problems)
+
+
+def test_cycle_detected():
+    spans = [
+        _span("sp-0", "sp-1", hop=1),
+        _span("sp-1", "sp-0", hop=1),
+    ]
+    problems = check_span_integrity(spans)
+    assert any("cycle" in p for p in problems)
+
+
+def test_dangling_link_detected():
+    problems = check_span_integrity([_span("sp-0", links=("sp-ghost",))])
+    assert any("dangling link" in p for p in problems)
+
+
+def test_cross_trace_parent_detected():
+    spans = [
+        _span("sp-0", trace_id="tr-0"),
+        _span("sp-1", "sp-0", hop=1, trace_id="tr-9"),
+    ]
+    problems = check_span_integrity(spans)
+    assert any("trace" in p for p in problems)
+
+
+def test_path_to_root_and_truncation():
+    chain = _chain()
+    index = span_index(chain)
+    path = path_to_root(chain[-1], index)
+    assert [s.span_id for s in path] == ["sp-0", "sp-1", "sp-2"]
+    orphan = _span("sp-9", "sp-gone", hop=1)
+    assert path_to_root(orphan, {"sp-9": orphan}) is None
+
+
+def test_decompose_path_telescopes_exactly():
+    chain = _chain()
+    index = span_index(chain)
+    leaf = chain[-1]
+    stages = decompose_path(leaf, index)
+    total = sum(gap + dur for _stage, gap, dur in stages)
+    assert total == pytest.approx(leaf.end - chain[0].start, rel=1e-12)
+    assert [s for s, _g, _d in stages] == ["sense", "publish", "op.train"]
+
+
+def test_stage_breakdown_aggregates_ms():
+    breakdown = stage_breakdown(_chain())
+    # Own durations in milliseconds.
+    assert breakdown.stages["sense"].average == pytest.approx(100.0)
+    assert breakdown.stages["op.train"].average == pytest.approx(300.0)
+    # Gap before publish = 0.2 - 0.1 = 100 ms.
+    assert breakdown.gaps["publish"].average == pytest.approx(100.0)
+    # Leaf end-to-end: 0.6 - 0.0 = 600 ms.
+    assert breakdown.end_to_end["op.train"].average == pytest.approx(600.0)
+    assert breakdown.traces == 1
+    assert breakdown.truncated == 0
+
+
+def test_stage_breakdown_prefers_task_label():
+    spans = [_span("sp-0", name="op.window", task="gather-train")]
+    breakdown = stage_breakdown(spans)
+    assert "gather-train" in breakdown.stages
+
+
+def test_stage_breakdown_counts_truncated_paths():
+    spans = [_span("sp-1", "sp-gone", hop=1)]
+    breakdown = stage_breakdown(spans)
+    assert breakdown.truncated == 1
+    assert not breakdown.end_to_end
+
+
+def test_format_stage_table_shape():
+    table = format_stage_table(stage_breakdown(_chain()), title="T")
+    assert table.splitlines()[0] == "T"
+    assert "Avg(ms)" in table
+    assert "Max(ms)" in table
+    assert "End-to-end" in table
+    assert "op.train" in table
+
+
+def test_spans_from_tracer_round_trip(tmp_path):
+    tracer = Tracer()
+    tracer.emit(
+        1.5,
+        "n1",
+        SPAN_EVENT,
+        trace="tr-0",
+        span="sp-0",
+        parent="",
+        name="sense",
+        hop=0,
+        inc=2,
+        start=1.0,
+        links=["sp-9"],
+        sample="s-1",
+    )
+    path = tmp_path / "t.jsonl"
+    tracer.to_jsonl(path)
+    spans = spans_from_tracer(Tracer.from_jsonl(path))
+    assert len(spans) == 1
+    span = spans[0]
+    assert span.end == 1.5
+    assert span.start == 1.0
+    assert span.incarnation == 2
+    assert span.links == ("sp-9",)
+    assert span.fields == {"sample": "s-1"}
+
+
+def test_chrome_export_structure():
+    chrome = to_chrome_trace(_chain())
+    events = chrome["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert meta and meta[0]["args"]["name"] == "n1"
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(complete) == 2  # sense + op.train have duration
+    assert len(instants) == 1  # publish is a point
+    sense = next(e for e in complete if e["name"] == "sense")
+    assert sense["ts"] == 0.0
+    assert sense["dur"] == pytest.approx(100_000.0)
+    json.dumps(chrome)  # must be JSON-serializable as-is
+
+
+def test_chrome_export_deterministic_ids():
+    a = to_chrome_trace(_chain())
+    b = to_chrome_trace(list(reversed(_chain())))
+    pids = {e["pid"] for e in a["traceEvents"]}
+    assert pids == {e["pid"] for e in b["traceEvents"]}

@@ -1,0 +1,102 @@
+"""FlowContext wire encoding and ObsState span lifecycle."""
+
+from repro.obs import FlowContext, SPAN_EVENT, enable_observability
+from repro.runtime.sim import SimRuntime
+
+
+def test_wire_round_trip():
+    ctx = FlowContext("tr-1", "sp-2", parent_id="sp-1", hop=3)
+    assert FlowContext.from_wire(ctx.to_wire()) == ctx
+
+
+def test_wire_root_defaults():
+    ctx = FlowContext("tr-1", "sp-1")
+    wire = ctx.to_wire()
+    assert wire == {"t": "tr-1", "s": "sp-1", "p": "", "h": 0}
+    assert FlowContext.from_wire(wire) == ctx
+
+
+def test_from_wire_malformed_returns_none():
+    assert FlowContext.from_wire(None) is None
+    assert FlowContext.from_wire("nope") is None
+    assert FlowContext.from_wire({}) is None
+    assert FlowContext.from_wire({"t": "tr-1"}) is None
+    assert FlowContext.from_wire({"t": "tr-1", "s": "sp-1", "h": "x"}) is None
+
+
+def test_from_wire_ignores_extra_keys():
+    ctx = FlowContext.from_wire({"t": "a", "s": "b", "p": "", "h": 1, "zz": 9})
+    assert ctx is not None
+    assert ctx.hop == 1
+
+
+def _node(runtime):
+    return runtime.add_node("n1")
+
+
+def test_start_finish_span_emits_record():
+    runtime = SimRuntime(seed=1)
+    obs = enable_observability(runtime, scrape_interval_s=0)
+    node = _node(runtime)
+    span = obs.start_span("sense", node, sample="s-1")
+    assert span.ctx.parent_id == ""
+    assert span.ctx.hop == 0
+    ctx = obs.finish(span, extra=7)
+    records = runtime.tracer.select(SPAN_EVENT)
+    assert len(records) == 1
+    rec = records[0]
+    assert rec["trace"] == ctx.trace_id
+    assert rec["span"] == ctx.span_id
+    assert rec["name"] == "sense"
+    assert rec["sample"] == "s-1"
+    assert rec["extra"] == 7
+    assert rec["inc"] == node.incarnation
+
+
+def test_child_span_inherits_trace_and_increments_hop():
+    runtime = SimRuntime(seed=1)
+    obs = enable_observability(runtime, scrape_interval_s=0)
+    node = _node(runtime)
+    root = obs.finish(obs.start_span("sense", node))
+    child = obs.start_span("publish", node, parent=root)
+    assert child.ctx.trace_id == root.trace_id
+    assert child.ctx.parent_id == root.span_id
+    assert child.ctx.hop == root.hop + 1
+
+
+def test_span_ids_are_deterministic_sequences():
+    runtime = SimRuntime(seed=1)
+    obs = enable_observability(runtime, scrape_interval_s=0)
+    node = _node(runtime)
+    first = obs.start_span("a", node)
+    second = obs.start_span("b", node, parent=first.ctx)
+    assert first.ctx.span_id == "sp-0"
+    assert first.ctx.trace_id == "tr-0"
+    assert second.ctx.span_id == "sp-1"
+    assert second.ctx.trace_id == "tr-0"
+
+
+def test_enable_observability_is_idempotent():
+    runtime = SimRuntime(seed=1)
+    first = enable_observability(runtime, scrape_interval_s=0)
+    second = enable_observability(runtime, scrape_interval_s=0)
+    assert first is second
+    assert runtime.obs is first
+
+
+def test_kill_switch_disables_enable(monkeypatch):
+    import repro.obs as obs_module
+
+    monkeypatch.setattr(obs_module, "ENABLED", False)
+    runtime = SimRuntime(seed=1)
+    assert enable_observability(runtime) is None
+    assert runtime.obs is None
+
+
+def test_point_span_has_zero_duration():
+    runtime = SimRuntime(seed=1)
+    obs = enable_observability(runtime, scrape_interval_s=0)
+    node = _node(runtime)
+    obs.point("broker", node, topic="t")
+    rec = runtime.tracer.select(SPAN_EVENT)[0]
+    assert rec["start"] == rec.time

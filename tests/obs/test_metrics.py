@@ -1,0 +1,103 @@
+"""Metrics registry: instruments, naming, snapshots, scraping."""
+
+from repro.obs import MetricsRegistry, enable_observability, metric_key
+from repro.obs.state import METRICS_EVENT
+from repro.runtime.sim import SimRuntime
+
+
+def test_metric_key_sorts_labels():
+    assert metric_key("m", {}) == "m"
+    assert metric_key("m", {"b": "2", "a": "1"}) == "m{a=1,b=2}"
+
+
+def test_counter_get_or_create():
+    registry = MetricsRegistry()
+    counter = registry.counter("events", node="n1")
+    counter.inc()
+    counter.inc(2)
+    assert registry.counter("events", node="n1") is counter
+    assert counter.value == 3
+    assert registry.counter("events", node="n2").value == 0
+
+
+def test_gauge_set_and_callback():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth")
+    gauge.set(4)
+    assert gauge.read() == 4.0
+    computed = registry.gauge("util", fn=lambda: 0.5)
+    assert computed.read() == 0.5
+
+
+def test_gauge_rebinds_callback_on_reregister():
+    # A node restart re-creates components; re-registration must swap in
+    # the closure over the *new* CPU object, not keep the dead one.
+    registry = MetricsRegistry()
+    registry.gauge("depth", fn=lambda: 1.0)
+    registry.gauge("depth", fn=lambda: 2.0)
+    assert registry.gauge("depth").read() == 2.0
+
+
+def test_histogram_welford():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", node="n1")
+    for v in (1.0, 2.0, 3.0):
+        hist.observe(v)
+    snap = registry.snapshot()
+    assert snap["lat{node=n1}"] == {"count": 3, "mean": 2.0, "min": 1.0, "max": 3.0}
+
+
+def test_snapshot_is_flat_and_sorted():
+    registry = MetricsRegistry()
+    registry.counter("z").inc()
+    registry.gauge("a").set(1)
+    registry.histogram("m")
+    snap = registry.snapshot()
+    assert snap["z"] == 1
+    assert snap["a"] == 1.0
+    assert snap["m"] == {"count": 0}
+
+
+def test_snapshot_isolates_broken_gauges():
+    registry = MetricsRegistry()
+
+    def boom() -> float:
+        raise RuntimeError("dead node")
+
+    registry.gauge("bad", fn=boom)
+    registry.counter("good").inc()
+    snap = registry.snapshot()
+    assert "bad" not in snap
+    assert snap["good"] == 1
+
+
+def test_len_counts_all_instruments():
+    registry = MetricsRegistry()
+    registry.counter("a")
+    registry.gauge("b")
+    registry.histogram("c")
+    assert len(registry) == 3
+
+
+def test_scraper_emits_metric_records_at_sim_intervals():
+    runtime = SimRuntime(seed=1)
+    obs = enable_observability(runtime, scrape_interval_s=1.0)
+    obs.metrics.counter("events").inc(5)
+    runtime.run(until=3.5)
+    scrapes = runtime.tracer.select(METRICS_EVENT)
+    assert len(scrapes) == 3
+    assert [r.time for r in scrapes] == [1.0, 2.0, 3.0]
+    assert scrapes[-1]["m"]["events"] == 5
+    obs.stop_scraping()
+
+
+def test_node_gauges_registered_for_nodes():
+    runtime = SimRuntime(seed=1)
+    obs = enable_observability(runtime, scrape_interval_s=0)
+    runtime.add_node("n1")
+    # Component construction triggers register_node; simulate directly.
+    obs.register_node(runtime.nodes["n1"])
+    snap = obs.metrics.snapshot()
+    assert "node.cpu.queue_depth{node=n1}" in snap
+    assert "node.cpu.busy_s{node=n1}" in snap
+    assert "wlan.airtime_share" in snap

@@ -1,0 +1,207 @@
+"""Property tests for the observability layer.
+
+Hypothesis drives two kinds of inputs:
+
+* random small topologies + fault plans run through a real simulated
+  cluster with tracing on — every emitted span set must be structurally
+  sound (reachable parents, no orphans or cycles, hops monotone along
+  every parent chain) and each leaf's end-to-end latency must telescope
+  exactly into per-stage own-durations plus queueing gaps;
+* random trace field values (nested dicts, lists, tuples, unicode,
+  floats) pushed through ``Tracer.to_jsonl``/``from_jsonl`` — the
+  round trip must be lossless, including tuple-ness.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.injector import Injector
+from repro.chaos.plan import FaultPlan, NodeRestart, Partition, Heal, SensorFlap
+from repro.core.middleware import IFoTCluster
+from repro.core.recipe import Recipe, TaskSpec
+from repro.obs import (
+    check_span_integrity,
+    decompose_path,
+    enable_observability,
+    span_index,
+    spans_from_tracer,
+)
+from repro.runtime.sim import SimRuntime
+from repro.sensors.devices import FixedPayloadModel
+from repro.sim.trace import Tracer
+
+# ----------------------------------------------------------------------
+# Live-simulation strategies: topology x fault plan
+# ----------------------------------------------------------------------
+
+topologies = st.fixed_dictionaries(
+    {
+        "sensors": st.integers(min_value=1, max_value=2),
+        "computes": st.integers(min_value=1, max_value=2),
+        "rate_hz": st.sampled_from([1.0, 2.0]),
+        "seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+fault_kinds = st.sampled_from(["none", "partition", "restart", "flap"])
+
+
+def _build_plan(kind: str, sensors: int) -> FaultPlan | None:
+    if kind == "none":
+        return None
+    if kind == "partition":
+        return FaultPlan(
+            "prop-partition",
+            (
+                Partition(at=4.0, group_a=("m-s0",), group_b=("hub",)),
+                Heal(at=7.0, group_a=("m-s0",), group_b=("hub",)),
+            ),
+        )
+    if kind == "restart":
+        return FaultPlan("prop-restart", (NodeRestart(at=4.0, node="m-c0"),))
+    return FaultPlan(
+        "prop-flap",
+        (SensorFlap(at=4.0, module="m-s0", device="sample", down_s=3.0),),
+    )
+
+
+def _run_observed(topology: dict, fault: str) -> list:
+    runtime = SimRuntime(seed=topology["seed"])
+    cluster = IFoTCluster(
+        runtime,
+        broker_node_name="hub",
+        heartbeat_s=2.0,
+        auto_failover=True,
+        client_keepalive_s=2.0,
+        auto_reconnect=True,
+    )
+    enable_observability(runtime)
+    for i in range(topology["sensors"]):
+        module = cluster.add_module(f"m-s{i}")
+        module.attach_sensor("sample", FixedPayloadModel(values=2))
+    for i in range(topology["computes"]):
+        cluster.add_module(f"m-c{i}", extra_capabilities={"compute"})
+    cluster.settle(2.0)
+
+    streams = [f"raw-{i}" for i in range(topology["sensors"])]
+    tasks = [
+        TaskSpec(
+            f"sense-{i}",
+            "sensor",
+            outputs=[f"raw-{i}"],
+            params={"device": "sample", "rate_hz": topology["rate_hz"], "qos": 1},
+            pin_to=f"m-s{i}",
+            capabilities=["sensor:sample"],
+        )
+        for i in range(topology["sensors"])
+    ]
+    tasks.append(
+        TaskSpec(
+            "dedup",
+            "dedup",
+            inputs=streams,
+            outputs=["clean"],
+            params={"qos": 1},
+            capabilities=["compute"],
+        )
+    )
+    cluster.submit(Recipe("prop-app", tasks))
+    cluster.settle(2.0)
+    plan = _build_plan(fault, topology["sensors"])
+    if plan is not None:
+        Injector(runtime, cluster=cluster).schedule(plan.validate())
+    runtime.run(until=12.0)
+    return spans_from_tracer(runtime.tracer)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(topology=topologies, fault=fault_kinds)
+def test_observed_runs_yield_sound_span_trees(topology, fault):
+    spans = _run_observed(topology, fault)
+    assert spans, "an observed run must emit spans"
+    assert check_span_integrity(spans) == []
+    # Hop counts strictly increase along every parent chain.
+    index = span_index(spans)
+    for span in spans:
+        cursor = span
+        while cursor.parent_id:
+            parent = index[cursor.parent_id]
+            assert parent.hop < cursor.hop
+            cursor = parent
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(topology=topologies, fault=fault_kinds)
+def test_end_to_end_latency_telescopes(topology, fault):
+    """leaf e2e = sum(stage own-durations) + sum(queueing gaps), exactly."""
+    spans = _run_observed(topology, fault)
+    index = span_index(spans)
+    children = {s.parent_id for s in spans if s.parent_id}
+    leaves = [s for s in spans if s.span_id not in children and s.parent_id]
+    assert leaves
+    for leaf in leaves:
+        stages = decompose_path(leaf, index)
+        if stages is None:
+            continue
+        root = index[_root_id(leaf, index)]
+        total = sum(gap + dur for _stage, gap, dur in stages)
+        assert total == pytest.approx(leaf.end - root.start, abs=1e-9)
+        assert all(gap >= -1e-12 and dur >= 0.0 for _s, gap, dur in stages)
+
+
+def _root_id(leaf, index):
+    cursor = leaf
+    while cursor.parent_id:
+        cursor = index[cursor.parent_id]
+    return cursor.span_id
+
+
+# ----------------------------------------------------------------------
+# Tracer JSONL round trip (nested dicts / lists / tuples must survive)
+# ----------------------------------------------------------------------
+
+field_keys = st.text(alphabet="abcdefgh_", min_size=1, max_size=6)
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    finite,
+    st.text(max_size=12),
+)
+trace_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.tuples(children, children),
+        st.dictionaries(field_keys, children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+@given(fields=st.dictionaries(field_keys, trace_values, max_size=4))
+@settings(deadline=None)
+def test_tracer_jsonl_round_trip_is_lossless(tmp_path_factory, fields):
+    tracer = Tracer()
+    tracer.emit(1.25, "node", "prop.event", **fields)
+    path = tmp_path_factory.mktemp("rt") / "trace.jsonl"
+    tracer.to_jsonl(path)
+    loaded = Tracer.from_jsonl(path)
+    assert len(loaded) == 1
+    record = next(iter(loaded))
+    assert record.time == 1.25
+    assert record.source == "node"
+    assert record.event == "prop.event"
+    assert record.fields == fields
