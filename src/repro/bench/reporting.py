@@ -140,5 +140,7 @@ def write_results_json(
     """Write the full summaries (including drop counters) as JSON."""
     path = Path(path)
     payload = [result.summary() for result in results]
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    path.write_text(  # repro: lint-ok[DET005] - report export, not sim code
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
     return path

@@ -29,6 +29,7 @@ from typing import Any, ClassVar, Iterator
 
 from repro.errors import ConfigurationError
 from repro.net.wlan import GilbertElliottConfig
+from repro.util.validate import Diagnostic, Severity
 
 __all__ = [
     "FaultEvent",
@@ -51,9 +52,16 @@ class FaultEvent:
     at: float
     kind: ClassVar[str] = ""
 
-    def validate(self) -> None:
+    def problems(self) -> list[str]:
+        """Every configuration problem with this event (empty = valid)."""
         if self.at < 0:
-            raise ConfigurationError(f"{self.kind}: at={self.at} must be >= 0")
+            return [f"{self.kind}: at={self.at} must be >= 0"]
+        return []
+
+    def validate(self) -> None:
+        problems = self.problems()
+        if problems:
+            raise ConfigurationError(problems[0])
 
     def describe(self) -> dict[str, Any]:
         """Trace-friendly summary (flat JSON-encodable fields)."""
@@ -77,10 +85,11 @@ class NodeCrash(FaultEvent):
     node: str = ""
     kind: ClassVar[str] = "node_crash"
 
-    def validate(self) -> None:
-        super().validate()
+    def problems(self) -> list[str]:
+        problems = super().problems()
         if not self.node:
-            raise ConfigurationError("node_crash needs a node name")
+            problems.append("node_crash needs a node name")
+        return problems
 
 
 @dataclass(frozen=True)
@@ -90,10 +99,11 @@ class NodeRecover(FaultEvent):
     node: str = ""
     kind: ClassVar[str] = "node_recover"
 
-    def validate(self) -> None:
-        super().validate()
+    def problems(self) -> list[str]:
+        problems = super().problems()
         if not self.node:
-            raise ConfigurationError("node_recover needs a node name")
+            problems.append("node_recover needs a node name")
+        return problems
 
 
 @dataclass(frozen=True)
@@ -104,10 +114,11 @@ class NodeRestart(FaultEvent):
     node: str = ""
     kind: ClassVar[str] = "node_restart"
 
-    def validate(self) -> None:
-        super().validate()
+    def problems(self) -> list[str]:
+        problems = super().problems()
         if not self.node:
-            raise ConfigurationError("node_restart needs a node name")
+            problems.append("node_restart needs a node name")
+        return problems
 
 
 @dataclass(frozen=True)
@@ -127,12 +138,13 @@ class Partition(FaultEvent):
     group_b: tuple[str, ...] = ()
     kind: ClassVar[str] = "partition"
 
-    def validate(self) -> None:
-        super().validate()
+    def problems(self) -> list[str]:
+        problems = super().problems()
         if not self.group_a or not self.group_b:
-            raise ConfigurationError("partition needs two station groups")
+            problems.append("partition needs two station groups")
         if set(self.group_a) & set(self.group_b):
-            raise ConfigurationError("partition groups must not overlap")
+            problems.append("partition groups must not overlap")
+        return problems
 
 
 @dataclass(frozen=True)
@@ -161,16 +173,20 @@ class LinkDegrade(FaultEvent):
     burst: GilbertElliottConfig | None = None
     kind: ClassVar[str] = "link_degrade"
 
-    def validate(self) -> None:
-        super().validate()
+    def problems(self) -> list[str]:
+        problems = super().problems()
         if self.duration_s <= 0:
-            raise ConfigurationError("link_degrade needs duration_s > 0")
+            problems.append("link_degrade needs duration_s > 0")
         if not 0.0 < self.bitrate_factor <= 1.0:
-            raise ConfigurationError(
+            problems.append(
                 f"bitrate_factor must be in (0, 1], got {self.bitrate_factor}"
             )
         if self.burst is not None:
-            self.burst.validate()
+            try:
+                self.burst.validate()
+            except ConfigurationError as exc:
+                problems.append(str(exc))
+        return problems
 
     def describe(self) -> dict[str, Any]:
         payload = super().describe()
@@ -189,12 +205,13 @@ class SensorFlap(FaultEvent):
     down_s: float = 0.0
     kind: ClassVar[str] = "sensor_flap"
 
-    def validate(self) -> None:
-        super().validate()
+    def problems(self) -> list[str]:
+        problems = super().problems()
         if not self.module or not self.device:
-            raise ConfigurationError("sensor_flap needs module and device")
+            problems.append("sensor_flap needs module and device")
         if self.down_s <= 0:
-            raise ConfigurationError("sensor_flap needs down_s > 0")
+            problems.append("sensor_flap needs down_s > 0")
+        return problems
 
 
 #: kind -> event class, for declarative (de)serialization.
@@ -248,6 +265,36 @@ class FaultPlan:
     def __post_init__(self) -> None:
         ordered = tuple(sorted(self.events, key=lambda e: e.at))
         object.__setattr__(self, "events", ordered)
+
+    def diagnose(self) -> list[Diagnostic]:
+        """Every problem with the plan, as the shared Diagnostic type.
+
+        ``CHS100``: the plan itself is malformed; ``CHS101``: an event is.
+        Same checks as :meth:`validate`, but reported exhaustively instead
+        of raising on the first.
+        """
+        diagnostics: list[Diagnostic] = []
+        if not self.name:
+            diagnostics.append(
+                Diagnostic(
+                    rule="CHS100",
+                    severity=Severity.ERROR,
+                    message="fault plan needs a name",
+                    where="<plan>",
+                )
+            )
+        for index, event in enumerate(self.events):
+            for problem in event.problems():
+                diagnostics.append(
+                    Diagnostic(
+                        rule="CHS101",
+                        severity=Severity.ERROR,
+                        message=problem,
+                        where=f"{self.name or '<plan>'}:events[{index}] "
+                        f"{event.kind}",
+                    )
+                )
+        return diagnostics
 
     def validate(self) -> "FaultPlan":
         if not self.name:

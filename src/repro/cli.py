@@ -20,6 +20,11 @@ Commands
     Run an observed pipeline (or load a trace dump) and print the
     per-stage latency breakdown reconstructed from its span trees;
     optionally export the trace as JSONL and/or Chrome trace_event JSON.
+``lint``
+    Static analysis: run the determinism linter over Python sources
+    and/or the recipe static checker over a recipe file. ``--strict``
+    promotes warnings to failures; ``--format json`` emits a machine
+    report. Exit code 1 when blocking findings remain.
 """
 
 from __future__ import annotations
@@ -192,7 +197,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"wrote {count} trace records to {args.jsonl}")
     if args.chrome:
         chrome = to_chrome_trace(spans_from_tracer(tracer))
-        Path(args.chrome).write_text(
+        Path(args.chrome).write_text(  # repro: lint-ok[DET005] - CLI export
             json.dumps(chrome, sort_keys=True), encoding="utf-8"
         )
         print(
@@ -200,6 +205,61 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             "(load in chrome://tracing or Perfetto)"
         )
     return 0 if spans_from_tracer(tracer) else 1
+
+
+def _lint_recipe(name_or_path: str) -> "tuple[Recipe, str]":
+    """Resolve ``--recipe`` to a Recipe: a built-in shortcut or a file."""
+    if name_or_path == "fig5":
+        from repro.bench.scenarios import FIG5_RECIPE_PATH
+
+        return _load_recipe(FIG5_RECIPE_PATH), str(FIG5_RECIPE_PATH)
+    if name_or_path == "paper":
+        from repro.bench.scenarios import build_paper_recipe
+
+        return build_paper_recipe(rate_hz=5.0), "<built-in paper recipe @ 5 Hz>"
+    path = Path(name_or_path)
+    return _load_recipe(path), str(path)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintRun,
+        check_rate_feasibility,
+        check_recipe,
+        lint_paths,
+        render_json,
+        render_text,
+        rule_catalog,
+    )
+
+    if args.catalog:
+        rows = list(rule_catalog())
+        width = max(len(rule_id) for rule_id, _, _ in rows)
+        for rule_id, severity, description in rows:
+            print(f"{rule_id:<{width}}  {severity:<7}  {description}")
+        return 0
+    if not args.paths and not args.recipe:
+        print("error: nothing to lint (give paths and/or --recipe)", file=sys.stderr)
+        return 2
+    rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()] or None
+    run = LintRun()
+    if args.paths:
+        run.merge(lint_paths(args.paths, rule_ids=rule_ids))
+    if args.recipe:
+        recipe, origin = _lint_recipe(args.recipe)
+        for diag in check_recipe(recipe) + check_rate_feasibility(recipe):
+            run.diagnostics.append(diag.replace(file=origin))
+    run.finish()
+    render = render_json if args.format == "json" else render_text
+    print(
+        render(
+            run.diagnostics,
+            strict=args.strict,
+            suppressed=run.suppressed,
+            files_checked=run.files_checked if args.paths else None,
+        )
+    )
+    return 0 if run.ok(strict=args.strict) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,6 +331,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--chrome", default="", help="export spans as Chrome trace_event JSON"
     )
     trace.set_defaults(fn=_cmd_trace)
+
+    lint = sub.add_parser(
+        "lint", help="determinism linter + recipe static checker"
+    )
+    lint.add_argument(
+        "paths", nargs="*", help="Python files or directories to lint"
+    )
+    lint.add_argument(
+        "--recipe",
+        default="",
+        help="also statically check a recipe: a file, 'fig5', or 'paper'",
+    )
+    lint.add_argument(
+        "--strict", action="store_true", help="warnings also fail the run"
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format"
+    )
+    lint.add_argument(
+        "--rules", default="", help="comma-separated rule ids (default: all)"
+    )
+    lint.add_argument(
+        "--catalog", action="store_true", help="list lint rules and exit"
+    )
+    lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

@@ -42,7 +42,8 @@ from repro.core.flow import topic_for_stream
 from repro.core.node import NeuronModule
 from repro.core.recipe import Recipe
 from repro.core.splitter import RecipeSplit, SubTask
-from repro.errors import DeploymentError
+from repro.errors import DeploymentError, StaticCheckError
+from repro.util.validate import Severity
 from repro.mqtt.packets import Packet
 from repro.runtime.component import Component
 
@@ -74,10 +75,22 @@ class ModuleAgent(Component):
         directory_ttl_s: float = 30.0,
         capacity: float = 1.0,
         assignable: bool = True,
+        static_check: str = "warn",
     ) -> None:
         super().__init__(module.node, f"agent@{module.name}")
         self.module = module
         self.capacity = capacity
+        if static_check not in ("off", "warn", "strict"):
+            raise DeploymentError(
+                f"static_check must be off/warn/strict, got {static_check!r}"
+            )
+        #: Pre-deployment static checking (repro.lint.recipe_check):
+        #: ``"warn"`` (default) rejects structurally broken recipes and
+        #: traces everything else; ``"strict"`` additionally rejects
+        #: rate-infeasible ones; ``"off"`` skips the pass entirely. The
+        #: default deliberately lets rate-infeasible recipes through —
+        #: the paper *measures* saturation (§V-B), it does not forbid it.
+        self.static_check = static_check
         #: Whether this module accepts recipe sub-tasks. The management
         #: node's agent sets this False: it manages, it does not process
         #: flows (matching the paper's testbed, Fig. 7).
@@ -164,14 +177,74 @@ class ModuleAgent(Component):
     def _on_submit(self, _topic: str, payload: Any, _packet: Packet) -> None:
         if self.stopped:
             return
-        recipe = Recipe.from_dict(payload["recipe"])
-        strategy = strategy_by_name(str(payload.get("strategy", "load_aware")))
-        self.lead_deployment(recipe, strategy)
+        try:
+            data = payload["recipe"]
+            if self.static_check != "off" and isinstance(data, dict):
+                from repro.lint.recipe_check import check_recipe_dict
+
+                errors = [
+                    d
+                    for d in check_recipe_dict(data)
+                    if d.severity >= Severity.ERROR
+                ]
+                if errors:
+                    raise StaticCheckError(
+                        f"recipe {data.get('recipe', '?')!r} rejected by "
+                        "static check",
+                        errors,
+                    )
+            recipe = Recipe.from_dict(data)
+            strategy = strategy_by_name(str(payload.get("strategy", "load_aware")))
+            self.lead_deployment(recipe, strategy)
+        except StaticCheckError as exc:
+            # A remotely submitted broken recipe must not crash the
+            # leader's event handler: reject, leave a trace, stay up.
+            self.trace(
+                "agent.recipe_rejected",
+                rules=sorted({d.rule for d in exc.diagnostics}),
+                findings=len(exc.diagnostics),
+            )
+
+    def _static_check(self, recipe: Recipe) -> None:
+        """Structural gate: reject statically broken recipes pre-split."""
+        from repro.lint.recipe_check import check_recipe
+
+        diagnostics = check_recipe(recipe)
+        for diag in diagnostics:
+            self.trace("agent.static_check", finding=diag.format())
+        errors = [d for d in diagnostics if d.severity >= Severity.ERROR]
+        if errors:
+            raise StaticCheckError(
+                f"recipe {recipe.name!r} rejected by static check", errors
+            )
+
+    def _rate_check(self, recipe: Recipe) -> None:
+        """Feasibility gate: rejects only in strict mode (see static_check)."""
+        from repro.lint.recipe_check import check_rate_feasibility
+
+        diagnostics = check_rate_feasibility(recipe)
+        for diag in diagnostics:
+            self.trace("agent.static_check", finding=diag.format())
+        if self.static_check != "strict":
+            return
+        errors = [d for d in diagnostics if d.severity >= Severity.ERROR]
+        if errors:
+            raise StaticCheckError(
+                f"recipe {recipe.name!r} is statically unschedulable", errors
+            )
 
     def lead_deployment(
         self, recipe: Recipe, strategy: AssignmentStrategy | None = None
     ) -> Assignment:
-        """Split ``recipe``, assign over known-alive modules, send deploys."""
+        """Split ``recipe``, assign over known-alive modules, send deploys.
+
+        Unless ``static_check="off"``, the recipe passes through the
+        static checker first — structurally invalid recipes raise
+        :class:`StaticCheckError` before any deploy command is sent.
+        """
+        if self.static_check != "off":
+            self._static_check(recipe)
+            self._rate_check(recipe)
         subtasks = RecipeSplit().split(recipe)
         modules = self.directory.module_infos()
         assignment = TaskAssignment(strategy).assign(subtasks, modules)
@@ -232,9 +305,15 @@ class ManagementNode:
         module: NeuronModule,
         heartbeat_s: float = 10.0,
         auto_failover: bool = False,
+        static_check: str = "warn",
     ) -> None:
         self.module = module
-        self.agent = ModuleAgent(module, heartbeat_s=heartbeat_s, assignable=False)
+        self.agent = ModuleAgent(
+            module,
+            heartbeat_s=heartbeat_s,
+            assignable=False,
+            static_check=static_check,
+        )
         self.status_reports: dict[str, dict[str, Any]] = {}
         self.auto_failover = auto_failover
         self.failovers_performed = 0
@@ -250,7 +329,7 @@ class ManagementNode:
 
     def submit_recipe(
         self,
-        recipe: Recipe,
+        recipe: "Recipe | dict[str, Any]",
         strategy: AssignmentStrategy | str | None = None,
         via_module: str | None = None,
     ) -> Assignment | None:
@@ -262,7 +341,28 @@ class ManagementNode:
         returned assignment is then None because it happens remotely.
         Otherwise this node's own agent leads, and the assignment is
         returned directly.
+
+        A raw recipe dict is accepted too, and is statically checked
+        *before* :class:`Recipe` construction: a cyclic or dangling graph
+        is rejected with a :class:`StaticCheckError` carrying diagnostics
+        instead of a bare constructor exception.
         """
+        if isinstance(recipe, dict):
+            if self.agent.static_check != "off":
+                from repro.lint.recipe_check import check_recipe_dict
+
+                errors = [
+                    d
+                    for d in check_recipe_dict(recipe)
+                    if d.severity >= Severity.ERROR
+                ]
+                if errors:
+                    raise StaticCheckError(
+                        f"recipe {recipe.get('recipe', '?')!r} rejected by "
+                        "static check",
+                        errors,
+                    )
+            recipe = Recipe.from_dict(recipe)
         if isinstance(strategy, str):
             strategy = strategy_by_name(strategy)
         if via_module is not None:

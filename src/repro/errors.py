@@ -124,3 +124,18 @@ class DeploymentError(MiddlewareError):
 
 class DiscoveryError(MiddlewareError):
     """Stream search / dynamic membership operation failed."""
+
+
+class StaticCheckError(MiddlewareError):
+    """Static analysis rejected an artifact before it could deploy or run.
+
+    Carries the full list of :class:`repro.util.validate.Diagnostic`
+    findings in ``diagnostics`` (duck-typed here to keep this module
+    dependency-free); the message embeds their rendered forms.
+    """
+
+    def __init__(self, summary: str, diagnostics: "tuple | list" = ()) -> None:
+        self.diagnostics = list(diagnostics)
+        lines = [summary]
+        lines += ["  " + diag.format() for diag in self.diagnostics]
+        super().__init__("\n".join(lines))

@@ -1,0 +1,41 @@
+"""Static analysis for the reproduction: determinism linter + recipe checker.
+
+Two engines share one diagnostics currency
+(:class:`repro.util.validate.Diagnostic`):
+
+* the **determinism linter** (:mod:`repro.lint.engine`) — an AST rules
+  engine that guards the repository's same-seed-same-trace contract: no
+  wall-clock reads, no global RNG, no order-dependent set iteration, no
+  identity/hash ordering, no blocking I/O in simulated code paths;
+* the **recipe static checker** (:mod:`repro.lint.recipe_check`) — verifies
+  a task graph *before* ``RecipeSplit``/``TaskAssignment`` deploy it
+  (paper §IV-C): DAG-ness, stream wiring, QoS coherence, operator port
+  shapes, and static rate feasibility against the per-node CPU
+  service-time model.
+
+Run both from the command line via ``repro lint``; the deployment path
+(:mod:`repro.core.management`) runs the recipe checker automatically.
+"""
+
+from repro.lint.engine import LintRun, lint_paths, lint_source
+from repro.lint.recipe_check import (
+    check_rate_feasibility,
+    check_recipe,
+    check_recipe_dict,
+)
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import RULE_CATALOG, LintRule, rule_catalog
+
+__all__ = [
+    "LintRun",
+    "lint_paths",
+    "lint_source",
+    "check_recipe",
+    "check_recipe_dict",
+    "check_rate_feasibility",
+    "render_json",
+    "render_text",
+    "LintRule",
+    "RULE_CATALOG",
+    "rule_catalog",
+]

@@ -1,0 +1,377 @@
+"""Determinism rules: the static side of the same-seed-same-trace contract.
+
+Every rule here guards a way Python code silently breaks reproducibility:
+
+``DET001``  wall-clock reads (``time.time``, ``datetime.now``, ...)
+``DET002``  global / unseeded RNG instead of ``repro.util.rng`` streams
+``DET003``  order-dependent iteration over sets
+``DET004``  ``id()`` / hash-based ordering (address- and salt-dependent)
+``DET005``  blocking I/O (sleep, sockets, subprocesses, file writes)
+
+The rules are syntactic and intentionally err on the side of reporting:
+a legitimate site (the wall-clock runtime, the CLI's export paths) carries
+an annotated ``# repro: lint-ok[RULE]`` suppression instead of weakening
+the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import FileContext, LintRule, register_rule
+from repro.util.validate import Severity
+
+__all__ = ["DETERMINISM_RULES"]
+
+
+def _snippet(node: ast.AST, limit: int = 60) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        text = f"<{type(node).__name__}>"
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+# ---------------------------------------------------------------------------
+# DET001 — wall clock
+# ---------------------------------------------------------------------------
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register_rule
+class WallClockRule(LintRule):
+    """Flags reads of the host's clock inside simulated code."""
+
+    rule_id = "DET001"
+    severity = Severity.ERROR
+    description = "wall-clock read — virtual time must come from runtime.now"
+    hint = "use the runtime clock (runtime.now / node.runtime.now)"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.resolve(node.func)
+        if dotted in _WALL_CLOCK:
+            self.report(node, f"wall-clock call {_snippet(node.func)}()")
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET002 — global / unseeded randomness
+# ---------------------------------------------------------------------------
+
+_GLOBAL_RANDOM_FNS = {
+    f"random.{name}"
+    for name in (
+        "random", "randint", "randrange", "uniform", "choice", "choices",
+        "shuffle", "sample", "gauss", "normalvariate", "lognormvariate",
+        "expovariate", "triangular", "betavariate", "paretovariate",
+        "vonmisesvariate", "weibullvariate", "getrandbits", "randbytes",
+        "seed", "getstate", "setstate", "binomialvariate",
+    )
+}
+
+_NUMPY_GLOBAL_FNS = {
+    f"numpy.random.{name}"
+    for name in (
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "choice", "shuffle", "permutation", "normal", "uniform",
+        "standard_normal", "poisson", "beta", "binomial", "exponential",
+        "gamma", "bytes",
+    )
+}
+
+_ENTROPY_SOURCES = {"os.urandom", "uuid.uuid4", "random.SystemRandom"}
+
+
+@register_rule
+class GlobalRngRule(LintRule):
+    """Flags the process-global RNG and OS entropy sources."""
+
+    rule_id = "DET002"
+    severity = Severity.ERROR
+    description = "global or OS-entropy RNG — draws are not seed-derived"
+    hint = "draw from a named stream: runtime.rng.stream('<consumer>')"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.resolve(node.func)
+        if dotted is not None and (
+            dotted in _GLOBAL_RANDOM_FNS
+            or dotted in _NUMPY_GLOBAL_FNS
+            or dotted in _ENTROPY_SOURCES
+            or dotted.startswith("secrets.")
+        ):
+            self.report(node, f"non-deterministic RNG call {_snippet(node.func)}()")
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET003 — order-dependent set iteration
+# ---------------------------------------------------------------------------
+
+#: Builtins whose output order follows their argument's iteration order.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "zip", "reversed", "iter"}
+
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference", "copy"}
+
+
+@register_rule
+class SetIterationRule(LintRule):
+    """Flags iteration over sets where element order escapes.
+
+    Set iteration order depends on the string-hash salt (PYTHONHASHSEED),
+    so any set ordering that reaches scheduling, serialization or output
+    differs between processes. Order-insensitive consumers (``sorted``,
+    ``len``, ``min``/``max``, membership, another set) are fine and not
+    flagged; building a list/tuple, enumerating, joining, or looping is
+    flagged. Local names assigned set-valued expressions are tracked per
+    scope; re-assigning through ``sorted(...)`` clears the taint.
+    """
+
+    rule_id = "DET003"
+    severity = Severity.ERROR
+    description = "iteration over a set — order is hash-salt-dependent"
+    hint = "sort first: iterate sorted(the_set)"
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._scopes: list[set[str]] = [set()]
+
+    # -- set-typed expression inference ---------------------------------
+
+    def _is_set_name(self, name: str) -> bool:
+        return any(name in scope for scope in reversed(self._scopes))
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return self._is_set_name(node.id)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self._is_set_expr(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        if isinstance(node, ast.IfExp):
+            return self._is_set_expr(node.body) or self._is_set_expr(node.orelse)
+        return False
+
+    # -- scope and assignment tracking -----------------------------------
+
+    def _enter_scope(self, node: ast.AST) -> None:
+        self._scopes.append(set())
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _enter_scope
+    visit_AsyncFunctionDef = _enter_scope
+    visit_ClassDef = _enter_scope
+    visit_Lambda = _enter_scope
+
+    def _bind(self, target: ast.expr, is_set: bool) -> None:
+        if isinstance(target, ast.Name):
+            if is_set:
+                self._scopes[-1].add(target.id)
+            else:
+                for scope in self._scopes:
+                    scope.discard(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            self._bind(target, is_set)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        annotation = _snippet(node.annotation, limit=200)
+        looks_set = annotation.partition("[")[0] in ("set", "frozenset", "Set", "FrozenSet")
+        is_set = looks_set or (node.value is not None and self._is_set_expr(node.value))
+        self._bind(node.target, is_set)
+
+    # -- order-sensitive sinks -------------------------------------------
+
+    def _check_iter(self, node: ast.AST, iterable: ast.expr) -> None:
+        if self._is_set_expr(iterable):
+            self.report(node, f"iterating over set {_snippet(iterable)!r}")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node: ast.AST) -> None:
+        # Building a list/dict from a set leaks set order into an ordered
+        # container. A set built from a set stays unordered — not flagged.
+        for gen in node.generators:  # type: ignore[attr-defined]
+            self._check_iter(node, gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_DictComp = _check_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_CALLS:
+            for arg in node.args:
+                if self._is_set_expr(arg):
+                    self.report(
+                        node,
+                        f"{func.id}() over set {_snippet(arg)!r} "
+                        "freezes hash-salt order",
+                    )
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "join" and node.args and self._is_set_expr(node.args[0]):
+                self.report(
+                    node, f"join over set {_snippet(node.args[0])!r}"
+                )
+            elif (
+                func.attr == "pop"
+                and not node.args
+                and self._is_set_expr(func.value)
+            ):
+                self.report(
+                    node,
+                    f"set.pop() on {_snippet(func.value)!r} removes an "
+                    "arbitrary (salt-ordered) element",
+                )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET004 — identity / hash ordering
+# ---------------------------------------------------------------------------
+
+_KEYED_SORTS = {"sorted", "min", "max"}
+
+
+@register_rule
+class HashOrderRule(LintRule):
+    """Flags ordering by ``id()`` or ``hash()`` and bare ``id()`` use."""
+
+    rule_id = "DET004"
+    severity = Severity.WARNING
+    description = "id()/hash()-dependent value — differs across processes"
+    hint = "order by a stable field (name, sequence number) instead"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in _KEYED_SORTS or name == "sort":
+            for kw in node.keywords:
+                if (
+                    kw.arg == "key"
+                    and isinstance(kw.value, ast.Name)
+                    and kw.value.id in ("id", "hash")
+                ):
+                    self.report(
+                        node,
+                        f"{name}(key={kw.value.id}) orders by "
+                        f"{'object address' if kw.value.id == 'id' else 'salted hash'}",
+                        severity=Severity.ERROR,
+                    )
+        if isinstance(func, ast.Name) and func.id == "id" and len(node.args) == 1:
+            self.report(node, f"id({_snippet(node.args[0])}) is address-dependent")
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET005 — blocking I/O
+# ---------------------------------------------------------------------------
+
+_BLOCKING_PREFIXES = ("socket.", "subprocess.", "requests.", "urllib.", "http.client.")
+_BLOCKING_CALLS = {"time.sleep", "os.system", "os.popen", "input"}
+_WRITE_METHODS = {"write_text", "write_bytes"}
+
+
+@register_rule
+class BlockingIoRule(LintRule):
+    """Flags blocking syscalls and file writes.
+
+    Simulated components must advance only virtual time; a real ``sleep``
+    or socket round-trip inside a sim process stalls the host without
+    advancing the clock, and file writes from operators make runs
+    environment-dependent. Export layers (CLI, bench reporting) suppress
+    per line.
+    """
+
+    rule_id = "DET005"
+    severity = Severity.ERROR
+    description = "blocking I/O — stalls the sim / escapes the sandbox of a run"
+    hint = "simulated code must not block; schedule with runtime timers"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.resolve(node.func)
+        if dotted is not None and (
+            dotted in _BLOCKING_CALLS
+            or dotted.startswith(_BLOCKING_PREFIXES)
+        ):
+            self.report(node, f"blocking call {_snippet(node.func)}()")
+        elif isinstance(node.func, ast.Name) and node.func.id == "open":
+            mode = self._open_mode(node)
+            if mode is not None and any(ch in mode for ch in "wax+"):
+                self.report(
+                    node,
+                    f"file opened for writing (mode {mode!r})",
+                    severity=Severity.WARNING,
+                )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WRITE_METHODS
+        ):
+            self.report(
+                node,
+                f"file write {_snippet(node.func)}()",
+                severity=Severity.WARNING,
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> str | None:
+        mode: ast.expr | None = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+
+DETERMINISM_RULES = (
+    WallClockRule,
+    GlobalRngRule,
+    SetIterationRule,
+    HashOrderRule,
+    BlockingIoRule,
+)

@@ -1,0 +1,111 @@
+"""The lint engine: parse files, run rules, apply suppressions.
+
+The engine is deterministic by construction (it is itself subject to the
+rules it enforces): files are discovered in sorted order, rules run in
+catalog order, and diagnostics are sorted by location before they are
+returned.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import repro.lint.determinism  # noqa: F401  - registers the DET rules
+from repro.lint.rules import RULE_CATALOG, LintRule
+from repro.lint.suppress import parse_suppressions
+from repro.util.validate import Diagnostic, Severity, blocking
+
+__all__ = ["LintRun", "lint_source", "lint_file", "lint_paths"]
+
+
+@dataclass
+class LintRun:
+    """Outcome of one engine invocation."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    def ok(self, strict: bool = False) -> bool:
+        return not blocking(self.diagnostics, strict=strict)
+
+    def merge(self, other: "LintRun") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.suppressed += other.suppressed
+        self.files_checked += other.files_checked
+
+    def finish(self) -> "LintRun":
+        self.diagnostics.sort(key=lambda d: d.sort_key)
+        return self
+
+
+def _select_rules(rule_ids: Sequence[str] | None) -> list[type[LintRule]]:
+    if rule_ids is None:
+        return [RULE_CATALOG[rule_id] for rule_id in sorted(RULE_CATALOG)]
+    unknown = sorted(set(rule_ids) - set(RULE_CATALOG))
+    if unknown:
+        raise KeyError(f"unknown lint rules {unknown} (known: {sorted(RULE_CATALOG)})")
+    return [RULE_CATALOG[rule_id] for rule_id in sorted(set(rule_ids))]
+
+
+def lint_source(
+    source: str,
+    filename: str = "<string>",
+    rule_ids: Sequence[str] | None = None,
+) -> LintRun:
+    """Lint one source string."""
+    from repro.lint.rules import FileContext
+
+    run = LintRun(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        run.diagnostics.append(
+            Diagnostic(
+                rule="LINT000",
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+                file=filename,
+                line=exc.lineno,
+                col=exc.offset,
+            )
+        )
+        return run.finish()
+    suppressions = parse_suppressions(source)
+    ctx = FileContext(filename=filename, source=source, tree=tree)
+    for rule_cls in _select_rules(rule_ids):
+        for diag in rule_cls(ctx).run():
+            if suppressions.is_suppressed(diag.rule, diag.line):
+                run.suppressed += 1
+            else:
+                run.diagnostics.append(diag)
+    return run.finish()
+
+
+def lint_file(path: Path, rule_ids: Sequence[str] | None = None) -> LintRun:
+    return lint_source(
+        path.read_text(encoding="utf-8"), filename=str(path), rule_ids=rule_ids
+    )
+
+
+def _python_files(paths: Iterable[Path]) -> list[Path]:
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rule_ids: Sequence[str] | None = None
+) -> LintRun:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    run = LintRun()
+    for path in _python_files(Path(p) for p in paths):
+        run.merge(lint_file(path, rule_ids=rule_ids))
+    return run.finish()

@@ -1,0 +1,54 @@
+"""Rendering lint results for humans and machines."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from repro.util.validate import Diagnostic, Severity, blocking
+
+__all__ = ["render_text", "render_json", "summary_counts"]
+
+
+def summary_counts(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    counts: Counter[str] = Counter(str(d.severity) for d in diagnostics)
+    return {str(sev): counts.get(str(sev), 0) for sev in Severity}
+
+
+def render_text(
+    diagnostics: list[Diagnostic],
+    strict: bool = False,
+    suppressed: int = 0,
+    files_checked: int | None = None,
+) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [diag.format() for diag in diagnostics]
+    counts = summary_counts(diagnostics)
+    parts = [f"{n} {name}{'s' if n != 1 else ''}" for name, n in counts.items() if n]
+    summary = ", ".join(parts) if parts else "no findings"
+    if suppressed:
+        summary += f" ({suppressed} suppressed)"
+    if files_checked is not None:
+        summary = f"{files_checked} file{'s' if files_checked != 1 else ''}: " + summary
+    verdict = "FAIL" if blocking(diagnostics, strict=strict) else "OK"
+    lines.append(f"lint {verdict} — {summary}")
+    return "\n".join(lines)
+
+
+def render_json(
+    diagnostics: list[Diagnostic],
+    strict: bool = False,
+    suppressed: int = 0,
+    files_checked: int | None = None,
+) -> str:
+    payload = {
+        "ok": not blocking(diagnostics, strict=strict),
+        "strict": strict,
+        "counts": summary_counts(diagnostics),
+        "suppressed": suppressed,
+        "diagnostics": [diag.to_dict() for diag in diagnostics],
+    }
+    if files_checked is not None:
+        payload["files_checked"] = files_checked
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,82 @@
+"""Suppression comments: ``# repro: lint-ok[RULE]``.
+
+Two scopes:
+
+* **line** — ``# repro: lint-ok[DET001]`` on (or trailing) a line silences
+  the named rules for diagnostics anchored to that line. A bare
+  ``# repro: lint-ok`` silences every rule on the line.
+* **file** — ``# repro: lint-ok-file[DET005]`` anywhere in the file
+  silences the named rules for the whole file (for modules whose entire
+  purpose is exempt, e.g. the wall-clock runtime).
+
+Rule lists are comma-separated. Suppressions are parsed with
+:mod:`tokenize`, so the marker text inside string literals is inert.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_MARKER = re.compile(
+    r"#\s*repro:\s*lint-ok(?P<filewide>-file)?"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+#: Sentinel meaning "every rule".
+ALL_RULES = "*"
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state for one source file."""
+
+    #: line number -> set of rule ids (or ``{"*"}``) silenced on that line.
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: rule ids (or ``"*"``) silenced for the whole file.
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule: str, line: int | None) -> bool:
+        if ALL_RULES in self.file_wide or rule in self.file_wide:
+            return True
+        if line is None:
+            return False
+        rules = self.by_line.get(line)
+        return rules is not None and (ALL_RULES in rules or rule in rules)
+
+
+def _rules_of(match: "re.Match[str]") -> set[str]:
+    text = match.group("rules")
+    if text is None:
+        return {ALL_RULES}
+    rules = {part.strip() for part in text.split(",") if part.strip()}
+    return rules or {ALL_RULES}
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract suppression markers from ``source``.
+
+    Unreadable sources (syntax errors mid-file) degrade gracefully: the
+    tokens up to the error are honoured.
+    """
+    result = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _MARKER.search(token.string)
+            if match is None:
+                continue
+            rules = _rules_of(match)
+            if match.group("filewide"):
+                result.file_wide |= rules
+            else:
+                result.by_line.setdefault(token.start[0], set()).update(rules)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return result

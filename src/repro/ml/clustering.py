@@ -68,7 +68,9 @@ class OnlineKMeans:
         self.weights[index] += 1.0
         rate = 1.0 / self.weights[index]
         centroid = self.centroids[index]
-        for key in set(centroid) | set(point):
+        # Sorted so new keys enter the centroid dict in a stable order
+        # regardless of hash salt — serialized state must not vary.
+        for key in sorted(set(centroid) | set(point)):
             old = centroid.get(key, 0.0)
             centroid[key] = old + rate * (point.get(key, 0.0) - old)
         return index

@@ -80,6 +80,41 @@ class TestValidation:
             event.validate()
 
 
+class TestDiagnose:
+    def test_valid_plan_has_no_diagnostics(self):
+        assert full_plan().diagnose() == []
+
+    def test_diagnose_reports_every_problem(self):
+        """Unlike validate(), diagnose() is exhaustive, not fail-fast."""
+        plan = FaultPlan(
+            "",
+            (
+                NodeCrash(at=-1.0),  # bad time AND missing node
+                SensorFlap(at=0.0, module="a", device="", down_s=0.0),
+            ),
+        )
+        diags = plan.diagnose()
+        rules = sorted(d.rule for d in diags)
+        assert rules == ["CHS100", "CHS101", "CHS101", "CHS101", "CHS101"]
+        assert all(str(d.severity) == "error" for d in diags)
+
+    def test_diagnose_locates_the_event(self):
+        plan = FaultPlan("p", (NodeCrash(at=1.0),))
+        (diag,) = plan.diagnose()
+        assert diag.where == "p:events[0] node_crash"
+        assert "node name" in diag.message
+
+    def test_diagnose_matches_validate(self):
+        """A plan validates exactly when it diagnoses clean."""
+        good = full_plan()
+        assert good.diagnose() == []
+        good.validate()
+        bad = FaultPlan("p", (NodeCrash(at=1.0),))
+        assert bad.diagnose()
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+
 class TestOrdering:
     def test_events_sorted_by_time(self):
         plan = FaultPlan(

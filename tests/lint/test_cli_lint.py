@@ -1,0 +1,96 @@
+"""The ``repro lint`` subcommand."""
+
+import json
+
+from repro.cli import main
+
+
+def test_catalog_lists_rules(capsys):
+    assert main(["lint", "--catalog"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "DET002", "DET003", "DET004", "DET005"):
+        assert rule_id in out
+
+
+def test_no_target_is_usage_error(capsys):
+    assert main(["lint"]) == 2
+    assert "nothing to lint" in capsys.readouterr().err
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text("VALUES = [1, 2, 3]\n", encoding="utf-8")
+    assert main(["lint", str(path)]) == 0
+    assert "lint OK" in capsys.readouterr().out
+
+
+def test_violation_exits_one_and_reports_location(tmp_path, capsys):
+    path = tmp_path / "dirty.py"
+    path.write_text("import time\nx = time.time()\n", encoding="utf-8")
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert f"{path}:2" in out
+    assert "DET001" in out
+
+
+def test_warning_blocks_only_in_strict(tmp_path):
+    path = tmp_path / "writer.py"
+    path.write_text("f = open('out.txt', 'w')\n", encoding="utf-8")
+    assert main(["lint", str(path)]) == 0
+    assert main(["lint", str(path), "--strict"]) == 1
+
+
+def test_json_format(tmp_path, capsys):
+    path = tmp_path / "dirty.py"
+    path.write_text("import random\nx = random.random()\n", encoding="utf-8")
+    assert main(["lint", str(path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["diagnostics"][0]["rule"] == "DET002"
+
+
+def test_rules_filter(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text("import time\nx = time.time()\n", encoding="utf-8")
+    assert main(["lint", str(path), "--rules", "DET003"]) == 0
+
+
+def test_recipe_fig5_passes(capsys):
+    assert main(["lint", "--recipe", "fig5"]) == 0
+    assert "lint OK" in capsys.readouterr().out
+
+
+def test_recipe_file_with_findings(tmp_path, capsys):
+    recipe = tmp_path / "bad.json"
+    recipe.write_text(
+        json.dumps(
+            {
+                "recipe": "bad",
+                "tasks": [
+                    {
+                        "id": "sense",
+                        "operator": "sensor",
+                        "outputs": ["raw", "extra"],
+                        "params": {"device": "d", "rate_hz": 5},
+                    },
+                    {
+                        "id": "learn",
+                        "operator": "train",
+                        "inputs": ["raw"],
+                        "params": {"model": "m", "label_key": "y"},
+                    },
+                ],
+            }
+        ),
+        encoding="utf-8",
+    )
+    # 'extra' is an orphan stream: a warning, so plain run passes ...
+    assert main(["lint", "--recipe", str(recipe)]) == 0
+    out = capsys.readouterr().out
+    assert "RCP105" in out
+    # ... and strict fails.
+    assert main(["lint", "--recipe", str(recipe), "--strict"]) == 1
+
+
+def test_missing_recipe_file_is_io_error(capsys):
+    assert main(["lint", "--recipe", "no/such/file.recipe"]) == 2

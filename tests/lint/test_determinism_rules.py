@@ -1,0 +1,208 @@
+"""Per-rule good/bad fixtures for the determinism lint rules."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_source
+
+
+def run(source, rule_ids=None):
+    return lint_source(textwrap.dedent(source), "fixture.py", rule_ids=rule_ids)
+
+
+def rules_of(run_result):
+    return sorted({d.rule for d in run_result.diagnostics})
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        result = run(
+            """
+            import time
+            stamp = time.time()
+            """
+        )
+        assert rules_of(result) == ["DET001"]
+        (diag,) = result.diagnostics
+        assert diag.line == 3
+        assert "time.time" in diag.message
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "time.monotonic()",
+            "time.perf_counter()",
+            "datetime.datetime.now()",
+            "datetime.date.today()",
+        ],
+    )
+    def test_variants_flagged(self, call):
+        result = run(f"import time, datetime\nx = {call}\n")
+        assert rules_of(result) == ["DET001"]
+
+    def test_aliased_import_resolved(self):
+        result = run("import time as t\nx = t.monotonic()\n")
+        assert rules_of(result) == ["DET001"]
+
+    def test_from_import_resolved(self):
+        result = run("from time import monotonic\nx = monotonic()\n")
+        assert rules_of(result) == ["DET001"]
+
+    def test_runtime_clock_ok(self):
+        result = run(
+            """
+            def handler(runtime):
+                return runtime.now
+            """
+        )
+        assert result.diagnostics == []
+
+
+class TestGlobalRng:
+    def test_module_level_random_flagged(self):
+        result = run("import random\nx = random.random()\n")
+        assert rules_of(result) == ["DET002"]
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "random.randint(0, 5)",
+            "random.shuffle(items)",
+            "os.urandom(8)",
+            "uuid.uuid4()",
+            "secrets.token_hex()",
+            "numpy.random.rand(3)",
+        ],
+    )
+    def test_entropy_sources_flagged(self, call):
+        result = run(f"import random, os, uuid, secrets, numpy\nx = {call}\n")
+        assert rules_of(result) == ["DET002"]
+
+    def test_seeded_instance_ok(self):
+        # random.Random(seed) is how repro.util.rng builds streams.
+        result = run(
+            """
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+            """
+        )
+        assert result.diagnostics == []
+
+    def test_named_stream_ok(self):
+        result = run(
+            """
+            def draw(runtime):
+                return runtime.rng.stream("jitter").random()
+            """
+        )
+        assert result.diagnostics == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal(self):
+        result = run("for x in {1, 2, 3}:\n    print(x)\n")
+        assert rules_of(result) == ["DET003"]
+
+    def test_for_over_set_variable(self):
+        result = run(
+            """
+            def f(items):
+                seen = set(items)
+                for x in seen:
+                    yield x
+            """
+        )
+        assert rules_of(result) == ["DET003"]
+
+    def test_list_of_set(self):
+        result = run("def f(s):\n    seen = set(s)\n    return list(seen)\n")
+        assert rules_of(result) == ["DET003"]
+
+    def test_set_union_expression(self):
+        result = run("def f(a, b):\n    return [x for x in set(a) | set(b)]\n")
+        assert rules_of(result) == ["DET003"]
+
+    def test_join_over_set(self):
+        result = run("def f(s):\n    return ','.join(set(s))\n")
+        assert rules_of(result) == ["DET003"]
+
+    def test_sorted_set_ok(self):
+        result = run(
+            """
+            def f(items):
+                seen = set(items)
+                for x in sorted(seen):
+                    yield x
+            """
+        )
+        assert result.diagnostics == []
+
+    def test_membership_ok(self):
+        result = run(
+            """
+            def f(items, probe):
+                seen = set(items)
+                return probe in seen
+            """
+        )
+        assert result.diagnostics == []
+
+    def test_rebound_name_not_flagged(self):
+        result = run(
+            """
+            def f(items):
+                seen = set(items)
+                seen = sorted(seen)
+                for x in seen:
+                    yield x
+            """
+        )
+        assert result.diagnostics == []
+
+
+class TestHashOrder:
+    def test_sort_key_id_flagged_as_error(self):
+        result = run("def f(xs):\n    return sorted(xs, key=id)\n")
+        (diag,) = result.diagnostics
+        assert diag.rule == "DET004"
+        assert str(diag.severity) == "error"
+
+    def test_bare_id_is_warning(self):
+        result = run("def f(x):\n    return id(x)\n")
+        (diag,) = result.diagnostics
+        assert diag.rule == "DET004"
+        assert str(diag.severity) == "warning"
+
+    def test_sort_by_attribute_ok(self):
+        result = run("def f(xs):\n    return sorted(xs, key=len)\n")
+        assert result.diagnostics == []
+
+
+class TestBlockingIo:
+    def test_time_sleep_flagged(self):
+        result = run("import time\ntime.sleep(1)\n")
+        assert rules_of(result) == ["DET005"]
+
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            "subprocess.run(['ls'])",
+            "socket.create_connection(('h', 1))",
+            "input()",
+        ],
+    )
+    def test_blocking_calls_flagged(self, stmt):
+        result = run(f"import subprocess, socket\n{stmt}\n")
+        assert rules_of(result) == ["DET005"]
+
+    def test_write_open_is_warning(self):
+        result = run("f = open('out.txt', 'w')\n")
+        (diag,) = result.diagnostics
+        assert diag.rule == "DET005"
+        assert str(diag.severity) == "warning"
+
+    def test_read_open_ok(self):
+        result = run("f = open('in.txt')\ng = open('in.txt', 'rb')\n")
+        assert result.diagnostics == []

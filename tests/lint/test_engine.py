@@ -1,0 +1,155 @@
+"""Engine behavior: suppressions, file walking, injected violations."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import lint_paths, lint_source, render_json, render_text
+
+
+class TestSuppression:
+    def test_line_suppression_with_rule(self):
+        run = lint_source(
+            "import time\n"
+            "x = time.time()  # repro: lint-ok[DET001]\n"
+        )
+        assert run.diagnostics == []
+        assert run.suppressed == 1
+
+    def test_line_suppression_wrong_rule_does_not_apply(self):
+        run = lint_source(
+            "import time\n"
+            "x = time.time()  # repro: lint-ok[DET003]\n"
+        )
+        assert [d.rule for d in run.diagnostics] == ["DET001"]
+        assert run.suppressed == 0
+
+    def test_bare_suppression_covers_all_rules(self):
+        run = lint_source(
+            "import time, random\n"
+            "x = time.time() + random.random()  # repro: lint-ok\n"
+        )
+        assert run.diagnostics == []
+        assert run.suppressed == 2
+
+    def test_file_wide_suppression(self):
+        run = lint_source(
+            "# repro: lint-ok-file[DET001]\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.monotonic()\n"
+        )
+        assert run.diagnostics == []
+        assert run.suppressed == 2
+
+    def test_marker_inside_string_is_inert(self):
+        run = lint_source(
+            'import time\n'
+            'marker = "# repro: lint-ok-file[DET001]"\n'
+            'x = time.time()\n'
+        )
+        assert [d.rule for d in run.diagnostics] == ["DET001"]
+
+    def test_multiple_rules_in_one_marker(self):
+        run = lint_source(
+            "import time, random\n"
+            "x = time.time() + random.random()"
+            "  # repro: lint-ok[DET001, DET002]\n"
+        )
+        assert run.diagnostics == []
+        assert run.suppressed == 2
+
+
+class TestEngine:
+    def test_syntax_error_reported_not_raised(self):
+        run = lint_source("def broken(:\n")
+        assert [d.rule for d in run.diagnostics] == ["LINT000"]
+        assert not run.ok()
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(KeyError, match="DET999"):
+            lint_source("x = 1\n", rule_ids=["DET999"])
+
+    def test_rule_filter(self):
+        source = "import time, random\nx = time.time()\ny = random.random()\n"
+        run = lint_source(source, rule_ids=["DET002"])
+        assert [d.rule for d in run.diagnostics] == ["DET002"]
+
+    def test_injected_violations_located(self, tmp_path):
+        """The acceptance fixture: seed two violations, find both."""
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUES = [1, 2, 3]\n", encoding="utf-8")
+        seeded = tmp_path / "seeded.py"
+        seeded.write_text(
+            textwrap.dedent(
+                """
+                import time
+
+
+                def stamp(record):
+                    record["at"] = time.time()
+                    return record
+
+
+                def fanout(streams):
+                    targets = set(streams)
+                    for name in targets:
+                        yield name
+                """
+            ),
+            encoding="utf-8",
+        )
+        run = lint_paths([tmp_path])
+        assert run.files_checked == 2
+        by_rule = {d.rule: d for d in run.diagnostics}
+        assert set(by_rule) == {"DET001", "DET003"}
+        wall = by_rule["DET001"]
+        assert wall.file == str(seeded)
+        assert wall.line == 6
+        seti = by_rule["DET003"]
+        assert seti.file == str(seeded)
+        assert seti.line == 12
+        assert not run.ok()
+
+    def test_diagnostics_sorted_by_location(self, tmp_path):
+        (tmp_path / "b.py").write_text("import time\nx = time.time()\n")
+        (tmp_path / "a.py").write_text("import time\nx = time.time()\n")
+        run = lint_paths([tmp_path])
+        files = [d.file for d in run.diagnostics]
+        assert files == sorted(files)
+
+
+class TestReport:
+    def test_text_report_mentions_verdict_and_counts(self):
+        run = lint_source("import time\nx = time.time()\n", "mod.py")
+        text = render_text(
+            run.diagnostics, suppressed=run.suppressed, files_checked=1
+        )
+        assert "lint FAIL" in text
+        assert "mod.py:2" in text
+        assert "1 error" in text
+
+    def test_json_report_round_trips(self):
+        run = lint_source("import time\nx = time.time()\n", "mod.py")
+        payload = json.loads(render_json(run.diagnostics, files_checked=1))
+        assert payload["ok"] is False
+        assert payload["counts"]["error"] == 1
+        (diag,) = payload["diagnostics"]
+        assert diag["rule"] == "DET001"
+        assert diag["file"] == "mod.py"
+        assert diag["line"] == 2
+
+    def test_strict_promotes_warnings(self):
+        run = lint_source("f = open('out.txt', 'w')\n")
+        assert run.ok(strict=False)
+        assert not run.ok(strict=True)
+
+
+def test_self_lint_is_green():
+    """The repo's own sources pass the strict gate (the CI contract)."""
+    from pathlib import Path
+
+    package = Path(__file__).resolve().parents[2] / "src" / "repro"
+    run = lint_paths([package])
+    assert run.ok(strict=True), render_text(run.diagnostics, strict=True)

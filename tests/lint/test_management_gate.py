@@ -1,0 +1,145 @@
+"""The pre-deployment static gate in Management (Fig. 6 step 2)."""
+
+import pytest
+
+from repro.core.recipe import Recipe, TaskSpec
+from repro.errors import StaticCheckError
+from repro.sensors.devices import FixedPayloadModel
+
+from tests.core.conftest import ClusterHarness, harness  # noqa: F401
+
+
+def rate_recipe(rate_hz):
+    return Recipe(
+        "hot",
+        [
+            TaskSpec(
+                "sense",
+                "sensor",
+                outputs=["raw"],
+                params={"device": "sample", "rate_hz": rate_hz},
+                capabilities=["sensor:sample"],
+            ),
+            TaskSpec(
+                "learn",
+                "train",
+                inputs=["raw"],
+                params={"model": "m", "label_key": "label"},
+            ),
+        ],
+    )
+
+
+def cyclic_recipe_dict():
+    return {
+        "recipe": "loop",
+        "tasks": [
+            {"id": "a", "operator": "map", "inputs": ["c-out"], "outputs": ["a-out"]},
+            {"id": "b", "operator": "map", "inputs": ["a-out"], "outputs": ["b-out"]},
+            {"id": "c", "operator": "map", "inputs": ["b-out"], "outputs": ["c-out"]},
+        ],
+    }
+
+
+def test_cyclic_recipe_dict_rejected_before_any_deploy(harness):  # noqa: F811
+    module = harness.add_module("pi-1")
+    harness.settle()
+    management = harness.cluster.management
+    with pytest.raises(StaticCheckError) as excinfo:
+        management.submit_recipe(cyclic_recipe_dict())
+    assert any(d.rule == "RCP104" for d in excinfo.value.diagnostics)
+    harness.settle(2.0)
+    # Rejected statically: no deploy command ever reached the module.
+    assert module.agent.deploys_handled == 0
+    assert module.operators == {}
+
+
+def test_dangling_recipe_dict_rejected(harness):  # noqa: F811
+    harness.settle()
+    broken = {
+        "recipe": "ghost",
+        "tasks": [
+            {"id": "m", "operator": "map", "inputs": ["nowhere"], "outputs": ["out"]}
+        ],
+    }
+    with pytest.raises(StaticCheckError) as excinfo:
+        harness.cluster.management.submit_recipe(broken)
+    rules = {d.rule for d in excinfo.value.diagnostics}
+    assert "RCP103" in rules
+
+
+def test_rate_infeasible_allowed_by_default(harness):  # noqa: F811
+    """The paper measures saturation; the default gate must not forbid it."""
+    module = harness.add_module("pi-1")
+    module.attach_sensor("sample", FixedPayloadModel())
+    harness.settle()
+    assignment = harness.cluster.management.submit_recipe(rate_recipe(40))
+    assert assignment is not None
+    # The finding is still on the record, as a trace event.
+    findings = [
+        e
+        for e in harness.runtime.tracer.select(event="agent.static_check")
+        if "RCP110" in str(e.fields)
+    ]
+    assert findings
+
+
+def test_rate_infeasible_rejected_in_strict_mode(harness):  # noqa: F811
+    module = harness.add_module("pi-1")
+    module.attach_sensor("sample", FixedPayloadModel())
+    harness.settle()
+    agent = harness.cluster.management.agent
+    agent.static_check = "strict"
+    with pytest.raises(StaticCheckError) as excinfo:
+        harness.cluster.management.submit_recipe(rate_recipe(40))
+    assert any(d.rule == "RCP110" for d in excinfo.value.diagnostics)
+    harness.settle(2.0)
+    assert module.agent.deploys_handled == 0
+    # A feasible rate passes the same strict gate.
+    assert harness.cluster.management.submit_recipe(rate_recipe(5)) is not None
+
+
+def test_gate_can_be_turned_off(harness):  # noqa: F811
+    harness.settle()
+    agent = harness.cluster.management.agent
+    agent.static_check = "off"
+    # Even a structurally broken dict goes through to Recipe.from_dict,
+    # which raises its own (non-diagnostic) error — the gate stays out
+    # of the way.
+    from repro.errors import RecipeError
+
+    with pytest.raises(RecipeError):
+        harness.cluster.management.submit_recipe(cyclic_recipe_dict())
+
+
+def test_remote_submit_of_broken_recipe_does_not_crash_leader(harness):  # noqa: F811
+    """A bad recipe shipped to a module leader is trace-rejected."""
+    module = harness.add_module("pi-1")
+    module.attach_sensor("sample", FixedPayloadModel())
+    harness.settle()
+    bad = {
+        "recipe": "ghost",
+        "tasks": [
+            {"id": "m", "operator": "map", "inputs": ["nowhere"], "outputs": ["out"]}
+        ],
+    }
+    harness.cluster.management.module.client.publish(
+        "ifot/ctl/module/pi-1/submit", {"recipe": bad, "strategy": "load_aware"}, qos=1
+    )
+    harness.settle(2.0)
+    rejected = harness.runtime.tracer.select(event="agent.recipe_rejected")
+    assert rejected
+    assert module.agent.recipes_led == 0
+    # The leader is still alive and can lead a good recipe afterwards.
+    harness.cluster.management.submit_recipe(rate_recipe(5), via_module="pi-1")
+    harness.settle(2.0)
+    assert module.agent.recipes_led == 1
+
+
+def test_invalid_static_check_mode_rejected(harness):  # noqa: F811
+    from repro.core.management import ModuleAgent
+    from repro.errors import DeploymentError
+
+    module = harness.add_module("pi-x")
+    with pytest.raises(DeploymentError):
+        ModuleAgent(module, static_check="sometimes")

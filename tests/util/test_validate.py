@@ -2,6 +2,10 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.util.validate import (
+    Diagnostic,
+    Severity,
+    blocking,
+    max_severity,
     require_in_range,
     require_name,
     require_non_negative,
@@ -36,3 +40,97 @@ def test_require_name():
     for bad in ("", " padded", "padded ", None, 7):
         with pytest.raises(ConfigurationError):
             require_name(bad, "x")
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_str_is_lowercase_name(self):
+        assert str(Severity.WARNING) == "warning"
+
+    def test_parse_round_trips(self):
+        for sev in Severity:
+            assert Severity.parse(str(sev)) is sev
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ConfigurationError, match="fatal"):
+            Severity.parse("fatal")
+
+
+class TestDiagnostic:
+    def make(self, **kw):
+        defaults = dict(
+            rule="DET001", severity=Severity.ERROR, message="wall-clock call"
+        )
+        defaults.update(kw)
+        return Diagnostic(**defaults)
+
+    def test_source_location_format(self):
+        diag = self.make(file="a.py", line=3, col=7, hint="use runtime.now")
+        assert diag.location == "a.py:3:7"
+        assert diag.format() == (
+            "a.py:3:7: error[DET001] wall-clock call  (use runtime.now)"
+        )
+
+    def test_artifact_location_format(self):
+        diag = self.make(rule="RCP104", where="app:tasks a, b")
+        assert diag.location == "app:tasks a, b"
+        assert "error[RCP104]" in diag.format()
+
+    def test_fallback_location(self):
+        assert self.make().location == "<artifact>"
+
+    def test_to_dict_includes_location(self):
+        payload = self.make(file="a.py", line=1, col=0).to_dict()
+        assert payload["location"] == "a.py:1:0"
+        assert payload["severity"] == "error"
+
+    def test_replace(self):
+        diag = self.make().replace(file="b.py", line=9)
+        assert diag.location == "b.py:9"
+        assert diag.rule == "DET001"
+
+    def test_sort_key_orders_by_file_then_line(self):
+        diags = [
+            self.make(file="b.py", line=1),
+            self.make(file="a.py", line=9),
+            self.make(file="a.py", line=2),
+        ]
+        ordered = sorted(diags, key=lambda d: d.sort_key)
+        assert [(d.file, d.line) for d in ordered] == [
+            ("a.py", 2),
+            ("a.py", 9),
+            ("b.py", 1),
+        ]
+
+
+class TestGating:
+    def diags(self):
+        return [
+            Diagnostic("A", Severity.INFO, "i"),
+            Diagnostic("B", Severity.WARNING, "w"),
+            Diagnostic("C", Severity.ERROR, "e"),
+        ]
+
+    def test_max_severity(self):
+        assert max_severity(self.diags()) is Severity.ERROR
+        assert max_severity([]) is None
+
+    def test_blocking_default_is_errors_only(self):
+        assert [d.rule for d in blocking(self.diags())] == ["C"]
+
+    def test_blocking_strict_includes_warnings(self):
+        assert [d.rule for d in blocking(self.diags(), strict=True)] == ["B", "C"]
+
+
+def test_static_check_error_carries_diagnostics():
+    from repro.errors import StaticCheckError
+
+    diags = [
+        Diagnostic("RCP104", Severity.ERROR, "cycle", where="app:tasks a, b")
+    ]
+    exc = StaticCheckError("recipe rejected", diags)
+    assert exc.diagnostics == diags
+    assert "recipe rejected" in str(exc)
+    assert "RCP104" in str(exc)
