@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.bench.calibration import (
     BROKER_QUEUE_LIMIT,
@@ -173,13 +174,17 @@ FIG5_FALL_LEN = 2.0
 
 
 def build_fig5_testbed(
-    seed: int = 55, observe: bool = False
+    seed: int = 55,
+    observe: bool = False,
+    prepare: "Callable[[SimRuntime], None] | None" = None,
 ) -> tuple[SimRuntime, IFoTCluster]:
     """The Fig. 5 cluster: wrist/waist accelerometers, room sensors +
     camera, an analysis module and a pager, with a fall planted at t=20 s.
 
     With ``observe=True`` flow tracing and metrics are enabled *before*
     any component exists, so the span trees cover the whole run.
+    ``prepare`` likewise runs on the bare runtime first (the schedule
+    sanitizer installs its kernel monitor / tie-break perturbation there).
     """
     from repro.sensors import (
         AccelerometerModel,
@@ -192,6 +197,8 @@ def build_fig5_testbed(
     events = EventSchedule()
     events.add(FIG5_FALL_AT, FIG5_FALL_LEN, "fall", intensity=1.2)
     runtime = SimRuntime(seed=seed)
+    if prepare is not None:
+        prepare(runtime)
     if observe:
         from repro.obs import enable_observability
 
@@ -212,16 +219,20 @@ def build_fig5_testbed(
 
 
 def run_fig5_experiment(
-    seed: int = 55, duration_s: float = 30.0, observe: bool = True
+    seed: int = 55,
+    duration_s: float = 30.0,
+    observe: bool = True,
+    prepare: "Callable[[SimRuntime], None] | None" = None,
 ) -> SimRuntime:
     """Deploy the shipped Fig. 5 recipe and run for ``duration_s``.
 
     Returns the runtime; its tracer carries the full event trace (span
     trees and metric scrapes included when ``observe`` is on).
+    ``prepare`` is forwarded to :func:`build_fig5_testbed`.
     """
     from repro.core.dsl import parse_recipe
 
-    runtime, cluster = build_fig5_testbed(seed=seed, observe=observe)
+    runtime, cluster = build_fig5_testbed(seed=seed, observe=observe, prepare=prepare)
     recipe = parse_recipe(FIG5_RECIPE_PATH.read_text())
     app = cluster.submit(recipe)
     cluster.settle(2.0)

@@ -44,6 +44,12 @@ __all__ = ["Injector"]
 #: Trace source used for all injector events.
 TRACE_SOURCE = "chaos"
 
+#: Epilogue priority fault application runs at: after every normal event
+#: at the fault instant *and* after the WLAN's canonical flush (priority
+#: 0), so a fault at t never races the instant's regular traffic — frames
+#: already offered at t are on the channel before the fault lands.
+FAULT_EPILOGUE_PRIORITY = 1
+
 
 class Injector:
     """Applies fault plans to a runtime (and optionally its cluster).
@@ -74,13 +80,26 @@ class Injector:
         """Arm every event of ``plan`` relative to virtual time zero."""
         plan.validate()
         now = self.runtime.now
+        kernel = getattr(self.runtime, "kernel", None)
         for event in plan.events:
             if event.at < now:
                 raise ConfigurationError(
                     f"{plan.name}: event {event.kind} at t={event.at} is in "
                     f"the past (now={now})"
                 )
-            self.runtime.call_later(event.at - now, self._apply, event)
+            if kernel is not None:
+                # Apply as an end-of-instant epilogue: planned fault times
+                # routinely coincide with timer multiples (keepalives,
+                # heartbeats, sample ticks), and applying mid-instant would
+                # make the outcome an accident of event ordering.
+                kernel.schedule_epilogue(
+                    self._apply,
+                    event,
+                    delay=event.at - now,
+                    priority=FAULT_EPILOGUE_PRIORITY,
+                )
+            else:
+                self.runtime.call_later(event.at - now, self._apply, event)
         self.plans_scheduled += 1
 
     # ------------------------------------------------------------------

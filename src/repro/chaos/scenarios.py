@@ -76,14 +76,22 @@ APP_NAME = "chaos-app"
 RATE_HZ = 2.0
 
 
-def build_chaos_cluster(seed: int = 0) -> tuple[SimRuntime, IFoTCluster]:
+def build_chaos_cluster(
+    seed: int = 0, prepare: Callable[[SimRuntime], None] | None = None
+) -> tuple[SimRuntime, IFoTCluster]:
     """The standard chaos testbed: 2 sensor + 2 compute modules.
 
     Auto-failover and auto-reconnect are both on — chaos scenarios test
     exactly those paths. Two compute modules (capability ``compute``)
     give failover somewhere to move the analysis subtasks.
+
+    ``prepare`` runs on the bare runtime before any component exists —
+    the schedule sanitizer installs its kernel monitor and tie-break
+    perturbation there, so even the t=0 connect storm is covered.
     """
     runtime = SimRuntime(seed=seed)
+    if prepare is not None:
+        prepare(runtime)
     cluster = IFoTCluster(
         runtime,
         broker_node_name=BROKER_NODE,
@@ -384,17 +392,22 @@ def get_scenario(name: str) -> ChaosScenario:
 
 
 def run_scenario(
-    scenario: ChaosScenario | str, seed: int = 0, observe: bool = False
+    scenario: ChaosScenario | str,
+    seed: int = 0,
+    observe: bool = False,
+    prepare: Callable[[SimRuntime], None] | None = None,
 ) -> ScenarioResult:
     """Build the testbed, inject the scenario's plan, check invariants.
 
     ``observe=True`` enables flow tracing + metrics (``repro.obs``) before
     the workload starts, so the resulting trace carries span trees through
     the injected faults — the golden-trace tests fingerprint exactly that.
+    ``prepare`` is forwarded to :func:`build_chaos_cluster` (sanitizer
+    hook installation).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
-    runtime, cluster = build_chaos_cluster(seed)
+    runtime, cluster = build_chaos_cluster(seed, prepare=prepare)
     if observe:
         from repro.obs import enable_observability
 

@@ -262,6 +262,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if run.ok(strict=args.strict) else 1
 
 
+def _cmd_san(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.lint.report import render_text
+    from repro.san import SAN_SCENARIOS, run_sanitizer
+    from repro.util.validate import blocking
+
+    if args.list:
+        width = max(len(name) for name in SAN_SCENARIOS)
+        for name in sorted(SAN_SCENARIOS):
+            print(f"{name:<{width}}  {SAN_SCENARIOS[name].description}")
+        return 0
+    names = args.scenarios or None
+    report = run_sanitizer(scenarios=names, perturb=args.perturb)
+    diagnostics = report.diagnostics
+    if args.format == "json":
+        payload = report.to_dict()
+        payload["ok"] = not blocking(diagnostics, strict=args.strict)
+        payload["strict"] = args.strict
+        payload["perturb"] = args.perturb
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for result in report.results:
+            status = "diverged" if result.diverged_seeds else "stable"
+            print(
+                f"{result.scenario}: {result.events} events, "
+                f"{result.cells} tracked cells, "
+                f"{len(result.perturbed)} perturbed replays ({status})"
+            )
+        print(
+            render_text(
+                diagnostics,
+                strict=args.strict,
+                suppressed=report.suppressed,
+                label="san",
+            )
+        )
+    return 0 if not blocking(diagnostics, strict=args.strict) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -356,6 +396,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--catalog", action="store_true", help="list lint rules and exit"
     )
     lint.set_defaults(fn=_cmd_lint)
+
+    san = sub.add_parser(
+        "san", help="schedule sanitizer: happens-before races + replay"
+    )
+    san.add_argument(
+        "scenarios",
+        nargs="*",
+        help="scenario names (default: all); see --list",
+    )
+    san.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    san.add_argument(
+        "--perturb",
+        type=int,
+        default=3,
+        metavar="N",
+        help="tie-break perturbation replays per scenario (default: 3)",
+    )
+    san.add_argument(
+        "--strict", action="store_true", help="warnings also fail the run"
+    )
+    san.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format"
+    )
+    san.set_defaults(fn=_cmd_san)
     return parser
 
 

@@ -42,16 +42,30 @@ from repro.errors import RecipeError
 from repro.ml.features import Datum
 from repro.ml.stat import WindowStat
 from repro.runtime.component import Component
+from repro.runtime.state import StateCell, tracked_state
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.node import NeuronModule
 
 __all__ = [
+    "STATEFUL_OPERATORS",
     "StreamOperator",
     "register_operator",
     "create_operator",
     "registered_operators",
 ]
+
+#: Operators holding cross-record state. Shared currency between the
+#: static recipe checker (RCP109: sharding a stateful operator splits its
+#: state across shards) and the schedule sanitizer (each instance gets a
+#: per-instance state cell so record-processing order is race-checked).
+STATEFUL_OPERATORS = {"merge", "stat", "ewma", "delta", "throttle", "dedup", "train"}
+
+#: Operators whose instances carry a sanitizer state cell: the stateful
+#: set plus ``window``, which buffers records between emissions (sharding
+#: it is fine — each shard windows its own slice — but processing order
+#: still mutates state).
+_SAN_TRACKED_OPERATORS = STATEFUL_OPERATORS | {"window"}
 
 
 class StreamOperator(Component):
@@ -103,6 +117,14 @@ class StreamOperator(Component):
         self._consecutive_errors = 0
         self._obs_span: Any = None
         self._obs_hist: Any = None
+        # Stateful operators mutate cross-record state on every processed
+        # record, so record order is schedule-sensitive; the sanitizer
+        # cell makes that visible as a write per processing event.
+        self._state_cell: StateCell | None = None
+        if subtask.operator in _SAN_TRACKED_OPERATORS:
+            self._state_cell = tracked_state(
+                self.runtime, f"operator.{self.name}", "state"
+            )
         self.configure()
 
     def configure(self) -> None:
@@ -166,6 +188,8 @@ class StreamOperator(Component):
     def _process(self, stream: str, record: FlowRecord) -> None:
         if self.stopped:
             return
+        if self._state_cell is not None:
+            self._state_cell.note_write()
         try:
             self.on_record(stream, record)
         except Exception as exc:  # noqa: BLE001 - fault isolation boundary
@@ -316,6 +340,8 @@ class WindowOperator(StreamOperator):
                 self._emit_window(batch)
 
     def _flush_time(self) -> None:
+        if self._state_cell is not None:
+            self._state_cell.note_write()
         if self._batch:
             batch, self._batch = self._batch, []
             self._emit_window(batch)

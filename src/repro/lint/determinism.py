@@ -7,6 +7,7 @@ Every rule here guards a way Python code silently breaks reproducibility:
 ``DET003``  order-dependent iteration over sets
 ``DET004``  ``id()`` / hash-based ordering (address- and salt-dependent)
 ``DET005``  blocking I/O (sleep, sockets, subprocesses, file writes)
+``DET006``  float-unsafe folds (``sum``, ``fsum``, …) over unordered iterables
 
 The rules are syntactic and intentionally err on the side of reporting:
 a legitimate site (the wall-clock runtime, the CLI's export paths) carries
@@ -129,23 +130,13 @@ _ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "zip", "reversed", "iter
 _SET_METHODS = {"union", "intersection", "difference", "symmetric_difference", "copy"}
 
 
-@register_rule
-class SetIterationRule(LintRule):
-    """Flags iteration over sets where element order escapes.
+class SetTaintRule(LintRule):
+    """Shared machinery for rules that track set-valued expressions.
 
-    Set iteration order depends on the string-hash salt (PYTHONHASHSEED),
-    so any set ordering that reaches scheduling, serialization or output
-    differs between processes. Order-insensitive consumers (``sorted``,
-    ``len``, ``min``/``max``, membership, another set) are fine and not
-    flagged; building a list/tuple, enumerating, joining, or looping is
-    flagged. Local names assigned set-valued expressions are tracked per
-    scope; re-assigning through ``sorted(...)`` clears the taint.
+    Local names assigned set-valued expressions are tracked per scope;
+    re-assigning through an ordering call (``sorted(...)``) clears the
+    taint. Subclasses implement the sinks.
     """
-
-    rule_id = "DET003"
-    severity = Severity.ERROR
-    description = "iteration over a set — order is hash-salt-dependent"
-    hint = "sort first: iterate sorted(the_set)"
 
     def __init__(self, ctx: FileContext) -> None:
         super().__init__(ctx)
@@ -213,6 +204,24 @@ class SetIterationRule(LintRule):
         is_set = looks_set or (node.value is not None and self._is_set_expr(node.value))
         self._bind(node.target, is_set)
 
+
+@register_rule
+class SetIterationRule(SetTaintRule):
+    """Flags iteration over sets where element order escapes.
+
+    Set iteration order depends on the string-hash salt (PYTHONHASHSEED),
+    so any set ordering that reaches scheduling, serialization or output
+    differs between processes. Order-insensitive consumers (``sorted``,
+    ``len``, ``min``/``max``, membership, another set) are fine and not
+    flagged; building a list/tuple, enumerating, joining, or looping is
+    flagged.
+    """
+
+    rule_id = "DET003"
+    severity = Severity.ERROR
+    description = "iteration over a set — order is hash-salt-dependent"
+    hint = "sort first: iterate sorted(the_set)"
+
     # -- order-sensitive sinks -------------------------------------------
 
     def _check_iter(self, node: ast.AST, iterable: ast.expr) -> None:
@@ -263,6 +272,92 @@ class SetIterationRule(LintRule):
                     "arbitrary (salt-ordered) element",
                 )
         self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# DET006 — accumulation over unordered iterables
+# ---------------------------------------------------------------------------
+
+#: Callables that fold an iterable into one value, left to right. Over
+#: floats the result depends on the operand order (non-associativity), so
+#: feeding them an unordered iterable makes the fold salt-dependent.
+_ACCUMULATORS = {
+    "sum",
+    "math.fsum",
+    "math.prod",
+    "functools.reduce",
+    "statistics.mean",
+    "statistics.fmean",
+    "statistics.geometric_mean",
+    "statistics.harmonic_mean",
+}
+
+_DICT_VIEW_METHODS = {"keys", "values", "items"}
+
+
+@register_rule
+class AccumulationOrderRule(SetTaintRule):
+    """Flags float-unsafe folds (``sum``, ``fsum``, ``reduce``, …) over
+    unordered iterables.
+
+    Floating-point addition and multiplication are not associative, so a
+    fold's result depends on operand order. Folding a *set* (or a
+    comprehension drawing from one) is salt-dependent — an error. Folding
+    a *dict view* is insertion-ordered, which is deterministic only as
+    long as every insertion path is; since that is invisible at the fold
+    site, it is reported as a warning.
+    """
+
+    rule_id = "DET006"
+    severity = Severity.ERROR
+    description = "accumulation over an unordered iterable — float folds are order-dependent"
+    hint = "fold a deterministic order: sum(sorted(xs)) or sum(xs_list)"
+
+    def _fold_name(self, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _ACCUMULATORS:
+            return func.id
+        dotted = self.resolve(func)
+        if dotted in _ACCUMULATORS:
+            return dotted
+        return None
+
+    def _iterable_argument(self, name: str, node: ast.Call) -> "ast.expr | None":
+        index = 1 if name.endswith("reduce") else 0
+        return node.args[index] if len(node.args) > index else None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self._fold_name(node)
+        arg = self._iterable_argument(name, node) if name is not None else None
+        if arg is not None:
+            self._check_fold(node, name, arg)  # type: ignore[arg-type]
+        self.generic_visit(node)
+
+    def _check_fold(self, node: ast.Call, name: str, arg: ast.expr) -> None:
+        if self._is_set_expr(arg):
+            self.report(node, f"{name}() over set {_snippet(arg)!r}")
+            return
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            for gen in arg.generators:
+                if self._is_set_expr(gen.iter):
+                    self.report(
+                        node,
+                        f"{name}() over a comprehension drawing from set "
+                        f"{_snippet(gen.iter)!r}",
+                    )
+                    return
+        if (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Attribute)
+            and arg.func.attr in _DICT_VIEW_METHODS
+            and not arg.args
+        ):
+            self.report(
+                node,
+                f"{name}() over dict view {_snippet(arg)!r} — deterministic "
+                "only if every insertion into the dict is",
+                severity=Severity.WARNING,
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -374,4 +469,5 @@ DETERMINISM_RULES = (
     SetIterationRule,
     HashOrderRule,
     BlockingIoRule,
+    AccumulationOrderRule,
 )

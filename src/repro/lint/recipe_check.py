@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from repro.core.operators import STATEFUL_OPERATORS
 from repro.core.recipe import Recipe, TaskSpec
 from repro.core.splitter import SubTask
 from repro.errors import RecipeError
@@ -49,9 +50,6 @@ __all__ = ["check_recipe", "check_recipe_dict", "check_rate_feasibility"]
 
 #: Operators that legitimately consume no stream (sources / control-plane).
 _SOURCE_OPERATORS = {"sensor", "mix"}
-
-#: Operators holding cross-record state that sharding silently splits.
-_STATEFUL_OPERATORS = {"merge", "stat", "ewma", "delta", "throttle", "dedup", "train"}
 
 #: Utilization fraction of capacity above which RCP111 warns.
 SOFT_UTILIZATION = 0.8
@@ -339,7 +337,7 @@ def _check_ports(name: str, tasks: list[TaskSpec]) -> list[Diagnostic]:
                     hint="only sensor/mix tasks are valid sources",
                 )
             )
-        if task.parallelism > 1 and task.operator in _STATEFUL_OPERATORS:
+        if task.parallelism > 1 and task.operator in STATEFUL_OPERATORS:
             diagnostics.append(
                 _diag(
                     "RCP109",

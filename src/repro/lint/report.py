@@ -21,8 +21,13 @@ def render_text(
     strict: bool = False,
     suppressed: int = 0,
     files_checked: int | None = None,
+    label: str = "lint",
 ) -> str:
-    """Human-readable report: one line per finding plus a summary."""
+    """Human-readable report: one line per finding plus a summary.
+
+    ``label`` names the tool in the verdict line — the schedule sanitizer
+    reuses this renderer with ``label="san"``.
+    """
     lines = [diag.format() for diag in diagnostics]
     counts = summary_counts(diagnostics)
     parts = [f"{n} {name}{'s' if n != 1 else ''}" for name, n in counts.items() if n]
@@ -32,7 +37,7 @@ def render_text(
     if files_checked is not None:
         summary = f"{files_checked} file{'s' if files_checked != 1 else ''}: " + summary
     verdict = "FAIL" if blocking(diagnostics, strict=strict) else "OK"
-    lines.append(f"lint {verdict} — {summary}")
+    lines.append(f"{label} {verdict} — {summary}")
     return "\n".join(lines)
 
 

@@ -11,6 +11,10 @@ Two scopes:
 
 Rule lists are comma-separated. Suppressions are parsed with
 :mod:`tokenize`, so the marker text inside string literals is inert.
+
+The machinery is marker-generic: the schedule sanitizer reuses it with
+``marker="san-ok"`` to read ``# repro: san-ok[SAN001]`` annotations on
+tracked-state declarations (see :mod:`repro.runtime.state`).
 """
 
 from __future__ import annotations
@@ -22,10 +26,18 @@ from dataclasses import dataclass, field
 
 __all__ = ["Suppressions", "parse_suppressions"]
 
-_MARKER = re.compile(
-    r"#\s*repro:\s*lint-ok(?P<filewide>-file)?"
-    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
-)
+_MARKER_CACHE: dict[str, "re.Pattern[str]"] = {}
+
+
+def _marker_re(marker: str) -> "re.Pattern[str]":
+    pattern = _MARKER_CACHE.get(marker)
+    if pattern is None:
+        pattern = re.compile(
+            rf"#\s*repro:\s*{re.escape(marker)}(?P<filewide>-file)?"
+            r"(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+        )
+        _MARKER_CACHE[marker] = pattern
+    return pattern
 
 #: Sentinel meaning "every rule".
 ALL_RULES = "*"
@@ -57,19 +69,21 @@ def _rules_of(match: "re.Match[str]") -> set[str]:
     return rules or {ALL_RULES}
 
 
-def parse_suppressions(source: str) -> Suppressions:
+def parse_suppressions(source: str, marker: str = "lint-ok") -> Suppressions:
     """Extract suppression markers from ``source``.
 
-    Unreadable sources (syntax errors mid-file) degrade gracefully: the
-    tokens up to the error are honoured.
+    ``marker`` selects the annotation family (``lint-ok`` by default;
+    the sanitizer passes ``san-ok``). Unreadable sources (syntax errors
+    mid-file) degrade gracefully: the tokens up to the error are honoured.
     """
+    marker_re = _marker_re(marker)
     result = Suppressions()
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
             if token.type != tokenize.COMMENT:
                 continue
-            match = _MARKER.search(token.string)
+            match = marker_re.search(token.string)
             if match is None:
                 continue
             rules = _rules_of(match)

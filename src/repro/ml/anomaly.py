@@ -85,7 +85,7 @@ class LofLite:
         self._window: RingBuffer[dict[str, float]] = RingBuffer(window)
 
     def _distance(self, a: dict[str, float], b: dict[str, float]) -> float:
-        keys = set(a) | set(b)
+        keys = sorted(set(a) | set(b))
         return math.sqrt(
             sum((a.get(key, 0.0) - b.get(key, 0.0)) ** 2 for key in keys)
         )

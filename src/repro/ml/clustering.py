@@ -34,7 +34,7 @@ class OnlineKMeans:
         self.points_seen = 0
 
     def _distance2(self, a: dict[str, float], b: dict[str, float]) -> float:
-        keys = set(a) | set(b)
+        keys = sorted(set(a) | set(b))
         return sum((a.get(key, 0.0) - b.get(key, 0.0)) ** 2 for key in keys)
 
     def nearest(self, datum: Datum) -> tuple[int, float]:

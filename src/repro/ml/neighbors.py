@@ -36,7 +36,7 @@ class Neighbor:
 
 
 def _euclidean(a: dict[str, float], b: dict[str, float]) -> float:
-    keys = set(a) | set(b)
+    keys = sorted(set(a) | set(b))
     return math.sqrt(sum((a.get(k, 0.0) - b.get(k, 0.0)) ** 2 for k in keys))
 
 

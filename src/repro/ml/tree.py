@@ -31,7 +31,8 @@ __all__ = ["HoeffdingTreeClassifier"]
 
 
 def _entropy(counts: Counter) -> float:
-    total = sum(counts.values())
+    # Integer counts: addition is associative, any order gives one answer.
+    total = sum(counts.values())  # repro: lint-ok[DET006]
     if total == 0:
         return 0.0
     result = 0.0
@@ -257,7 +258,7 @@ class HoeffdingTreeClassifier:
             merged = self._gather_counts(self._root)
             if not merged:
                 raise ModelError("classify() on an untrained tree")
-            total = sum(merged.values())
+            total = sum(merged.values())  # repro: lint-ok[DET006] int counts
             probabilities = {label: c / total for label, c in merged.items()}
         best = max(probabilities, key=lambda label: (probabilities[label], label))
         return best, probabilities

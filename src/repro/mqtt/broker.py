@@ -22,6 +22,7 @@ from repro.obs.context import FlowContext
 from repro.runtime.base import TimerHandle
 from repro.runtime.component import Component
 from repro.runtime.node import Node
+from repro.runtime.state import StateCell, tracked_state
 from repro.errors import ProtocolError
 
 __all__ = ["Broker", "BrokerStats", "BROKER_SERVICE"]
@@ -65,6 +66,9 @@ class _Session:
     next_packet_id: int = 1
     connected: bool = True
     will: dict[str, Any] | None = None
+    #: Sanitizer tag for this session's protocol state (packet-id counter,
+    #: inflight queue, liveness) — set by the broker on session creation.
+    cell: StateCell | None = None
 
     def allocate_packet_id(self) -> int:
         pid = self.next_packet_id
@@ -101,6 +105,14 @@ class Broker(Component):
         self._address_index: dict[Address, str] = {}
         self._subscriptions: TopicTree[str] = TopicTree()  # filter -> client ids
         self._retained: dict[str, _Retained] = {}
+        # Sanitizer tags (repro.runtime.state): the broker's shared stores
+        # are native containers; these cells record read/write order at the
+        # access choke points so the schedule sanitizer can detect
+        # schedule-order races between concurrent client packets.
+        self._retained_cell = tracked_state(self.runtime, f"broker.{name}", "retained")
+        self._subscriptions_cell = tracked_state(
+            self.runtime, f"broker.{name}", "subscriptions"
+        )
         node.bind(BROKER_SERVICE, self._on_datagram)
         self.every(sweep_interval_s, self._sweep_sessions)
 
@@ -155,6 +167,9 @@ class Broker(Component):
             return None
         session = self._sessions.get(client_id)
         if session is not None:
+            # last_seen is deliberately not a tracked write: same-instant
+            # packets all store the identical timestamp, so the order of
+            # these writes can never matter.
             session.last_seen = self.runtime.now
         return session
 
@@ -202,6 +217,11 @@ class Broker(Component):
             session.last_seen = self.runtime.now
             session.connected = True
             session.will = dict(will) if will else None
+        if session.cell is None:
+            session.cell = tracked_state(
+                self.runtime, f"broker.{self.name}", f"session.{client_id}"
+            )
+        session.cell.note_write()
         self._address_index[source] = client_id
         self.trace("mqtt.broker.connect", client=client_id, clean=clean)
         self._send(source, Packet.connack(session_present=session_present))
@@ -234,6 +254,9 @@ class Broker(Component):
     ) -> None:
         if session is None:
             return  # not connected; MQTT closes the socket, we drop
+        self._subscriptions_cell.note_write()
+        if session.cell is not None:
+            session.cell.note_write()
         granted: list[int] = []
         for topic_filter, qos in packet["filters"]:
             qos = min(int(qos), 1)
@@ -257,6 +280,9 @@ class Broker(Component):
     ) -> None:
         if session is None:
             return
+        self._subscriptions_cell.note_write()
+        if session.cell is not None:
+            session.cell.note_write()
         for topic_filter in packet["filters"]:
             if topic_filter in session.subscriptions:
                 del session.subscriptions[topic_filter]
@@ -269,6 +295,7 @@ class Broker(Component):
         sub_qos = session.subscriptions.get(topic_filter)
         if sub_qos is None:
             return
+        self._retained_cell.note_read()
         for topic, retained in sorted(self._retained.items()):
             if topic_matches(topic_filter, topic):
                 self._forward(
@@ -305,6 +332,7 @@ class Broker(Component):
                 headers = {**headers, "obs": ctx.to_wire()}
 
         if packet.get("retain", False):
+            self._retained_cell.note_write()
             if payload is None:
                 self._retained.pop(topic, None)
             else:
@@ -318,6 +346,7 @@ class Broker(Component):
 
         # One delivery per client even with overlapping subscriptions (the
         # client side then dispatches to every matching local callback).
+        self._subscriptions_cell.note_read()
         seen: set[str] = set()
         for client_id in self._subscriptions.match(topic):
             if client_id in seen:
@@ -326,6 +355,8 @@ class Broker(Component):
             subscriber = self._sessions.get(client_id)
             if subscriber is None or not subscriber.connected:
                 continue
+            if subscriber.cell is not None:
+                subscriber.cell.note_read()
             sub_qos = max(
                 (
                     q
@@ -347,6 +378,10 @@ class Broker(Component):
         headers: dict[str, Any],
         retain: bool,
     ) -> None:
+        if qos == 1 and session.cell is not None:
+            # Allocating a packet id and queueing the inflight entry mutate
+            # the session; forward order decides the id sequence.
+            session.cell.note_write()
         packet_id = session.allocate_packet_id() if qos == 1 else None
         packet = Packet.publish(
             topic=topic,
@@ -392,6 +427,8 @@ class Broker(Component):
         )
 
     def _retry(self, session: _Session, packet_id: int) -> None:
+        if session.cell is not None:
+            session.cell.note_write()
         inflight = session.inflight.get(packet_id)
         if inflight is None:
             return
@@ -420,6 +457,8 @@ class Broker(Component):
         if session is None:
             return
         self.stats.pubacks_in += 1
+        if session.cell is not None:
+            session.cell.note_write()
         inflight = session.inflight.pop(packet["packet_id"], None)
         if inflight is not None and inflight.timer is not None:
             inflight.timer.cancel()
@@ -465,6 +504,8 @@ class Broker(Component):
         self._on_publish(session.address, session, packet)
 
     def _remove_session(self, session: _Session, expired: bool) -> None:
+        if session.cell is not None:
+            session.cell.note_write()
         self._address_index.pop(session.address, None)
         if session.clean:
             self._cancel_inflight(
@@ -530,6 +571,7 @@ class Broker(Component):
         return sorted(ids)
 
     def _drop_subscriptions(self, session: _Session) -> None:
+        self._subscriptions_cell.note_write()
         for topic_filter in session.subscriptions:
             self._subscriptions.remove(topic_filter, session.client_id)
         session.subscriptions.clear()

@@ -27,6 +27,7 @@ from repro.net.address import Address
 from repro.runtime.base import TimerHandle
 from repro.runtime.component import Component
 from repro.runtime.node import Node
+from repro.runtime.state import tracked_state
 
 __all__ = ["MqttClient", "Subscription"]
 
@@ -85,7 +86,12 @@ class MqttClient(Component):
         #: May be (re)set before connect().
         self.will = dict(will) if will else None
 
-        self.connected = False
+        # Tracked: "is the session up" is exactly the kind of state a
+        # publish path reads while a watchdog writes it at the same instant
+        # — the sanitizer must see those accesses.
+        self._connected = tracked_state(
+            node.runtime, f"mqtt.client.{client_id}", "connected", False
+        )
         self._connecting = False
         self._service = f"mqttc.{client_id}"
         self._subscriptions: list[Subscription] = []
@@ -116,6 +122,7 @@ class MqttClient(Component):
         self._backoff_s: float | None = None
         self._reconnect_timer: TimerHandle | None = None
         self._backoff_rng = node.runtime.rng.stream(f"mqtt.backoff.{client_id}")
+        self._retry_rng = node.runtime.rng.stream(f"mqtt.retry.{client_id}")
         if auto_reconnect:
             self.enable_auto_reconnect()
         node.bind(self._service, self._on_datagram)
@@ -123,6 +130,14 @@ class MqttClient(Component):
     @property
     def address(self) -> Address:
         return self.node.address(self._service)
+
+    @property
+    def connected(self) -> bool:
+        return bool(self._connected.value)
+
+    @connected.setter
+    def connected(self, up: bool) -> None:
+        self._connected.value = up
 
     # ------------------------------------------------------------------
     # Connection management
@@ -156,7 +171,14 @@ class MqttClient(Component):
         """
         if self._watchdog is not None:
             return
-        self._watchdog = self.every(self.keepalive_s, self._check_liveness)
+        # Seeded phase offset: a check loop synchronized to the keep-alive
+        # period would tick at the exact instants application timers of the
+        # same period fire, making "did the publish beat the session-lost
+        # verdict" an accident of event ordering.
+        phase = self._retry_rng.uniform(0.05, 0.95) * self.keepalive_s
+        self._watchdog = self.every(
+            self.keepalive_s, self._check_liveness, start_delay=phase
+        )
 
     def _check_liveness(self) -> None:
         if not self.connected:
@@ -355,7 +377,12 @@ class MqttClient(Component):
         )
 
     def _arm_retry(self, packet_id: int, pending: _PendingPublish) -> None:
-        pending.timer = self.after(self.retry_interval_s, self._retry, packet_id)
+        # ±10% jitter (seeded stream) keeps retransmissions from phase-
+        # locking with the publish cadence: a fixed interval that is a
+        # multiple of the sample period fires dup resends at the exact
+        # instant of a fresh publish, a classic synchronized-retry artifact.
+        interval = self.retry_interval_s * self._retry_rng.uniform(0.9, 1.1)
+        pending.timer = self.after(interval, self._retry, packet_id)
 
     def _retry(self, packet_id: int) -> None:
         pending = self._inflight.get(packet_id)

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.net.frame import Frame
 from repro.net.medium import Medium
@@ -47,7 +48,19 @@ from repro.sim.trace import Tracer
 from repro.util.rng import RngRegistry
 from repro.util.validate import require_in_range, require_non_negative, require_positive
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.base import Runtime
+
 __all__ = ["WlanConfig", "WlanMedium", "GilbertElliottConfig"]
+
+
+class _NoRuntime:
+    """Stand-in runtime for standalone media (sanitizer permanently off)."""
+
+    san: Any = None
+
+
+_NO_RUNTIME = _NoRuntime()
 
 
 @dataclass(frozen=True)
@@ -163,6 +176,7 @@ class WlanMedium(Medium):
         config: WlanConfig | None = None,
         rng: random.Random | RngRegistry | None = None,
         tracer: Tracer | None = None,
+        runtime: "Runtime | None" = None,
     ) -> None:
         super().__init__()
         self._kernel = kernel
@@ -184,6 +198,21 @@ class WlanMedium(Medium):
         self._interference: list[tuple[float, float, float]] = []
         self._degradations: list[_Degradation] = []
         self._next_degradation_handle = 0
+        # Same-instant frames are buffered and flushed by one kernel
+        # epilogue in canonical (station, frame_id) order, so the channel
+        # slot assignment and the shared jitter/loss/burst RNG draw order
+        # are invariant to the schedule order of concurrent senders.
+        self._pending: list[Frame] = []
+        self._flush_scheduled = False
+        # Deferred import: repro.runtime imports this module at package
+        # init, so the cycle is only safe to close at construction time.
+        from repro.runtime.state import tracked_state
+
+        owner: Any = runtime if runtime is not None else _NO_RUNTIME
+        # The pending buffer is commutative by construction: the canonical
+        # flush sort erases append order.
+        self._pending_cell = tracked_state(owner, "wlan", "pending")  # repro: san-ok[SAN001]
+        self._channel_cell = tracked_state(owner, "wlan", "channel")
 
     def schedule_interference(
         self, start: float, duration: float, loss_rate: float
@@ -266,7 +295,37 @@ class WlanMedium(Medium):
         return rate
 
     def transmit(self, frame: Frame) -> None:
-        """Queue ``frame`` on the channel and schedule its delivery."""
+        """Accept ``frame`` for transmission at the current instant.
+
+        Frames are not put on the air immediately: they join a per-instant
+        buffer that a kernel *epilogue* event (see
+        :meth:`repro.sim.SimKernel.schedule_epilogue`) flushes onto the
+        channel in canonical ``(source station, frame_id)`` order.  Since
+        ``frame_id`` is the sender interface's monotonic counter, the
+        canonical order — and therefore channel slot assignment and every
+        draw from the shared jitter/loss/burst streams — depends only on
+        *which* frames were offered during the instant, not on the
+        schedule order of the events that offered them.
+        """
+        self._pending_cell.note_write()
+        self._pending.append(frame)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self._kernel.schedule_epilogue(self._flush)
+
+    def _flush(self) -> None:
+        """Put all frames offered during this instant on the air."""
+        self._flush_scheduled = False
+        self._pending_cell.note_read()
+        pending = sorted(
+            self._pending, key=lambda f: (f.source.station, f.frame_id)
+        )
+        self._pending.clear()
+        for frame in pending:
+            self._transmit_now(frame)
+
+    def _transmit_now(self, frame: Frame) -> None:
+        """Occupy the channel with ``frame`` and schedule its delivery."""
         now = self._kernel.now
         degradations = [
             d for d in self._active_degradations(now) if d.matches(frame)
@@ -279,8 +338,10 @@ class WlanMedium(Medium):
         )
         if self.config.jitter_s > 0.0:
             airtime += self._jitter_rng.uniform(0.0, self.config.jitter_s)
+        self._channel_cell.note_read()
         start = max(now, self._channel_free_at)
         finish = start + airtime
+        self._channel_cell.note_write()
         self._channel_free_at = finish
         self.frames_transmitted += 1
         self.total_airtime += airtime

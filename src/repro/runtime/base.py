@@ -35,6 +35,10 @@ class Runtime(ABC):
         # every instrumentation site guards on that — the hot path cost of
         # tracing being off is one attribute load + identity check.
         self.obs: Any = None
+        # Schedule-sanitizer hook (repro.san.SimSan), gated exactly like
+        # ``obs``: tracked state cells (repro.runtime.state) probe it on
+        # every access, and None short-circuits the probe.
+        self.san: Any = None
 
     @property
     @abstractmethod

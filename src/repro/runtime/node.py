@@ -15,6 +15,7 @@ from repro.net.address import Address
 from repro.net.medium import NetworkInterface, Receiver
 from repro.runtime.base import Runtime
 from repro.runtime.costs import CostModel, NULL_COST_MODEL
+from repro.runtime.state import tracked_state
 from repro.sim.resources import CpuResource
 
 __all__ = ["Node"]
@@ -52,15 +53,36 @@ class Node:
         self.cpu = cpu
         self.cost_model = cost_model
         self._op_counts: dict[str, int] = defaultdict(int)
-        self.alive = True
-        #: Bumped by :meth:`restart`; queued CPU work from an earlier
-        #: incarnation is discarded when it completes.
-        self.incarnation = 0
+        # Liveness and incarnation are tracked state (repro.runtime.state):
+        # fault injection writes them while delivery/compute paths read
+        # them, and the schedule sanitizer checks those accesses for
+        # schedule-order races.
+        self._alive = tracked_state(runtime, f"node.{name}", "alive", True)
+        self._incarnation = tracked_state(runtime, f"node.{name}", "incarnation", 0)
         #: Components currently hosted here (self-registered by
         #: :class:`~repro.runtime.component.Component`).
         self.components: list[Any] = []
         #: Callbacks invoked after :meth:`restart` brings the node back.
         self.restart_hooks: list[Callable[["Node"], None]] = []
+
+    @property
+    def alive(self) -> bool:
+        """Whether the node is up (reads are visible to the sanitizer)."""
+        return self._alive.value
+
+    @alive.setter
+    def alive(self, up: bool) -> None:
+        self._alive.value = up
+
+    @property
+    def incarnation(self) -> int:
+        """Bumped by :meth:`restart`; queued CPU work from an earlier
+        incarnation is discarded when it completes."""
+        return self._incarnation.value
+
+    @incarnation.setter
+    def incarnation(self, value: int) -> None:
+        self._incarnation.value = value
 
     # ------------------------------------------------------------------
     # Compute

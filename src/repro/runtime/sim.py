@@ -51,6 +51,7 @@ class SimRuntime(Runtime):
             # chaos schedules included.
             rng=self.rng.fork("wlan"),
             tracer=self.tracer,
+            runtime=self,
         )
         self.nodes: dict[str, Node] = {}
 

@@ -1,0 +1,103 @@
+"""Tracked state cells: the schedule sanitizer's view of mutable state.
+
+The dynamic sanitizer (:mod:`repro.san`) detects schedule-order races by
+observing which *state cells* each simulation event reads and writes.  A
+cell is a named, declared unit of mutable state — a node's liveness flag,
+the broker's retained-message store, one operator instance's model — and
+this module provides the lightweight wrapper components use to declare
+them:
+
+* :class:`StateCell` — for scalar state, the cell *holds* the value and
+  records a read/write on every access through :attr:`StateCell.value`;
+* for structured state (dicts, trees, queues) the cell is a pure tag: the
+  owner keeps its native container and calls :meth:`StateCell.note_read` /
+  :meth:`StateCell.note_write` at its access choke points.
+
+Cost when the sanitizer is off is one attribute load plus an identity
+check per access (``runtime.san is None``), mirroring how ``runtime.obs``
+gates observability.
+
+Every cell remembers the source location of its :func:`tracked_state`
+declaration.  Sanitizer diagnostics anchor there, and a
+``# repro: san-ok[SAN001]`` comment on that line (parsed with the same
+tokenizer machinery as the lint suppressions, see
+:mod:`repro.lint.suppress`) declares races on the cell benign/commutative.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.base import Runtime
+
+__all__ = ["StateCell", "tracked_state"]
+
+
+class StateCell:
+    """One declared unit of mutable simulation state.
+
+    ``key`` is the globally unique ``owner:name`` identity used in race
+    reports; ``site`` is the ``(filename, line)`` of the declaration.
+    """
+
+    __slots__ = ("_runtime", "key", "site", "_value")
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        key: str,
+        site: tuple[str, int],
+        value: Any = None,
+    ) -> None:
+        self._runtime = runtime
+        self.key = key
+        self.site = site
+        self._value = value
+
+    # -- scalar access (the cell holds the value) ----------------------
+
+    @property
+    def value(self) -> Any:
+        self.note_read()
+        return self._value
+
+    @value.setter
+    def value(self, new: Any) -> None:
+        self.note_write()
+        self._value = new
+
+    def peek(self) -> Any:
+        """Read the value without recording an access (for reporting and
+        invariant code that is not part of the simulated schedule)."""
+        return self._value
+
+    # -- tag-style access (the owner holds the structure) --------------
+
+    def note_read(self) -> None:
+        san = self._runtime.san
+        if san is not None:
+            san.on_access(self, "read")
+
+    def note_write(self) -> None:
+        san = self._runtime.san
+        if san is not None:
+            san.on_access(self, "write")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StateCell({self.key!r})"
+
+
+def tracked_state(
+    runtime: "Runtime", owner: str, name: str, value: Any = None
+) -> StateCell:
+    """Declare a tracked state cell ``owner:name`` holding ``value``.
+
+    The call site (file and line) becomes the cell's anchor for sanitizer
+    diagnostics and ``# repro: san-ok[...]`` annotations, so declare each
+    cell on its own line.
+    """
+    frame = sys._getframe(1)
+    site = (frame.f_code.co_filename, frame.f_lineno)
+    return StateCell(runtime, f"{owner}:{name}", site, value)

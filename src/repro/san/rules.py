@@ -1,0 +1,75 @@
+"""The sanitizer's rule catalog (SAN0xx).
+
+Mirrors :mod:`repro.lint.rules` in spirit: every diagnostic the schedule
+sanitizer can emit is declared here with a stable id, a severity and a
+hint, so ``repro san --list`` and the docs never drift from the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validate import Severity
+
+__all__ = ["SanRule", "SAN_RULES"]
+
+
+@dataclass(frozen=True)
+class SanRule:
+    """One schedule-sanitizer rule."""
+
+    rule_id: str
+    severity: Severity
+    description: str
+    hint: str
+
+
+SAN_RULES: dict[str, SanRule] = {
+    rule.rule_id: rule
+    for rule in (
+        SanRule(
+            rule_id="SAN001",
+            severity=Severity.ERROR,
+            description=(
+                "write-write schedule race: two events at the same virtual "
+                "instant both write a state cell with no happens-before "
+                "path between them — their order is a scheduling accident"
+            ),
+            hint=(
+                "order the writes causally (schedule one from the other), "
+                "move one to a kernel epilogue, or annotate the cell "
+                "declaration '# repro: san-ok[SAN001]' if provably "
+                "commutative"
+            ),
+        ),
+        SanRule(
+            rule_id="SAN002",
+            severity=Severity.WARNING,
+            description=(
+                "read-write schedule race: an unordered same-instant "
+                "reader observes a cell another event writes — whether it "
+                "sees the old or new value is a scheduling accident"
+            ),
+            hint=(
+                "make the read depend on the write (or vice versa), or "
+                "annotate the cell declaration '# repro: san-ok[SAN002]' "
+                "if either value is acceptable"
+            ),
+        ),
+        SanRule(
+            rule_id="SAN010",
+            severity=Severity.ERROR,
+            description=(
+                "perturbation divergence: re-running the scenario with "
+                "seeded equal-timestamp tie-breaking produced a different "
+                "schedule-stable trace digest — a schedule-order race is "
+                "observable in the output"
+            ),
+            hint=(
+                "the diverging run's perturbation seed reproduces it "
+                "deterministically; use the SAN001/SAN002 findings to "
+                "locate the racing state"
+            ),
+        ),
+    )
+}

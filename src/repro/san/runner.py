@@ -1,0 +1,212 @@
+"""Scenario registry and orchestration for ``repro san``.
+
+A *sanitizer scenario* is a named, deterministic simulation the sanitizer
+knows how to run under a prepare hook: the Fig. 5 watching experiment
+plus every chaos scenario. For each requested scenario the runner does
+
+1. a **base run** with :class:`~repro.san.recorder.SimSan` installed —
+   the happens-before pass, yielding SAN001/SAN002 race diagnostics;
+2. ``--perturb N`` **replay runs**, each with seeded equal-timestamp
+   tie-break perturbation, diffing schedule-stable digests against the
+   base run (:mod:`repro.san.replay`) — divergence is SAN010.
+
+Everything is in-process and derived from fixed seeds: no golden files
+are consulted, so the gate cannot go stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.san.recorder import RaceFinding, SimSan
+from repro.san.replay import schedule_stable_digest
+from repro.san.rules import SAN_RULES
+from repro.sim.trace import Tracer
+from repro.util.validate import Diagnostic
+
+__all__ = [
+    "SanScenario",
+    "SAN_SCENARIOS",
+    "ScenarioSanResult",
+    "SanReport",
+    "get_san_scenario",
+    "sanitize_scenario",
+    "run_sanitizer",
+]
+
+#: Hook the runner passes into a scenario builder; receives the bare
+#: SimRuntime before any component exists.
+PrepareHook = Callable[[Any], None]
+
+
+@dataclass(frozen=True)
+class SanScenario:
+    """One named simulation the sanitizer can drive."""
+
+    name: str
+    description: str
+    #: Build and run the scenario under ``prepare``; return its tracer.
+    run: Callable[[PrepareHook], Tracer]
+
+
+def _run_fig5(prepare: PrepareHook) -> Tracer:
+    from repro.bench.scenarios import run_fig5_experiment
+
+    # observe=False: the sanitizer fingerprints the raw event trace; span
+    # scaffolding would only slow the replay runs down.
+    runtime = run_fig5_experiment(observe=False, prepare=prepare)
+    return runtime.tracer
+
+
+def _chaos_runner(name: str) -> Callable[[PrepareHook], Tracer]:
+    def run(prepare: PrepareHook) -> Tracer:
+        from repro.chaos.scenarios import run_scenario
+
+        result = run_scenario(name, seed=0, observe=False, prepare=prepare)
+        assert result.tracer is not None
+        return result.tracer
+
+    return run
+
+
+def _build_registry() -> dict[str, SanScenario]:
+    from repro.chaos.scenarios import SCENARIOS as CHAOS_SCENARIOS
+
+    registry = {
+        "fig5": SanScenario(
+            name="fig5",
+            description="the Fig. 5 watching experiment (fall at t=20 s)",
+            run=_run_fig5,
+        )
+    }
+    for name, chaos in CHAOS_SCENARIOS.items():
+        registry[name] = SanScenario(
+            name=name,
+            description=f"chaos: {chaos.description}",
+            run=_chaos_runner(name),
+        )
+    return registry
+
+
+SAN_SCENARIOS: dict[str, SanScenario] = _build_registry()
+
+
+def get_san_scenario(name: str) -> SanScenario:
+    try:
+        return SAN_SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown sanitizer scenario {name!r} (known: {sorted(SAN_SCENARIOS)})"
+        ) from None
+
+
+@dataclass
+class ScenarioSanResult:
+    """Everything the sanitizer learned about one scenario."""
+
+    scenario: str
+    events: int
+    cells: int
+    findings: list[RaceFinding]
+    suppressed: int
+    diagnostics: list[Diagnostic]
+    base_digest: str
+    #: (perturbation seed, schedule-stable digest) per replay run.
+    perturbed: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def diverged_seeds(self) -> list[int]:
+        return [seed for seed, digest in self.perturbed if digest != self.base_digest]
+
+
+@dataclass
+class SanReport:
+    """Aggregated result over every requested scenario."""
+
+    results: list[ScenarioSanResult]
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        return [d for result in self.results for d in result.diagnostics]
+
+    @property
+    def suppressed(self) -> int:
+        return sum(result.suppressed for result in self.results)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenarios": [
+                {
+                    "name": result.scenario,
+                    "events": result.events,
+                    "cells": result.cells,
+                    "race_pairs": len(
+                        [f for f in result.findings if not f.suppressed]
+                    ),
+                    "suppressed_pairs": result.suppressed,
+                    "base_digest": result.base_digest,
+                    "perturbed": [
+                        {"seed": seed, "digest": digest, "diverged": digest != result.base_digest}
+                        for seed, digest in result.perturbed
+                    ],
+                    "diagnostics": [d.to_dict() for d in result.diagnostics],
+                }
+                for result in self.results
+            ],
+        }
+
+
+def sanitize_scenario(
+    scenario: SanScenario | str, perturb: int = 3
+) -> ScenarioSanResult:
+    """Run the HB pass and ``perturb`` replay runs for one scenario."""
+    if isinstance(scenario, str):
+        scenario = get_san_scenario(scenario)
+    san = SimSan()
+    tracer = scenario.run(san.install)
+    findings = san.analyze()
+    diagnostics, suppressed = san.diagnostics(findings)
+    base_digest = schedule_stable_digest(tracer)
+    result = ScenarioSanResult(
+        scenario=scenario.name,
+        events=san.events_observed,
+        cells=san.cells_touched,
+        findings=findings,
+        suppressed=suppressed,
+        diagnostics=diagnostics,
+        base_digest=base_digest,
+    )
+    for seed in range(1, perturb + 1):
+        perturbed_tracer = scenario.run(
+            lambda runtime, _seed=seed: runtime.kernel.perturb_ties(_seed)
+        )
+        digest = schedule_stable_digest(perturbed_tracer)
+        result.perturbed.append((seed, digest))
+        if digest != base_digest:
+            rule = SAN_RULES["SAN010"]
+            result.diagnostics.append(
+                Diagnostic(
+                    rule="SAN010",
+                    severity=rule.severity,
+                    message=(
+                        f"scenario {scenario.name!r}: tie-break perturbation "
+                        f"seed {seed} diverged (base {base_digest[:12]}…, "
+                        f"perturbed {digest[:12]}…)"
+                    ),
+                    where=f"scenario {scenario.name}",
+                    hint=rule.hint,
+                )
+            )
+    return result
+
+
+def run_sanitizer(
+    scenarios: "list[str] | None" = None, perturb: int = 3
+) -> SanReport:
+    """Sanitize the named scenarios (default: every registered one)."""
+    names = scenarios if scenarios else sorted(SAN_SCENARIOS)
+    return SanReport(
+        results=[sanitize_scenario(name, perturb=perturb) for name in names]
+    )

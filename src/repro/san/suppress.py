@@ -1,0 +1,45 @@
+"""``# repro: san-ok[RULE]`` annotations on tracked-state declarations.
+
+A race on a state cell is sometimes *benign by construction* — e.g. the
+WLAN pending buffer, whose same-instant appends are erased by the
+canonical flush sort. Such cells carry a ``# repro: san-ok[SAN001]``
+comment on the line of their :func:`repro.runtime.state.tracked_state`
+declaration; the sanitizer then drops matching findings (counting them as
+suppressed, never silently).
+
+Parsing reuses the lint suppression tokenizer
+(:func:`repro.lint.suppress.parse_suppressions` with ``marker="san-ok"``),
+so the comment grammar — bare marker, rule lists, ``-file`` scope — is
+identical to ``# repro: lint-ok``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.suppress import Suppressions, parse_suppressions
+
+__all__ = ["SanOkRegistry"]
+
+
+class SanOkRegistry:
+    """Lazily parsed ``san-ok`` annotations, cached per source file."""
+
+    def __init__(self) -> None:
+        self._by_file: dict[str, Suppressions] = {}
+
+    def _suppressions(self, filename: str) -> Suppressions:
+        cached = self._by_file.get(filename)
+        if cached is None:
+            try:
+                source = Path(filename).read_text(encoding="utf-8")
+            except OSError:
+                source = ""
+            cached = parse_suppressions(source, marker="san-ok")
+            self._by_file[filename] = cached
+        return cached
+
+    def is_suppressed(self, rule: str, site: tuple[str, int]) -> bool:
+        """Whether ``rule`` is annotated away at declaration ``site``."""
+        filename, line = site
+        return self._suppressions(filename).is_suppressed(rule, line)

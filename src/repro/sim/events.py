@@ -1,24 +1,63 @@
 """Pending-event set for the discrete-event kernel.
 
-A binary heap keyed on ``(time, sequence)`` gives O(log n) insertion and
-pop-min with FIFO tie-breaking — two events scheduled for the same instant
-fire in the order they were scheduled, which the rest of the system relies on
-for determinism. Cancellation is lazy: handles are flagged and skipped when
-popped, the standard heapq idiom.
+Ordering contract
+-----------------
+The queue is a binary heap whose total order is the explicit triple
+
+    ``(time, tiebreak, seq)``
+
+* ``time`` — the virtual timestamp the event fires at;
+* ``tiebreak`` — ``0.0`` for every normal event in normal operation, so
+  it is inert; a *perturbed* queue (see :meth:`EventQueue.set_perturbation`)
+  assigns each normal event a seeded pseudo-random value in ``[0, 1)``
+  here instead, which permutes the pop order of equal-timestamp events
+  while leaving the timestamps themselves untouched.  *Epilogue* events
+  always use ``_EPILOGUE_BASE + priority`` (≥ 2.0), so they sort after
+  every normal event at their instant — perturbed or not — and among
+  themselves by priority;
+* ``seq`` — a monotonic insertion sequence number, allocated by
+  :meth:`EventQueue.push` and never reused.
+
+With the default ``tiebreak == 0.0`` the order degenerates to
+``(time, seq)``: **events scheduled for the same instant fire in exactly
+the order they were scheduled (FIFO)**.  The rest of the system relies on
+that for determinism, and the schedule sanitizer (:mod:`repro.san`)
+relies on the *explicit* ``seq`` tiebreaker — never on incidental
+comparison of callbacks or argument tuples — so that any two runs of the
+same program produce the same schedule.  ``seq`` is also the event's
+identity in the sanitizer's happens-before graph.
+
+Under perturbation the order is still a deterministic function of the
+(queue contents, perturbation seed) pair — ``seq`` remains the final
+tiebreaker — so a perturbed replay is itself exactly reproducible.  Any
+tie-break permutation yields a *causally valid* schedule: an event can
+only be popped after the event that scheduled it has executed, because it
+is not in the heap before then.
+
+Cancellation is lazy: handles are flagged and skipped when popped, the
+standard heapq idiom.
 """
 
 from __future__ import annotations
 
 import heapq
+import random
 from typing import Any, Callable
 
 __all__ = ["EventHandle", "EventQueue"]
+
+#: Tiebreak base reserved for *epilogue* events: an epilogue's tiebreak is
+#: ``_EPILOGUE_BASE + priority``, so every epilogue sorts after every
+#: normal event at the same timestamp (whose tiebreak is at most 1.0),
+#: under perturbation included, and epilogues of different priority sort
+#: among themselves by priority. See :meth:`EventQueue.push`.
+_EPILOGUE_BASE = 2.0
 
 
 class EventHandle:
     """Cancellable reference to one scheduled callback."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "tiebreak", "callback", "args", "cancelled")
 
     def __init__(
         self,
@@ -26,9 +65,11 @@ class EventHandle:
         seq: int,
         callback: Callable[..., None],
         args: tuple[Any, ...],
+        tiebreak: float = 0.0,
     ) -> None:
         self.time = time
         self.seq = seq
+        self.tiebreak = tiebreak
         self.callback = callback
         self.args = args
         self.cancelled = False
@@ -41,8 +82,25 @@ class EventHandle:
         self.callback = _noop
         self.args = ()
 
+    def sort_key(self) -> tuple[float, float, int]:
+        """The explicit ordering triple (see the module docstring)."""
+        return (self.time, self.tiebreak, self.seq)
+
+    @property
+    def is_epilogue(self) -> bool:
+        """Whether this is an end-of-instant epilogue event (guaranteed to
+        fire after every normal event at its timestamp, even perturbed)."""
+        return self.tiebreak >= _EPILOGUE_BASE
+
+    @property
+    def epilogue_priority(self) -> int | None:
+        """This epilogue's priority, or ``None`` for a normal event."""
+        if self.tiebreak < _EPILOGUE_BASE:
+            return None
+        return int(self.tiebreak - _EPILOGUE_BASE)
+
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return self.sort_key() < other.sort_key()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -54,20 +112,63 @@ def _noop(*_args: Any) -> None:
 
 
 class EventQueue:
-    """Min-heap of :class:`EventHandle` with deterministic ordering."""
+    """Min-heap of :class:`EventHandle` with deterministic ordering.
+
+    See the module docstring for the ordering contract.
+    """
 
     def __init__(self) -> None:
         self._heap: list[EventHandle] = []
         self._seq = 0
+        self._perturb: random.Random | None = None
 
     def __len__(self) -> int:
         return len(self._heap)
 
+    def set_perturbation(self, rng: random.Random | None) -> None:
+        """Install (or, with ``None``, remove) equal-timestamp perturbation.
+
+        While installed, every subsequently pushed event draws its
+        ``tiebreak`` from ``rng`` instead of the constant ``0.0``, so
+        same-instant events pop in a seeded pseudo-random order rather than
+        FIFO.  Events already in the heap keep the tiebreak they were
+        pushed with.  Used by the schedule sanitizer's perturbation replay
+        (:mod:`repro.san`); normal runs never call this.
+        """
+        self._perturb = rng
+
+    @property
+    def perturbed(self) -> bool:
+        return self._perturb is not None
+
     def push(
-        self, time: float, callback: Callable[..., None], args: tuple[Any, ...] = ()
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        epilogue: bool = False,
+        priority: int = 0,
     ) -> EventHandle:
-        """Schedule ``callback(*args)`` at ``time``; return its handle."""
-        handle = EventHandle(time, self._seq, callback, args)
+        """Schedule ``callback(*args)`` at ``time``; return its handle.
+
+        ``epilogue=True`` marks an *end-of-instant* event: its tiebreak is
+        ``_EPILOGUE_BASE + priority``, so it pops only after every normal
+        event at the same timestamp — perturbed or not — and after every
+        epilogue of lower ``priority`` there.  Epilogues sharing a priority
+        pop FIFO by ``seq``.  (A normal event pushed *while* an epilogue
+        runs still precedes any epilogue pushed later; the contract is only
+        meaningful for the buffer-then-flush pattern, where the epilogue
+        schedules strictly-future work.)
+        """
+        if epilogue:
+            if priority < 0:
+                raise ValueError(f"epilogue priority must be >= 0, got {priority}")
+            tiebreak = _EPILOGUE_BASE + priority
+        elif self._perturb is None:
+            tiebreak = 0.0
+        else:
+            tiebreak = self._perturb.random()
+        handle = EventHandle(time, self._seq, callback, args, tiebreak=tiebreak)
         self._seq += 1
         heapq.heappush(self._heap, handle)
         return handle

@@ -8,12 +8,34 @@ MQTT broker, middleware classes) are plain callbacks scheduled here.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import random
+from typing import Any, Callable, Protocol
 
 from repro.errors import ClockError
 from repro.sim.events import EventHandle, EventQueue
 
-__all__ = ["SimKernel"]
+__all__ = ["KernelMonitor", "SimKernel"]
+
+
+class KernelMonitor(Protocol):
+    """Observer of the kernel's schedule, attached via ``kernel.monitor``.
+
+    The schedule sanitizer (:mod:`repro.san`) implements this to build a
+    happens-before graph: ``event_scheduled`` links every new event to the
+    event during whose execution it was created (its *schedule parent*),
+    and ``event_begin``/``event_end`` bracket handler execution so state
+    accesses can be attributed to the running event.  ``kernel.monitor``
+    is ``None`` in normal operation and every hook site guards on that, so
+    the monitoring cost when disabled is one attribute load per event.
+    """
+
+    def event_scheduled(
+        self, handle: EventHandle, parent: EventHandle | None
+    ) -> None: ...
+
+    def event_begin(self, handle: EventHandle) -> None: ...
+
+    def event_end(self, handle: EventHandle) -> None: ...
 
 
 class SimKernel:
@@ -33,6 +55,9 @@ class SimKernel:
         self._queue = EventQueue()
         self._running = False
         self._events_processed = 0
+        #: Optional :class:`KernelMonitor`; ``None`` disables all hooks.
+        self.monitor: KernelMonitor | None = None
+        self._current: EventHandle | None = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -53,6 +78,35 @@ class SimKernel:
         """Number of events still scheduled (including cancelled husks)."""
         return len(self._queue)
 
+    @property
+    def current_event(self) -> EventHandle | None:
+        """The event whose handler is executing right now, if any."""
+        return self._current
+
+    # ------------------------------------------------------------------
+    # Schedule perturbation (see repro.san)
+    # ------------------------------------------------------------------
+
+    def perturb_ties(self, seed: int | None) -> None:
+        """Install seeded permutation of equal-timestamp tie-breaking.
+
+        With a seed, events scheduled from now on pop in a seeded
+        pseudo-random order among equal timestamps instead of FIFO (the
+        timestamps themselves are untouched, and the permuted schedule is
+        itself exactly reproducible from the seed — see the ordering
+        contract in :mod:`repro.sim.events`).  ``None`` restores FIFO.
+        Only the sanitizer's perturbation replay uses this; it must be
+        called before the events of interest are scheduled.
+        """
+        self._queue.set_perturbation(
+            None if seed is None else random.Random(seed)
+        )
+
+    @property
+    def perturbed(self) -> bool:
+        """Whether equal-timestamp perturbation is currently installed."""
+        return self._queue.perturbed
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -63,7 +117,7 @@ class SimKernel:
         """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ClockError(f"cannot schedule in the past (delay={delay})")
-        return self._queue.push(self._now + delay, callback, args)
+        return self._push(self._now + delay, callback, args)
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -73,12 +127,53 @@ class SimKernel:
             raise ClockError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        return self._queue.push(time, callback, args)
+        return self._push(time, callback, args)
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Run ``callback(*args)`` at the current instant, after pending
         same-instant events already queued."""
-        return self._queue.push(self._now, callback, args)
+        return self._push(self._now, callback, args)
+
+    def schedule_epilogue(
+        self,
+        callback: Callable[..., None],
+        *args: Any,
+        delay: float = 0.0,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Run ``callback(*args)`` at ``now + delay``, after **every**
+        normal event scheduled for that instant — including ones not queued
+        yet, and regardless of tie-break perturbation.  Epilogues at one
+        instant run in ``priority`` order (then FIFO within a priority).
+
+        This is the flush half of the buffer-then-flush pattern (e.g. the
+        WLAN medium collects same-instant transmits and flushes them onto
+        the channel in canonical order, at priority 0), which makes
+        same-instant fan-in schedule-invariant by construction.  Higher
+        priorities are for work that must deterministically follow those
+        flushes — e.g. chaos fault application (priority 1), so a fault at
+        *t* lands after the instant's normal traffic under every schedule.
+        """
+        if delay < 0:
+            raise ClockError(f"cannot schedule in the past (delay={delay})")
+        return self._push(
+            self._now + delay, callback, args, epilogue=True, priority=priority
+        )
+
+    def _push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+        epilogue: bool = False,
+        priority: int = 0,
+    ) -> EventHandle:
+        handle = self._queue.push(
+            time, callback, args, epilogue=epilogue, priority=priority
+        )
+        if self.monitor is not None:
+            self.monitor.event_scheduled(handle, self._current)
+        return handle
 
     # ------------------------------------------------------------------
     # Execution
@@ -91,7 +186,16 @@ class SimKernel:
             return False
         self._now = handle.time
         self._events_processed += 1
-        handle.callback(*handle.args)
+        if self.monitor is None:
+            handle.callback(*handle.args)
+            return True
+        self._current = handle
+        self.monitor.event_begin(handle)
+        try:
+            handle.callback(*handle.args)
+        finally:
+            self.monitor.event_end(handle)
+            self._current = None
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:

@@ -51,6 +51,8 @@ def test_channel_backlog():
     payload = b"x" * (100 - 64)
     a.send("c", Address("b", "s"), payload)
     a.send("c", Address("b", "s"), payload)
+    # Frames hit the channel when the epilogue flush for t=0 runs.
+    kernel.run(until=0.0)
     assert wlan.channel_backlog == pytest.approx(0.2)
     kernel.run()
     assert wlan.channel_backlog == 0.0

@@ -1,0 +1,199 @@
+"""SimSan happens-before analysis: which same-instant pairs race."""
+
+from repro.runtime.state import tracked_state
+from repro.san.recorder import SimSan
+from repro.sim.kernel import SimKernel
+from repro.util.validate import Severity
+
+
+class _ToyRuntime:
+    """Just enough runtime for SimSan.install and tracked_state."""
+
+    def __init__(self) -> None:
+        self.kernel = SimKernel()
+        self.san = None
+
+
+def _install() -> tuple[_ToyRuntime, SimSan]:
+    runtime = _ToyRuntime()
+    san = SimSan()
+    san.install(runtime)
+    return runtime, san
+
+
+def _write(cell):
+    cell.value = (cell.value or 0) + 1
+
+
+def _read(cell):
+    _ = cell.value
+
+
+def test_unordered_same_instant_writes_are_san001():
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "counter", 0)
+    runtime.kernel.schedule(1.0, _write, cell)
+    runtime.kernel.schedule(1.0, _write, cell)
+    runtime.kernel.run()
+    (finding,) = san.analyze()
+    assert finding.rule == "SAN001"
+    assert finding.cell == "toy:counter"
+    assert finding.time == 1.0
+    assert not finding.suppressed
+
+
+def test_unordered_read_vs_write_is_san002():
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "flag", False)
+    runtime.kernel.schedule(1.0, _read, cell)
+    runtime.kernel.schedule(1.0, _write, cell)
+    runtime.kernel.run()
+    (finding,) = san.analyze()
+    assert finding.rule == "SAN002"
+    kinds = {finding.access_a[1], finding.access_b[1]}
+    assert kinds == {"read", "write"}
+
+
+def test_read_read_never_conflicts():
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "config", 7)
+    runtime.kernel.schedule(1.0, _read, cell)
+    runtime.kernel.schedule(1.0, _read, cell)
+    runtime.kernel.run()
+    assert san.analyze() == []
+
+
+def test_different_instants_never_conflict():
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "counter", 0)
+    runtime.kernel.schedule(1.0, _write, cell)
+    runtime.kernel.schedule(2.0, _write, cell)
+    runtime.kernel.run()
+    assert san.analyze() == []
+
+
+def test_schedule_parentage_orders_the_pair():
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "counter", 0)
+
+    def parent():
+        _write(cell)
+        runtime.kernel.call_soon(_write, cell)  # same instant, but caused
+
+    runtime.kernel.schedule(1.0, parent)
+    runtime.kernel.run()
+    assert san.analyze() == []
+
+
+def test_transitive_parentage_orders_the_pair():
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "counter", 0)
+
+    def grandparent():
+        _write(cell)
+        runtime.kernel.call_soon(middle)
+
+    def middle():
+        runtime.kernel.call_soon(_write, cell)
+
+    runtime.kernel.schedule(1.0, grandparent)
+    runtime.kernel.run()
+    assert san.analyze() == []
+
+
+def test_epilogue_contract_orders_normal_before_epilogue():
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "buffer", 0)
+    runtime.kernel.schedule(1.0, _write, cell)
+    runtime.kernel.schedule_epilogue(_write, cell, delay=1.0)
+    runtime.kernel.run()
+    assert san.analyze() == []
+
+
+def test_epilogue_descendant_is_ordered_after_normal_wave():
+    # A normal event spawned *by* an epilogue at the same instant still
+    # runs after every plain normal event: its epilogue-ancestor chain is
+    # deeper, so the pair is HB-ordered.
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "buffer", 0)
+
+    def epilogue():
+        runtime.kernel.call_soon(_write, cell)
+
+    runtime.kernel.schedule(1.0, _write, cell)
+    runtime.kernel.schedule_epilogue(epilogue, delay=1.0)
+    runtime.kernel.run()
+    assert san.analyze() == []
+
+
+def test_sibling_epilogues_with_distinct_priorities_are_ordered():
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "buffer", 0)
+    runtime.kernel.schedule_epilogue(_write, cell, delay=1.0, priority=0)
+    runtime.kernel.schedule_epilogue(_write, cell, delay=1.0, priority=1)
+    runtime.kernel.run()
+    assert san.analyze() == []
+
+
+def test_sibling_epilogues_with_equal_priority_race():
+    # Equal-priority epilogues pop in seq order — a schedule accident.
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "buffer", 0)
+    runtime.kernel.schedule_epilogue(_write, cell, delay=1.0, priority=0)
+    runtime.kernel.schedule_epilogue(_write, cell, delay=1.0, priority=0)
+    runtime.kernel.run()
+    (finding,) = san.analyze()
+    assert finding.rule == "SAN001"
+
+
+def test_setup_accesses_outside_events_are_ignored():
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "counter", 0)
+    _write(cell)  # setup code, before the schedule runs
+    runtime.kernel.schedule(1.0, _write, cell)
+    runtime.kernel.run()
+    _read(cell)  # teardown code, after the schedule drained
+    assert san.analyze() == []
+    assert san.accesses_recorded == 2  # the in-event read + write only
+
+
+def test_san_ok_annotation_on_declaration_suppresses():
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "commutative", 0)  # repro: san-ok[SAN001]
+    runtime.kernel.schedule(1.0, _write, cell)
+    runtime.kernel.schedule(1.0, _write, cell)
+    runtime.kernel.run()
+    (finding,) = san.analyze()
+    assert finding.suppressed
+    diagnostics, suppressed = san.diagnostics()
+    assert diagnostics == []
+    assert suppressed == 1
+
+
+def test_diagnostics_aggregate_per_cell_and_rule():
+    runtime, san = _install()
+    cell = tracked_state(runtime, "toy", "hot", 0)
+    for _ in range(3):  # 3 unordered writers → 3 pairwise findings
+        runtime.kernel.schedule(1.0, _write, cell)
+    runtime.kernel.run()
+    findings = san.analyze()
+    assert len(findings) == 3
+    diagnostics, suppressed = san.diagnostics(findings)
+    assert suppressed == 0
+    (diag,) = diagnostics  # one diagnostic per (cell, rule), not per pair
+    assert diag.rule == "SAN001"
+    assert diag.severity is Severity.ERROR
+    assert "3 unordered pairs" in diag.message
+    assert diag.where == "toy:hot"
+    assert diag.file == __file__
+
+
+def test_counters_reflect_observed_events_and_cells():
+    runtime, san = _install()
+    a = tracked_state(runtime, "toy", "a", 0)
+    b = tracked_state(runtime, "toy", "b", 0)
+    runtime.kernel.schedule(1.0, _write, a)
+    runtime.kernel.schedule(2.0, _write, b)
+    runtime.kernel.run()
+    assert san.events_observed == 2
+    assert san.cells_touched == 2

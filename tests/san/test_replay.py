@@ -1,0 +1,58 @@
+"""Schedule-stable digests: invariant within an instant, sensitive to all else."""
+
+from repro.san.replay import schedule_stable_digest
+from repro.sim.trace import Tracer
+
+
+def _tracer(records) -> Tracer:
+    tracer = Tracer()
+    for time, source, event, fields in records:
+        tracer.emit(time, source, event, **fields)
+    return tracer
+
+
+def test_within_instant_order_does_not_matter():
+    a = _tracer(
+        [
+            (1.0, "s1", "tick", {"n": 1}),
+            (1.0, "s2", "tick", {"n": 2}),
+            (2.0, "s1", "tick", {"n": 3}),
+        ]
+    )
+    b = _tracer(
+        [
+            (1.0, "s2", "tick", {"n": 2}),
+            (1.0, "s1", "tick", {"n": 1}),
+            (2.0, "s1", "tick", {"n": 3}),
+        ]
+    )
+    assert schedule_stable_digest(a) == schedule_stable_digest(b)
+
+
+def test_field_key_order_does_not_matter():
+    a = _tracer([(1.0, "s", "e", {"x": 1, "y": 2})])
+    b = Tracer()
+    b.emit(1.0, "s", "e", y=2, x=1)
+    assert schedule_stable_digest(a) == schedule_stable_digest(b)
+
+
+def test_content_change_changes_digest():
+    a = _tracer([(1.0, "s", "tick", {"n": 1})])
+    b = _tracer([(1.0, "s", "tick", {"n": 2})])
+    assert schedule_stable_digest(a) != schedule_stable_digest(b)
+
+
+def test_record_moving_across_instants_changes_digest():
+    a = _tracer([(1.0, "s", "tick", {}), (2.0, "s", "tock", {})])
+    b = _tracer([(1.0, "s", "tick", {}), (1.0, "s", "tock", {})])
+    assert schedule_stable_digest(a) != schedule_stable_digest(b)
+
+
+def test_record_count_changes_digest():
+    a = _tracer([(1.0, "s", "tick", {})])
+    b = _tracer([(1.0, "s", "tick", {}), (1.0, "s", "tick", {})])
+    assert schedule_stable_digest(a) != schedule_stable_digest(b)
+
+
+def test_empty_trace_digest_is_stable():
+    assert schedule_stable_digest(Tracer()) == schedule_stable_digest(Tracer())
