@@ -5,11 +5,36 @@ supplementary ablation from DESIGN.md §4) inside a ``pytest-benchmark``
 measurement. Absolute numbers live in ``benchmark.extra_info`` so the JSON
 output of ``pytest benchmarks/ --benchmark-json=...`` carries the full
 paper-vs-measured record.
+
+When ``REPRO_BENCH_OUT`` names a directory, :func:`record_rows`
+additionally writes each benchmark's rows as a schema-versioned
+``BENCH_<name>.json`` record (``repro.bench.continuous``), so a pytest
+bench run produces the same artifact shape as ``repro bench`` — the
+continuous-benchmark gate can diff either.
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 
 def record_rows(benchmark, rows: dict) -> None:
-    """Attach regenerated table rows to the benchmark record."""
+    """Attach regenerated table rows to the benchmark record.
+
+    Rows are sim-derived (virtual-time) metrics and therefore land in the
+    byte-exact ``sim`` half of the exported bench record.
+    """
     benchmark.extra_info.update(rows)
+    out = os.environ.get("REPRO_BENCH_OUT", "")
+    if not out:
+        return
+    from repro.bench.continuous import BenchRecord, write_bench
+
+    name = benchmark.name.removeprefix("bench_")
+    record = BenchRecord(name=name)
+    record.sim = {key: rows[key] for key in sorted(rows)}
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None and getattr(stats, "stats", None) is not None:
+        record.wall = {"elapsed_s": round(stats.stats.mean, 4)}
+    write_bench(record, Path(out))

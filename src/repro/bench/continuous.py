@@ -1,0 +1,300 @@
+"""Continuous benchmarking: schema-versioned records and a regression gate.
+
+A *bench record* (``BENCH_<name>.json``) captures one named benchmark run
+in two strictly separated halves:
+
+* ``sim`` — everything derived from virtual time: latencies, event and
+  trace counts, utilizations, the profile digest. These are pure
+  functions of (scenario, seed) and the gate compares them **byte-exact**
+  (via canonical sorted-key JSON); any drift is a real behaviour change.
+* ``wall`` — host throughput (events simulated per wall second). This
+  depends on the machine, so records carry an environment fingerprint
+  and the gate applies a **tolerance band** only when the fingerprints
+  match; across differing environments wall metrics are reported but
+  never gate.
+
+``repro bench <names> --compare <baseline-dir>`` runs the named
+benchmarks, writes fresh records, and exits nonzero on any sim mismatch
+or out-of-band wall regression — that is the CI gate. Refreshing the
+committed baseline is ``repro bench <names> --out benchmarks/baselines``
+(review the diff like any other golden file).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchRecord",
+    "BenchComparison",
+    "BENCH_RUNNERS",
+    "compare_bench",
+    "environment_fingerprint",
+    "load_bench",
+    "run_bench",
+    "write_bench",
+]
+
+#: Bump when the record layout changes; the gate refuses to compare
+#: records with differing schema versions.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default relative tolerance on wall-clock events/sec (same-env only).
+DEFAULT_WALL_TOLERANCE = 0.35
+
+
+def environment_fingerprint() -> dict[str, str]:
+    """The host properties that make wall-clock numbers comparable."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark run, ready to serialize as ``BENCH_<name>.json``."""
+
+    name: str
+    schema_version: int = BENCH_SCHEMA_VERSION
+    #: Virtual-time results — compared byte-exact.
+    sim: dict[str, Any] = field(default_factory=dict)
+    #: Host throughput — tolerance-banded, same-environment only.
+    wall: dict[str, Any] = field(default_factory=dict)
+    env: dict[str, str] = field(default_factory=environment_fingerprint)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "schema_version": self.schema_version,
+            "sim": self.sim,
+            "wall": self.wall,
+            "env": self.env,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BenchRecord":
+        return cls(
+            name=data["name"],
+            schema_version=data["schema_version"],
+            sim=data.get("sim", {}),
+            wall=data.get("wall", {}),
+            env=data.get("env", {}),
+        )
+
+
+def canonical_sim_json(record: BenchRecord) -> str:
+    """The byte-exact comparison form of the record's sim half."""
+    return json.dumps(record.sim, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Benchmark runners
+# ---------------------------------------------------------------------------
+# Each runner executes one named scenario with profiling attached and
+# returns a BenchRecord. Sim metrics are rounded once, here, so the
+# serialized record is the canonical form.
+
+
+def _bench_fig5() -> BenchRecord:
+    """The Fig. 5 watching experiment, profiled under the Pi calibration."""
+    from repro.bench.calibration import pi_cost_model
+    from repro.bench.scenarios import run_fig5_experiment
+    from repro.prof import enable_profiling, profile_digest
+
+    started = time.perf_counter()  # repro: lint-ok[DET001] - wall-clock half of the bench record
+    runtime = run_fig5_experiment(
+        seed=55,
+        duration_s=30.0,
+        observe=False,
+        prepare=lambda rt: enable_profiling(rt),
+        cost_model=pi_cost_model(),
+    )
+    elapsed = time.perf_counter() - started  # repro: lint-ok[DET001] - wall-clock half of the bench record
+    profiler = runtime.prof
+    record = BenchRecord(name="fig5")
+    record.sim = {
+        "seed": 55,
+        "duration_s": 30.0,
+        "trace_records": len(runtime.tracer),
+        "events_executed": profiler.events_profiled if profiler else 0,
+        "profile_digest": profile_digest(profiler) if profiler else "",
+        "cpu_utilization": {
+            node: round(profiler.cpu_utilization(node), 9)
+            for node in profiler.cpu_nodes()
+        }
+        if profiler
+        else {},
+        "wlan_utilization": round(profiler.wlan_utilization(), 9)
+        if profiler
+        else 0.0,
+    }
+    events = record.sim["events_executed"]
+    record.wall = {
+        "elapsed_s": round(elapsed, 4),
+        "events_per_s": round(events / elapsed, 1) if elapsed > 0 else 0.0,
+    }
+    return record
+
+
+def _bench_saturation() -> BenchRecord:
+    """The Tables II/III rate sweep at the saturation-relevant rates."""
+    from repro.bench.harness import run_paper_experiment
+
+    rates = (5.0, 20.0, 40.0)
+    record = BenchRecord(name="saturation")
+    rows: dict[str, Any] = {}
+    total_events = 0
+    started = time.perf_counter()  # repro: lint-ok[DET001] - wall-clock half of the bench record
+    for rate in rates:
+        result = run_paper_experiment(
+            rate, duration_s=2.5, seed=1, profile=True
+        )
+        profiler = result.profiler
+        total_events += profiler.events_profiled
+        rows[f"{rate:g}hz"] = {
+            "train_avg_ms": round(result.training.average, 6),
+            "train_max_ms": round(result.training.maximum, 6),
+            "predict_avg_ms": round(result.predicting.average, 6),
+            "predict_max_ms": round(result.predicting.maximum, 6),
+            "samples_sensed": result.samples_sensed,
+            "cpu_utilization": dict(result.cpu_utilization),
+            "wlan_utilization": round(result.wlan_utilization, 9),
+        }
+    elapsed = time.perf_counter() - started  # repro: lint-ok[DET001] - wall-clock half of the bench record
+    record.sim = {"seed": 1, "duration_s": 2.5, "rates": rows}
+    record.wall = {
+        "elapsed_s": round(elapsed, 4),
+        "events_per_s": round(total_events / elapsed, 1) if elapsed > 0 else 0.0,
+    }
+    return record
+
+
+#: name -> runner, the benchmarks `repro bench` knows how to run.
+BENCH_RUNNERS: dict[str, Callable[[], BenchRecord]] = {
+    "fig5": _bench_fig5,
+    "saturation": _bench_saturation,
+}
+
+
+def run_bench(name: str) -> BenchRecord:
+    """Execute one named benchmark and return its record."""
+    try:
+        runner = BENCH_RUNNERS[name]
+    except KeyError:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown benchmark {name!r} (known: {sorted(BENCH_RUNNERS)})"
+        ) from None
+    return runner()
+
+
+# ---------------------------------------------------------------------------
+# Persistence
+# ---------------------------------------------------------------------------
+
+
+def bench_path(directory: Path, name: str) -> Path:
+    return Path(directory) / f"BENCH_{name}.json"
+
+
+def write_bench(record: BenchRecord, directory: Path) -> Path:
+    """Serialize ``record`` as ``<directory>/BENCH_<name>.json``."""
+    path = bench_path(directory, record.name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(  # repro: lint-ok[DET005] - bench artifact export
+        json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_bench(directory: Path, name: str) -> BenchRecord:
+    """Load ``BENCH_<name>.json`` from ``directory``."""
+    path = bench_path(directory, name)
+    data = json.loads(path.read_text())  # repro: lint-ok[DET005] - bench artifact import
+    return BenchRecord.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# The regression gate
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of comparing a fresh record against a baseline."""
+
+    name: str
+    ok: bool
+    failures: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+
+def _diff_sim(current: Any, baseline: Any, path: str, failures: list[str]) -> None:
+    """Recursive byte-exact diff with leaf-level failure messages."""
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        for key in sorted(set(baseline) | set(current)):
+            where = f"{path}.{key}" if path else key
+            if key not in current:
+                failures.append(f"sim:{where}: missing (baseline {baseline[key]!r})")
+            elif key not in baseline:
+                failures.append(f"sim:{where}: new key (current {current[key]!r})")
+            else:
+                _diff_sim(current[key], baseline[key], where, failures)
+        return
+    if current != baseline:
+        failures.append(f"sim:{path}: {baseline!r} -> {current!r}")
+
+
+def compare_bench(
+    current: BenchRecord,
+    baseline: BenchRecord,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+) -> BenchComparison:
+    """Gate ``current`` against ``baseline``.
+
+    Sim halves must match byte-exact (canonical JSON equality — drift
+    lists the offending leaves). Wall throughput may regress at most
+    ``wall_tolerance`` (fractional) below baseline, and only gates when
+    the environment fingerprints match; improvements never fail.
+    """
+    comparison = BenchComparison(name=current.name, ok=True)
+    if current.schema_version != baseline.schema_version:
+        comparison.failures.append(
+            f"schema_version: baseline {baseline.schema_version}, "
+            f"current {current.schema_version} — regenerate the baseline"
+        )
+        comparison.ok = False
+        return comparison
+    if canonical_sim_json(current) != canonical_sim_json(baseline):
+        _diff_sim(current.sim, baseline.sim, "", comparison.failures)
+        comparison.ok = False
+    if current.env != baseline.env:
+        comparison.notes.append(
+            "environment differs from baseline — wall-clock metrics not gated"
+        )
+    else:
+        base_rate = float(baseline.wall.get("events_per_s", 0.0))
+        cur_rate = float(current.wall.get("events_per_s", 0.0))
+        if base_rate > 0.0 and cur_rate < base_rate * (1.0 - wall_tolerance):
+            comparison.failures.append(
+                f"wall:events_per_s: {cur_rate:.1f} is more than "
+                f"{wall_tolerance * 100:.0f}% below baseline {base_rate:.1f}"
+            )
+            comparison.ok = False
+        elif base_rate > 0.0:
+            comparison.notes.append(
+                f"wall:events_per_s {cur_rate:.1f} vs baseline "
+                f"{base_rate:.1f} (within {wall_tolerance * 100:.0f}%)"
+            )
+    return comparison

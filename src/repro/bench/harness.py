@@ -35,6 +35,11 @@ class ExperimentResult:
     #: The run's tracer (set by the driver) — carries ``obs.span`` records
     #: when the experiment ran with ``observe=True``.
     tracer: Any = None
+    #: The run's :class:`~repro.prof.Profiler` when run with
+    #: ``profile=True``, else None.
+    profiler: Any = None
+    #: Per-node CPU busy share over the measured window (``profile=True``).
+    cpu_utilization: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.training = LatencyRecorder("sensing-training")
@@ -71,6 +76,7 @@ def run_paper_experiment(
     qos: int = 0,
     broker_cpu_speed: float = 1.0,
     observe: bool = False,
+    profile: bool = False,
 ) -> ExperimentResult:
     """Run the Fig. 7/9 experiment at one sensing rate.
 
@@ -81,6 +87,11 @@ def run_paper_experiment(
     window is short (2.5 s): the paper's overloaded rows are transient
     buffer-fill measurements, and their 80/40 Hz latency ratio (~1.46) pins
     the observation window to a few seconds of saturated operation.
+
+    ``profile=True`` attaches the sim-time profiler (``repro.prof``) and
+    fills ``result.cpu_utilization`` with each node's busy share over the
+    *measured* window — the numbers behind the paper's §V-C capacity
+    story (training saturates its node between 20 and 40 Hz).
     """
     testbed = build_paper_testbed(
         rate_hz, seed=seed, broker_cpu_speed=broker_cpu_speed
@@ -94,6 +105,14 @@ def run_paper_experiment(
         # run exists to produce the trace, so turn it back on.
         runtime.tracer.enabled = True
         enable_observability(runtime)
+    profiler = None
+    if profile:
+        from repro.prof import enable_profiling
+
+        # Storage back on so the sampled utilization timeline
+        # (``prof.sample`` records) survives for export.
+        runtime.tracer.enabled = True
+        profiler = enable_profiling(runtime)
     result = ExperimentResult(rate_hz=rate_hz, duration_s=duration_s)
 
     sensed = {"count": 0}
@@ -111,9 +130,16 @@ def run_paper_experiment(
 
     application = testbed.submit()
     testbed.cluster.settle(settle_s)
+    measure_from = runtime.now
     runtime.run(until=runtime.now + duration_s)
     application.stop()
 
+    if profiler is not None:
+        result.profiler = profiler
+        result.cpu_utilization = {
+            node: round(profiler.cpu_utilization(node, since=measure_from), 9)
+            for node in profiler.cpu_nodes()
+        }
     result.samples_sensed = sensed["count"]
     result.batches_trained = result.training.count
     result.batches_judged = result.predicting.count

@@ -21,6 +21,7 @@ from repro.bench.calibration import (
 )
 from repro.core.middleware import Application, IFoTCluster
 from repro.core.recipe import Recipe, TaskSpec
+from repro.runtime.costs import CostModel
 from repro.runtime.sim import SimRuntime
 from repro.sensors.devices import FixedPayloadModel
 
@@ -177,6 +178,7 @@ def build_fig5_testbed(
     seed: int = 55,
     observe: bool = False,
     prepare: "Callable[[SimRuntime], None] | None" = None,
+    cost_model: "CostModel | None" = None,
 ) -> tuple[SimRuntime, IFoTCluster]:
     """The Fig. 5 cluster: wrist/waist accelerometers, room sensors +
     camera, an analysis module and a pager, with a fall planted at t=20 s.
@@ -185,6 +187,9 @@ def build_fig5_testbed(
     any component exists, so the span trees cover the whole run.
     ``prepare`` likewise runs on the bare runtime first (the schedule
     sanitizer installs its kernel monitor / tie-break perturbation there).
+    ``cost_model`` defaults to the historical zero-cost model — the
+    golden-trace digests fingerprint that build — but ``repro prof``
+    passes the Pi calibration so CPU utilization is meaningful.
     """
     from repro.sensors import (
         AccelerometerModel,
@@ -196,7 +201,10 @@ def build_fig5_testbed(
 
     events = EventSchedule()
     events.add(FIG5_FALL_AT, FIG5_FALL_LEN, "fall", intensity=1.2)
-    runtime = SimRuntime(seed=seed)
+    if cost_model is None:
+        runtime = SimRuntime(seed=seed)
+    else:
+        runtime = SimRuntime(seed=seed, cost_model=cost_model)
     if prepare is not None:
         prepare(runtime)
     if observe:
@@ -223,16 +231,20 @@ def run_fig5_experiment(
     duration_s: float = 30.0,
     observe: bool = True,
     prepare: "Callable[[SimRuntime], None] | None" = None,
+    cost_model: "CostModel | None" = None,
 ) -> SimRuntime:
     """Deploy the shipped Fig. 5 recipe and run for ``duration_s``.
 
     Returns the runtime; its tracer carries the full event trace (span
     trees and metric scrapes included when ``observe`` is on).
-    ``prepare`` is forwarded to :func:`build_fig5_testbed`.
+    ``prepare`` and ``cost_model`` are forwarded to
+    :func:`build_fig5_testbed`.
     """
     from repro.core.dsl import parse_recipe
 
-    runtime, cluster = build_fig5_testbed(seed=seed, observe=observe, prepare=prepare)
+    runtime, cluster = build_fig5_testbed(
+        seed=seed, observe=observe, prepare=prepare, cost_model=cost_model
+    )
     recipe = parse_recipe(FIG5_RECIPE_PATH.read_text())
     app = cluster.submit(recipe)
     cluster.settle(2.0)

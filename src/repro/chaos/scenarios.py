@@ -183,6 +183,8 @@ class ScenarioResult:
     faults_applied: int
     #: The run's full tracer (span trees included when observed).
     tracer: Tracer | None = None
+    #: The run's profiler when run with ``profile=True`` (``repro.prof``).
+    profiler: object | None = None
 
 
 def trace_digest(tracer: Tracer) -> str:
@@ -396,6 +398,7 @@ def run_scenario(
     seed: int = 0,
     observe: bool = False,
     prepare: Callable[[SimRuntime], None] | None = None,
+    profile: bool = False,
 ) -> ScenarioResult:
     """Build the testbed, inject the scenario's plan, check invariants.
 
@@ -403,7 +406,8 @@ def run_scenario(
     the workload starts, so the resulting trace carries span trees through
     the injected faults — the golden-trace tests fingerprint exactly that.
     ``prepare`` is forwarded to :func:`build_chaos_cluster` (sanitizer
-    hook installation).
+    hook installation). ``profile=True`` attaches the sim-time profiler
+    so fault-window utilization shows up in the result's profiler.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -412,6 +416,11 @@ def run_scenario(
         from repro.obs import enable_observability
 
         enable_observability(runtime)
+    profiler = None
+    if profile:
+        from repro.prof import enable_profiling
+
+        profiler = enable_profiling(runtime)
     app = cluster.submit(build_chaos_recipe())
     cluster.settle(2.0)
     plan = scenario.build_plan(cluster, app).validate()
@@ -430,4 +439,5 @@ def run_scenario(
         trace_records=len(runtime.tracer),
         faults_applied=injector.faults_applied,
         tracer=runtime.tracer,
+        profiler=profiler,
     )

@@ -25,6 +25,18 @@ Commands
     and/or the recipe static checker over a recipe file. ``--strict``
     promotes warnings to failures; ``--format json`` emits a machine
     report. Exit code 1 when blocking findings remain.
+``prof``
+    Run a scenario under the sim-time profiler and print the
+    "where did the millisecond go" tree (or folded stacks / JSON);
+    optionally export folded stacks and Chrome counter tracks. With
+    ``--scenario paper --rates`` prints a per-rate utilization table —
+    the paper's saturation story in one screen.
+``bench``
+    Continuous benchmarking: run named benchmarks, write schema-versioned
+    ``BENCH_<name>.json`` records, and with ``--compare <dir>`` gate the
+    fresh records against a committed baseline (byte-exact on sim
+    metrics, tolerance-banded on wall throughput). Exit code 1 on
+    regression — this is the CI gate.
 """
 
 from __future__ import annotations
@@ -144,7 +156,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     names = [args.scenario] if args.scenario else sorted(SCENARIOS)
     all_ok = True
     for name in names:
-        result = run_scenario(name, seed=args.seed)
+        result = run_scenario(name, seed=args.seed, profile=args.profile)
         all_ok = all_ok and result.report.ok
         print(
             f"scenario {result.name} (seed {result.seed}, "
@@ -154,6 +166,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"  trace digest: {result.trace_digest[:16]}")
         for line in result.report.render().splitlines():
             print(f"  {line}")
+        if args.profile and result.profiler is not None:
+            from repro.prof import format_profile_tree
+
+            print()
+            for line in format_profile_tree(
+                result.profiler, title=f"Profile — chaos {result.name}"
+            ).splitlines():
+                print(f"  {line}")
         print()
     return 0 if all_ok else 1
 
@@ -262,6 +282,171 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if run.ok(strict=args.strict) else 1
 
 
+def _cmd_prof(args: argparse.Namespace) -> int:
+    from repro.prof import (
+        chrome_counter_events,
+        folded_stacks,
+        format_profile_tree,
+        profile_to_dict,
+    )
+
+    if args.scenario == "paper" and args.rates:
+        return _prof_paper_sweep(args)
+    if args.scenario == "fig5":
+        from repro.bench.calibration import pi_cost_model
+        from repro.bench.scenarios import run_fig5_experiment
+        from repro.prof import enable_profiling
+
+        print(
+            f"profiling the Fig. 5 pipeline (duration {args.duration:g}s, "
+            f"seed {args.seed}, Pi cost calibration)..."
+        )
+        runtime = run_fig5_experiment(
+            seed=args.seed,
+            duration_s=args.duration,
+            observe=False,
+            prepare=lambda rt: enable_profiling(rt),
+            cost_model=pi_cost_model(),
+        )
+        profiler = runtime.prof
+        tracer = runtime.tracer
+        title = "Fig. 5 'start watching' pipeline"
+    elif args.scenario == "paper":
+        from repro.bench.harness import run_paper_experiment
+
+        print(
+            f"profiling the paper testbed ({args.rate:g} Hz, duration "
+            f"{args.duration:g}s, seed {args.seed})..."
+        )
+        result = run_paper_experiment(
+            args.rate, duration_s=args.duration, seed=args.seed, profile=True
+        )
+        profiler = result.profiler
+        tracer = result.tracer
+        title = f"paper pipeline at {args.rate:g} Hz"
+    elif args.scenario.startswith("chaos:"):
+        name = args.scenario[len("chaos:") :]
+        print(f"profiling chaos scenario {name!r} (seed {args.seed})...")
+        result = run_scenario(name, seed=args.seed, profile=True)
+        profiler = result.profiler
+        tracer = result.tracer
+        title = f"chaos scenario {name}"
+    else:
+        print(
+            f"error: unknown scenario {args.scenario!r} "
+            "(use fig5, paper, or chaos:<name>)",
+            file=sys.stderr,
+        )
+        return 2
+    if profiler is None:
+        print("error: profiling unavailable for this runtime", file=sys.stderr)
+        return 1
+    print()
+    if args.format == "folded":
+        sys.stdout.write(folded_stacks(profiler))
+    elif args.format == "json":
+        print(json.dumps(profile_to_dict(profiler), indent=2, sort_keys=True))
+    else:
+        print(format_profile_tree(profiler, title=f"Profile — {title}"))
+    if args.folded:
+        Path(args.folded).write_text(  # repro: lint-ok[DET005] - CLI export
+            folded_stacks(profiler), encoding="utf-8"
+        )
+        print(f"\nwrote folded stacks to {args.folded} (flamegraph.pl / speedscope)")
+    if args.chrome:
+        events = chrome_counter_events(tracer)
+        Path(args.chrome).write_text(  # repro: lint-ok[DET005] - CLI export
+            json.dumps({"traceEvents": events}, sort_keys=True), encoding="utf-8"
+        )
+        print(f"wrote {len(events)} counter events to {args.chrome}")
+    return 0
+
+
+def _prof_paper_sweep(args: argparse.Namespace) -> int:
+    """Per-rate utilization table: the saturation knee at a glance."""
+    from repro.bench.harness import run_paper_experiment
+
+    rates = tuple(float(r) for r in args.rates.split(","))
+    print(
+        f"profiling the paper testbed at rates {[f'{r:g}' for r in rates]} Hz "
+        f"(duration {args.duration:g}s, seed {args.seed})..."
+    )
+    results = [
+        run_paper_experiment(
+            rate, duration_s=args.duration, seed=args.seed, profile=True
+        )
+        for rate in rates
+    ]
+    nodes = sorted({node for r in results for node in r.cpu_utilization})
+    print()
+    header = f"{'node':<12}" + "".join(f"{f'{r:g} Hz':>10}" for r in rates)
+    print("CPU utilization over the measured window (busy share, 1.0 = saturated)")
+    print(header)
+    print("-" * len(header))
+    for node in nodes:
+        row = f"{node:<12}"
+        for result in results:
+            row += f"{result.cpu_utilization.get(node, 0.0):>10.3f}"
+        print(row)
+    wlan_row = f"{'wlan':<12}" + "".join(
+        f"{r.wlan_utilization:>10.3f}" for r in results
+    )
+    print(wlan_row)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.continuous import (
+        BENCH_RUNNERS,
+        compare_bench,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if args.list:
+        for name in sorted(BENCH_RUNNERS):
+            print(name)
+        return 0
+    names = args.names or sorted(BENCH_RUNNERS)
+    out_dir = Path(args.out) if args.out else None
+    all_ok = True
+    for name in names:
+        print(f"running benchmark {name!r}...")
+        record = run_bench(name)
+        rate = record.wall.get("events_per_s", 0.0)
+        print(f"  {record.wall.get('elapsed_s', 0):g}s wall, {rate:g} events/s")
+        if out_dir is not None:
+            path = write_bench(record, out_dir)
+            print(f"  wrote {path}")
+        if args.compare:
+            try:
+                baseline = load_bench(Path(args.compare), name)
+            except FileNotFoundError:
+                print(f"  no baseline BENCH_{name}.json in {args.compare}")
+                all_ok = False
+                continue
+            comparison = compare_bench(
+                record, baseline, wall_tolerance=args.wall_tolerance
+            )
+            for note in comparison.notes:
+                print(f"  note: {note}")
+            if comparison.ok:
+                print(f"  {name}: OK (sim byte-exact vs baseline)")
+            else:
+                all_ok = False
+                print(f"  {name}: REGRESSION")
+                for failure in comparison.failures:
+                    print(f"    {failure}")
+    if args.compare and not all_ok:
+        print(
+            "\nbench gate failed — if the change is intentional, refresh the "
+            "baseline with: repro bench --out <baseline-dir>",
+            file=sys.stderr,
+        )
+    return 0 if all_ok else 1
+
+
 def _cmd_san(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -275,7 +460,9 @@ def _cmd_san(args: argparse.Namespace) -> int:
             print(f"{name:<{width}}  {SAN_SCENARIOS[name].description}")
         return 0
     names = args.scenarios or None
-    report = run_sanitizer(scenarios=names, perturb=args.perturb)
+    report = run_sanitizer(
+        scenarios=names, perturb=args.perturb, profile=args.profile
+    )
     diagnostics = report.diagnostics
     if args.format == "json":
         payload = report.to_dict()
@@ -349,6 +536,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list scenarios and exit"
     )
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the sim-time profiler and print the busy-time tree",
+    )
     chaos.set_defaults(fn=_cmd_chaos)
 
     trace = sub.add_parser(
@@ -421,7 +613,71 @@ def build_parser() -> argparse.ArgumentParser:
     san.add_argument(
         "--format", choices=("text", "json"), default="text", dest="format"
     )
+    san.add_argument(
+        "--profile",
+        action="store_true",
+        help="also run the profiler in every run (base + perturbed): a "
+        "schedule-dependent profile surfaces as SAN010 divergence",
+    )
     san.set_defaults(fn=_cmd_san)
+
+    prof = sub.add_parser(
+        "prof", help="sim-time profile: busy-time tree and utilization"
+    )
+    prof.add_argument(
+        "--scenario",
+        default="fig5",
+        help="fig5, paper, or chaos:<name> (default: fig5)",
+    )
+    prof.add_argument("--seed", type=int, default=55)
+    prof.add_argument("--duration", type=float, default=30.0)
+    prof.add_argument(
+        "--rate", type=float, default=40.0, help="sensing rate (paper scenario)"
+    )
+    prof.add_argument(
+        "--rates",
+        default="",
+        help="comma-separated Hz list (paper): per-rate utilization table",
+    )
+    prof.add_argument(
+        "--format",
+        choices=("tree", "folded", "json"),
+        default="tree",
+        dest="format",
+    )
+    prof.add_argument(
+        "--folded", default="", help="write folded stacks (flamegraph input)"
+    )
+    prof.add_argument(
+        "--chrome", default="", help="write Chrome trace_event counter tracks"
+    )
+    prof.set_defaults(fn=_cmd_prof)
+
+    bench = sub.add_parser(
+        "bench", help="continuous benchmarks + regression gate"
+    )
+    bench.add_argument(
+        "names", nargs="*", help="benchmark names (default: all); see --list"
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list benchmarks and exit"
+    )
+    bench.add_argument(
+        "--out", default="", help="write BENCH_<name>.json records here"
+    )
+    bench.add_argument(
+        "--compare",
+        default="",
+        metavar="DIR",
+        help="gate against baseline BENCH_<name>.json records in DIR",
+    )
+    bench.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.35,
+        help="allowed fractional wall-throughput regression (default: 0.35)",
+    )
+    bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

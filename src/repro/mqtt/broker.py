@@ -124,6 +124,19 @@ class Broker(Component):
     def session_count(self) -> int:
         return len(self._sessions)
 
+    def inflight_count(self) -> int:
+        """QoS 1 messages awaiting PUBACK across all sessions."""
+        return sum(
+            len(self._sessions[cid].inflight) for cid in sorted(self._sessions)
+        )
+
+    def prof_gauges(self) -> dict[str, float]:
+        """Occupancy sampled by the sim-time profiler (``repro.prof``)."""
+        return {
+            "broker.inflight": float(self.inflight_count()),
+            "broker.sessions": float(len(self._sessions)),
+        }
+
     def subscription_count(self) -> int:
         return len(self._subscriptions)
 

@@ -209,6 +209,9 @@ class WlanMedium(Medium):
         from repro.runtime.state import tracked_state
 
         owner: Any = runtime if runtime is not None else _NO_RUNTIME
+        # Kept for the profiler hook: airtime grants are charged to
+        # ``runtime.prof`` when profiling is enabled.
+        self._owner_runtime = owner
         # The pending buffer is commutative by construction: the canonical
         # flush sort erases append order.
         self._pending_cell = tracked_state(owner, "wlan", "pending")  # repro: san-ok[SAN001]
@@ -345,6 +348,9 @@ class WlanMedium(Medium):
         self._channel_free_at = finish
         self.frames_transmitted += 1
         self.total_airtime += airtime
+        prof = getattr(self._owner_runtime, "prof", None)
+        if prof is not None:
+            prof.on_airtime(frame.source.station, start, airtime)
         delivery_time = finish + self.config.propagation_delay_s
 
         # A partitioned sender still transmits (burning airtime), but the

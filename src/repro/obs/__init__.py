@@ -33,7 +33,7 @@ from repro.obs.breakdown import (
     to_chrome_trace,
 )
 from repro.obs.context import SPAN_EVENT, FlowContext, Span
-from repro.obs.metrics import MetricsRegistry, metric_key
+from repro.obs.metrics import MetricsRegistry, metric_key, parse_metric_key
 from repro.obs.state import METRICS_EVENT, ObsState, enable_observability
 
 #: Module-level kill switch. When False, :func:`enable_observability` is a
@@ -49,6 +49,7 @@ __all__ = [
     "METRICS_EVENT",
     "MetricsRegistry",
     "metric_key",
+    "parse_metric_key",
     "ObsState",
     "enable_observability",
     "SpanRecord",

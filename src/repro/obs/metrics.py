@@ -17,17 +17,86 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.util.stats import RunningStats
+from repro.util.stats import RunningStats, percentile
 
-__all__ = ["Counter", "Gauge", "HistogramMetric", "MetricsRegistry", "metric_key"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "metric_key",
+    "parse_metric_key",
+]
+
+#: Characters that would make a label value ambiguous inside the
+#: ``name{k=v,...}`` syntax, escaped with a backslash on the way in.
+_ESCAPED = ("\\", ",", "=", "{", "}")
+
+
+def _escape(value: str) -> str:
+    for ch in _ESCAPED:
+        value = value.replace(ch, "\\" + ch)
+    return value
 
 
 def metric_key(name: str, labels: dict[str, str]) -> str:
-    """Fully-qualified series name: ``name{k1=v1,k2=v2}`` (labels sorted)."""
+    """Fully-qualified series name: ``name{k1=v1,k2=v2}`` (labels sorted).
+
+    Label keys and values containing ``,``, ``=``, ``{``, ``}`` or ``\\``
+    are backslash-escaped so every series key parses back unambiguously
+    with :func:`parse_metric_key` (round-trip guaranteed).
+    """
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    inner = ",".join(f"{_escape(k)}={_escape(str(labels[k]))}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`metric_key`: ``name{k=v,...}`` -> (name, labels).
+
+    The profiler's exports group sampled series per node by parsing the
+    keys back, so this must round-trip exactly — including escaped
+    separator characters inside label values.
+
+    >>> parse_metric_key(metric_key("m", {"node": "a,b=c}"}))
+    ('m', {'node': 'a,b=c}'})
+    """
+    if not key.endswith("}"):
+        return key, {}
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    name = key[:brace]
+    inner = key[brace + 1 : -1]
+    if not inner:
+        return name, {}
+    labels: dict[str, str] = {}
+    label_key: str | None = None
+    part: list[str] = []
+    i = 0
+    while i < len(inner):
+        ch = inner[i]
+        if ch == "\\" and i + 1 < len(inner):
+            part.append(inner[i + 1])
+            i += 2
+            continue
+        if ch == "=" and label_key is None:
+            label_key = "".join(part)
+            part = []
+        elif ch == ",":
+            if label_key is None:
+                raise ValueError(f"malformed metric key {key!r}: label without '='")
+            labels[label_key] = "".join(part)
+            label_key = None
+            part = []
+        else:
+            part.append(ch)
+        i += 1
+    if label_key is None:
+        raise ValueError(f"malformed metric key {key!r}: label without '='")
+    labels[label_key] = "".join(part)
+    return name, labels
 
 
 class Counter:
@@ -63,21 +132,42 @@ class Gauge:
 
 
 class HistogramMetric:
-    """Streaming distribution (Welford) of observed values.
+    """Streaming distribution (Welford) plus bounded quantile samples.
 
-    Raw samples are *not* kept — scrapes report count/mean/min/max, which
-    is what fits on a constrained device; exact percentiles come from the
-    span layer instead.
+    Welford statistics (count/mean/min/max) are exact. Quantiles come
+    from a deterministic strided sample buffer: every ``_stride``-th
+    observation is kept, and when the buffer exceeds its cap it is
+    decimated 2:1 and the stride doubled — memory stays bounded on a
+    constrained device, the retained subsequence is a pure function of
+    the observation sequence (no RNG), and for the short experiment runs
+    here the buffer never fills, so quantiles are exact in practice.
     """
 
-    __slots__ = ("key", "stats")
+    __slots__ = ("key", "stats", "_samples", "_stride", "_seen")
+
+    #: Sample buffer cap before 2:1 decimation kicks in.
+    MAX_SAMPLES = 8192
 
     def __init__(self, key: str) -> None:
         self.key = key
         self.stats = RunningStats()
+        self._samples: list[float] = []
+        self._stride = 1
+        self._seen = 0
 
     def observe(self, value: float) -> None:
         self.stats.add(value)
+        self._seen += 1
+        if self._seen % self._stride:
+            return
+        self._samples.append(value)
+        if len(self._samples) > self.MAX_SAMPLES:
+            self._samples = self._samples[1::2]
+            self._stride *= 2
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-th percentile of the (possibly decimated) samples."""
+        return percentile(self._samples, q)
 
 
 class MetricsRegistry:
@@ -126,8 +216,8 @@ class MetricsRegistry:
 
         Counters report their count, gauges their current read (callback
         errors surface as the value staying at the last good read — a
-        dead gauge must not kill the scraper), histograms a 4-tuple-ish
-        dict of count/mean/min/max.
+        dead gauge must not kill the scraper), histograms a dict of
+        count/mean/min/max plus p50/p95/p99 quantiles.
         """
         out: dict[str, Any] = {}
         for key in sorted(self._counters):
@@ -138,7 +228,8 @@ class MetricsRegistry:
             except Exception:  # noqa: BLE001 - scrape isolation
                 continue
         for key in sorted(self._histograms):
-            stats = self._histograms[key].stats
+            histogram = self._histograms[key]
+            stats = histogram.stats
             if stats.count == 0:
                 out[key] = {"count": 0}
             else:
@@ -147,6 +238,9 @@ class MetricsRegistry:
                     "mean": round(stats.mean, 9),
                     "min": round(stats.minimum, 9),
                     "max": round(stats.maximum, 9),
+                    "p50": round(histogram.quantile(50), 9),
+                    "p95": round(histogram.quantile(95), 9),
+                    "p99": round(histogram.quantile(99), 9),
                 }
         return out
 

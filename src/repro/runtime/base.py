@@ -39,6 +39,10 @@ class Runtime(ABC):
         # ``obs``: tracked state cells (repro.runtime.state) probe it on
         # every access, and None short-circuits the probe.
         self.san: Any = None
+        # Sim-time profiler hook (repro.prof.Profiler), same gating: the
+        # CPU/WLAN/kernel hook sites charge resource grants to it, and
+        # None keeps the hot path at one attribute load per site.
+        self.prof: Any = None
 
     @property
     @abstractmethod

@@ -108,7 +108,12 @@ class Node:
         self._op_counts[op] = index + 1
         cost = self.cost_model.cost(op, nbytes=nbytes, invocation_index=index)
         if self.cpu is not None:
-            self.cpu.execute(cost, self._guarded, fn, args, self.incarnation)
+            # The op name becomes the job label, which is how the
+            # profiler attributes this node's busy time per operation.
+            incarnation = self.incarnation
+            self.cpu.submit(
+                cost, lambda: self._guarded(fn, args, incarnation), label=op
+            )
         else:
             self._guarded(fn, args, self.incarnation)
 

@@ -98,6 +98,7 @@ class SimRuntime(Runtime):
             servers=cpu_cores,
             speed=cpu_speed,
             queue_limit=queue_limit,
+            runtime=self,
         )
         node = Node(
             runtime=self,

@@ -158,14 +158,40 @@ class SanReport:
         }
 
 
+def _with_profiling(prepare: PrepareHook) -> PrepareHook:
+    """Compose a prepare hook with profiler installation.
+
+    The profiler's ``prof.sample`` records land in the trace, so running
+    it under both the base and every perturbed run folds profile
+    determinism into the schedule-stable digest: a profiler whose output
+    depended on tie-break order would surface as SAN010.
+    """
+
+    def hook(runtime: Any) -> None:
+        prepare(runtime)
+        from repro.prof import enable_profiling
+
+        enable_profiling(runtime)
+
+    return hook
+
+
 def sanitize_scenario(
-    scenario: SanScenario | str, perturb: int = 3
+    scenario: SanScenario | str, perturb: int = 3, profile: bool = False
 ) -> ScenarioSanResult:
-    """Run the HB pass and ``perturb`` replay runs for one scenario."""
+    """Run the HB pass and ``perturb`` replay runs for one scenario.
+
+    ``profile=True`` additionally installs the sim-time profiler in every
+    run (base and perturbed), proving profiles are race-free under
+    tie-break perturbation.
+    """
     if isinstance(scenario, str):
         scenario = get_san_scenario(scenario)
     san = SimSan()
-    tracer = scenario.run(san.install)
+    base_prepare: PrepareHook = san.install
+    if profile:
+        base_prepare = _with_profiling(base_prepare)
+    tracer = scenario.run(base_prepare)
     findings = san.analyze()
     diagnostics, suppressed = san.diagnostics(findings)
     base_digest = schedule_stable_digest(tracer)
@@ -179,9 +205,12 @@ def sanitize_scenario(
         base_digest=base_digest,
     )
     for seed in range(1, perturb + 1):
-        perturbed_tracer = scenario.run(
+        replay_prepare: PrepareHook = (
             lambda runtime, _seed=seed: runtime.kernel.perturb_ties(_seed)
         )
+        if profile:
+            replay_prepare = _with_profiling(replay_prepare)
+        perturbed_tracer = scenario.run(replay_prepare)
         digest = schedule_stable_digest(perturbed_tracer)
         result.perturbed.append((seed, digest))
         if digest != base_digest:
@@ -203,10 +232,13 @@ def sanitize_scenario(
 
 
 def run_sanitizer(
-    scenarios: "list[str] | None" = None, perturb: int = 3
+    scenarios: "list[str] | None" = None, perturb: int = 3, profile: bool = False
 ) -> SanReport:
     """Sanitize the named scenarios (default: every registered one)."""
     names = scenarios if scenarios else sorted(SAN_SCENARIOS)
     return SanReport(
-        results=[sanitize_scenario(name, perturb=perturb) for name in names]
+        results=[
+            sanitize_scenario(name, perturb=perturb, profile=profile)
+            for name in names
+        ]
     )

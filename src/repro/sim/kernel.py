@@ -14,7 +14,7 @@ from typing import Any, Callable, Protocol
 from repro.errors import ClockError
 from repro.sim.events import EventHandle, EventQueue
 
-__all__ = ["KernelMonitor", "SimKernel"]
+__all__ = ["CompositeMonitor", "KernelMonitor", "SimKernel"]
 
 
 class KernelMonitor(Protocol):
@@ -36,6 +36,36 @@ class KernelMonitor(Protocol):
     def event_begin(self, handle: EventHandle) -> None: ...
 
     def event_end(self, handle: EventHandle) -> None: ...
+
+
+class CompositeMonitor:
+    """Fan-out :class:`KernelMonitor`: forwards every hook to each child.
+
+    ``kernel.monitor`` is a single slot; when two observers need the
+    schedule at once (the sanitizer and the profiler), they are chained
+    through one of these. Children are invoked in attachment order for
+    ``event_scheduled``/``event_begin`` and in reverse order for
+    ``event_end``, so brackets nest.
+    """
+
+    __slots__ = ("monitors",)
+
+    def __init__(self, monitors: tuple[KernelMonitor, ...]) -> None:
+        self.monitors = monitors
+
+    def event_scheduled(
+        self, handle: EventHandle, parent: EventHandle | None
+    ) -> None:
+        for monitor in self.monitors:
+            monitor.event_scheduled(handle, parent)
+
+    def event_begin(self, handle: EventHandle) -> None:
+        for monitor in self.monitors:
+            monitor.event_begin(handle)
+
+    def event_end(self, handle: EventHandle) -> None:
+        for monitor in reversed(self.monitors):
+            monitor.event_end(handle)
 
 
 class SimKernel:

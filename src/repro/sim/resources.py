@@ -11,12 +11,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import SimulationError
 from repro.sim.kernel import SimKernel
 from repro.util.stats import RunningStats
 from repro.util.validate import require_non_negative, require_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.base import Runtime
 
 __all__ = ["CpuResource", "ResourceStats"]
 
@@ -71,6 +74,7 @@ class CpuResource:
         servers: int = 1,
         speed: float = 1.0,
         queue_limit: int | None = None,
+        runtime: "Runtime | None" = None,
     ) -> None:
         self._kernel = kernel
         self.name = name
@@ -84,10 +88,22 @@ class CpuResource:
         self.stats = ResourceStats()
         self.wait_times = RunningStats()
         self.service_times = RunningStats()
+        # Optional owner; the profiler hook (``runtime.prof``) brackets
+        # every service through it. Standalone resources stay unprofiled.
+        self._runtime = runtime
+        self._window_peak_queue = 0
 
     @property
     def speed(self) -> float:
         return self._speed
+
+    @property
+    def servers(self) -> int:
+        return self._servers
+
+    def _prof(self) -> Any:
+        runtime = self._runtime
+        return None if runtime is None else runtime.prof
 
     @property
     def busy_servers(self) -> int:
@@ -122,11 +138,23 @@ class CpuResource:
         self._queue.append(job)
         if len(self._queue) > self.stats.max_queue_length:
             self.stats.max_queue_length = len(self._queue)
+        if len(self._queue) > self._window_peak_queue:
+            self._window_peak_queue = len(self._queue)
         self._dispatch()
 
     def execute(self, cost: float, fn: Callable[..., Any], *args: Any) -> None:
         """Convenience: run ``fn(*args)`` after ``cost`` CPU seconds."""
         self.submit(cost, lambda: fn(*args), label=getattr(fn, "__name__", "fn"))
+
+    def take_queue_watermark(self) -> int:
+        """Peak waiting-queue depth since the last call (then reset).
+
+        The profiler's sampler reads this once per sampling window, so
+        transient bursts between samples stay visible in the timeline.
+        """
+        peak = self._window_peak_queue
+        self._window_peak_queue = len(self._queue)
+        return peak
 
     def _dispatch(self) -> None:
         while self._busy < self._servers and self._queue:
@@ -137,6 +165,9 @@ class CpuResource:
             service = job.cost / self._speed
             self.service_times.add(service)
             self.stats.busy_time += service
+            prof = self._prof()
+            if prof is not None:
+                prof.on_cpu_start(self.name, job.label, service)
             self._kernel.schedule(service, self._complete, job)
 
     def _complete(self, job: _Job) -> None:
@@ -144,6 +175,9 @@ class CpuResource:
             raise SimulationError(f"{self.name}: completion with no busy server")
         self._busy -= 1
         self.stats.jobs_completed += 1
+        prof = self._prof()
+        if prof is not None:
+            prof.on_cpu_end(self.name, job.label, job.cost / self._speed)
         if job.on_done is not None:
             job.on_done()
         self._dispatch()

@@ -12,7 +12,32 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["RunningStats", "LatencyRecorder", "Histogram"]
+__all__ = ["RunningStats", "LatencyRecorder", "Histogram", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples`` (0 <= q <= 100, linear interp).
+
+    Accepts the samples in any order (they are sorted here); returns NaN
+    for an empty list. Shared by :class:`LatencyRecorder` and the metrics
+    layer's histogram quantiles.
+    """
+    if not samples:
+        return math.nan
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    # This form (rather than a*(1-f) + b*f) cannot exceed [a, b] under
+    # floating-point rounding, keeping percentiles within min..max.
+    return ordered[low] + frac * (ordered[high] - ordered[low])
 
 
 class RunningStats:
@@ -146,22 +171,7 @@ class LatencyRecorder:
 
     def percentile(self, q: float) -> float:
         """Return the ``q``-th percentile (0 <= q <= 100, linear interp)."""
-        if not self._samples:
-            return math.nan
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
-        ordered = sorted(self._samples)
-        if len(ordered) == 1:
-            return ordered[0]
-        rank = (q / 100.0) * (len(ordered) - 1)
-        low = int(math.floor(rank))
-        high = int(math.ceil(rank))
-        if low == high:
-            return ordered[low]
-        frac = rank - low
-        # This form (rather than a*(1-f) + b*f) cannot exceed [a, b] under
-        # floating-point rounding, keeping percentiles within min..max.
-        return ordered[low] + frac * (ordered[high] - ordered[low])
+        return percentile(self._samples, q)
 
     def summary(self) -> dict[str, float]:
         """Summary dict with the columns used across EXPERIMENTS.md."""

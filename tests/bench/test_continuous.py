@@ -1,0 +1,131 @@
+"""The continuous-benchmark record format and regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.continuous import (
+    BENCH_RUNNERS,
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    compare_bench,
+    environment_fingerprint,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+from repro.errors import ConfigurationError
+
+
+def make_record(**sim) -> BenchRecord:
+    record = BenchRecord(name="t")
+    record.sim = dict(sim) or {"x": 1, "nested": {"a": 2.5}}
+    record.wall = {"elapsed_s": 1.0, "events_per_s": 1000.0}
+    return record
+
+
+def test_record_roundtrips_through_json(tmp_path):
+    record = make_record()
+    path = write_bench(record, tmp_path)
+    assert path.name == "BENCH_t.json"
+    loaded = load_bench(tmp_path, "t")
+    assert loaded.to_dict() == record.to_dict()
+    # On-disk form is stable: sorted keys, trailing newline.
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text)["schema_version"] == BENCH_SCHEMA_VERSION
+
+
+def test_identical_records_pass_the_gate():
+    comparison = compare_bench(make_record(), make_record())
+    assert comparison.ok
+    assert not comparison.failures
+
+
+def test_sim_drift_fails_with_leaf_paths():
+    current = make_record()
+    current.sim["nested"] = {"a": 2.6}
+    comparison = compare_bench(current, make_record())
+    assert not comparison.ok
+    assert any("nested.a" in failure for failure in comparison.failures)
+
+
+def test_missing_and_new_sim_keys_are_reported():
+    baseline = make_record()
+    current = make_record()
+    del current.sim["x"]
+    current.sim["y"] = 9
+    comparison = compare_bench(current, baseline)
+    assert not comparison.ok
+    joined = "\n".join(comparison.failures)
+    assert "x: missing" in joined
+    assert "y: new key" in joined
+
+
+def test_schema_version_mismatch_refuses_to_compare():
+    baseline = make_record()
+    baseline.schema_version = BENCH_SCHEMA_VERSION + 1
+    comparison = compare_bench(make_record(), baseline)
+    assert not comparison.ok
+    assert "schema_version" in comparison.failures[0]
+
+
+def test_wall_regression_gates_only_same_environment():
+    baseline = make_record()
+    slow = make_record()
+    slow.wall["events_per_s"] = 100.0  # 10x slower
+    # Same fingerprint: gated.
+    gated = compare_bench(slow, baseline, wall_tolerance=0.35)
+    assert not gated.ok
+    assert any("events_per_s" in failure for failure in gated.failures)
+    # Different machine: reported as a note, never gated.
+    other = make_record()
+    other.wall["events_per_s"] = 100.0
+    other.env = dict(other.env, machine="riscv128")
+    ungated = compare_bench(other, baseline, wall_tolerance=0.35)
+    assert ungated.ok
+    assert any("not gated" in note for note in ungated.notes)
+
+
+def test_wall_improvement_never_fails():
+    fast = make_record()
+    fast.wall["events_per_s"] = 99999.0
+    assert compare_bench(fast, make_record()).ok
+
+
+def test_environment_fingerprint_shape():
+    env = environment_fingerprint()
+    assert set(env) == {"python", "implementation", "machine", "system"}
+    assert all(isinstance(v, str) and v for v in env.values())
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(ConfigurationError, match="unknown benchmark"):
+        run_bench("nope")
+
+
+@pytest.mark.slow
+def test_saturation_bench_is_deterministic_and_tells_the_story():
+    assert set(BENCH_RUNNERS) >= {"fig5", "saturation"}
+    first = run_bench("saturation")
+    second = run_bench("saturation")
+    assert first.sim == second.sim  # sim half is a pure function of the seed
+    rates = first.sim["rates"]
+    assert rates["20hz"]["cpu_utilization"]["module-e"] < 0.95
+    assert rates["40hz"]["cpu_utilization"]["module-e"] >= 0.99
+    comparison = compare_bench(second, first)
+    assert comparison.ok, comparison.failures
+
+
+@pytest.mark.slow
+def test_committed_baseline_matches_current_code():
+    """The CI gate in miniature: HEAD must reproduce the committed records."""
+    from pathlib import Path
+
+    baseline_dir = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+    for name in ("fig5", "saturation"):
+        baseline = load_bench(baseline_dir, name)
+        comparison = compare_bench(run_bench(name), baseline)
+        assert comparison.ok, (name, comparison.failures)

@@ -59,7 +59,9 @@ def _stub_result(ok: bool):
 def test_invariant_violation_exits_one_and_is_reported(capsys, monkeypatch):
     import repro.cli as cli
 
-    monkeypatch.setattr(cli, "run_scenario", lambda name, seed: _stub_result(False))
+    monkeypatch.setattr(
+        cli, "run_scenario", lambda name, seed, profile=False: _stub_result(False)
+    )
     assert main(["chaos", "partition_heal"]) == 1
     out = capsys.readouterr().out
     assert "FAIL qos1-loss" in out
@@ -69,7 +71,9 @@ def test_any_failure_fails_the_whole_run(capsys, monkeypatch):
     import repro.cli as cli
 
     results = iter([_stub_result(True), _stub_result(False), _stub_result(True)])
-    monkeypatch.setattr(cli, "run_scenario", lambda name, seed: next(results))
+    monkeypatch.setattr(
+        cli, "run_scenario", lambda name, seed, profile=False: next(results)
+    )
     monkeypatch.setattr(
         cli, "SCENARIOS", {"a": None, "b": None, "c": None}
     )

@@ -1,6 +1,16 @@
 """Metrics registry: instruments, naming, snapshots, scraping."""
 
-from repro.obs import MetricsRegistry, enable_observability, metric_key
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import (
+    MetricsRegistry,
+    enable_observability,
+    metric_key,
+    parse_metric_key,
+)
+from repro.obs.metrics import HistogramMetric
 from repro.obs.state import METRICS_EVENT
 from repro.runtime.sim import SimRuntime
 
@@ -8,6 +18,43 @@ from repro.runtime.sim import SimRuntime
 def test_metric_key_sorts_labels():
     assert metric_key("m", {}) == "m"
     assert metric_key("m", {"b": "2", "a": "1"}) == "m{a=1,b=2}"
+
+
+def test_metric_key_escapes_separator_characters():
+    key = metric_key("m", {"node": "a,b=c}d{e\\f"})
+    assert key == "m{node=a\\,b\\=c\\}d\\{e\\\\f}"
+    assert parse_metric_key(key) == ("m", {"node": "a,b=c}d{e\\f"})
+
+
+def test_parse_metric_key_plain_and_empty():
+    assert parse_metric_key("m") == ("m", {})
+    assert parse_metric_key("m{}") == ("m", {})
+    # A bare name that merely contains a brace-free suffix passes through.
+    assert parse_metric_key("weird}name") == ("weird}name", {})
+
+
+def test_parse_metric_key_rejects_label_without_equals():
+    with pytest.raises(ValueError, match="label without"):
+        parse_metric_key("m{justakey}")
+
+
+label_text = st.text(
+    alphabet=st.characters(
+        codec="utf-8", categories=("L", "N", "P", "S", "Zs")
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(
+    name=st.text(alphabet="abc.xyz_", min_size=1, max_size=10),
+    labels=st.dictionaries(label_text, label_text, max_size=4),
+)
+def test_metric_key_round_trips(name, labels):
+    parsed_name, parsed_labels = parse_metric_key(metric_key(name, labels))
+    assert parsed_name == name
+    assert parsed_labels == labels
 
 
 def test_counter_get_or_create():
@@ -44,7 +91,43 @@ def test_histogram_welford():
     for v in (1.0, 2.0, 3.0):
         hist.observe(v)
     snap = registry.snapshot()
-    assert snap["lat{node=n1}"] == {"count": 3, "mean": 2.0, "min": 1.0, "max": 3.0}
+    assert snap["lat{node=n1}"] == {
+        "count": 3,
+        "mean": 2.0,
+        "min": 1.0,
+        "max": 3.0,
+        "p50": 2.0,
+        "p95": 2.9,
+        "p99": 2.98,
+    }
+
+
+def test_histogram_quantiles_exact_until_decimation():
+    hist = HistogramMetric("h")
+    for value in range(1, 101):
+        hist.observe(float(value))
+    assert hist.quantile(50) == pytest.approx(50.5)
+    assert hist.quantile(95) == pytest.approx(95.05)
+    assert hist.quantile(0) == 1.0
+    assert hist.quantile(100) == 100.0
+
+
+def test_histogram_decimation_is_deterministic_and_bounded():
+    def fill(n):
+        hist = HistogramMetric("h")
+        for value in range(n):
+            hist.observe(float(value))
+        return hist
+
+    n = HistogramMetric.MAX_SAMPLES * 3
+    first, second = fill(n), fill(n)
+    assert first._samples == second._samples  # pure function of the sequence
+    assert len(first._samples) <= HistogramMetric.MAX_SAMPLES
+    assert first._stride > 1
+    # Welford stays exact regardless of decimation.
+    assert first.stats.count == n
+    # Quantiles remain close on the decimated reservoir.
+    assert first.quantile(50) == pytest.approx(n / 2, rel=0.01)
 
 
 def test_snapshot_is_flat_and_sorted():

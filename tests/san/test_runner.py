@@ -110,6 +110,21 @@ def test_perturbed_digests_are_recorded_per_seed():
     assert all(digest == result.base_digest for _seed, digest in result.perturbed)
 
 
+@pytest.mark.slow
+def test_profiled_fig5_is_schedule_stable():
+    """Satellite: the profiler's ``prof.sample`` records enter the trace,
+    so running it under the sanitizer folds profile determinism into the
+    schedule-stable digest — a tie-break-dependent profile would be
+    SAN010 divergence."""
+    plain = sanitize_scenario("fig5", perturb=1)
+    profiled = sanitize_scenario("fig5", perturb=1, profile=True)
+    assert profiled.diverged_seeds == []
+    assert not [d for d in profiled.diagnostics if d.rule == "SAN010"]
+    # The profiled digest covers strictly more records (the samples), so
+    # it must differ from the unprofiled one — proof the samples are in.
+    assert profiled.base_digest != plain.base_digest
+
+
 def test_registry_contains_fig5_and_every_chaos_scenario():
     from repro.chaos.scenarios import SCENARIOS as CHAOS_SCENARIOS
 
