@@ -114,3 +114,70 @@ def bench_failover_recovery_time(benchmark):
     # Redeployment overhead is small next to detection.
     for o in outcomes:
         assert o["recovery_s"] - o["detect_redeploy_s"] < 2.0
+
+
+def run_self_healing(seed: int) -> dict:
+    """Run the full crash -> failover -> rejoin -> fail-back cycle.
+
+    The ``failover`` chaos scenario kills the module hosting the
+    learner mid-stream, lets the control plane re-place it on surviving
+    capacity, restarts the module, and migrates the sub-task back home
+    via the pause -> drain -> transfer -> resume handoff. Every QoS 1
+    message must be accounted for and no sample may be processed by two
+    instances of the sub-task.
+    """
+    from repro.chaos import run_scenario
+    from repro.core.healing import recovery_report
+
+    result = run_scenario("failover", seed=seed)
+    assert result.report.ok, [c.detail for c in result.report.failed()]
+    assert result.tracer is not None
+    healed = recovery_report(result.tracer)
+    migrations = [m for m in healed.migrations if m.get("duration_s") is not None]
+    assert healed.failovers and migrations
+    metrics = result.report.metrics
+    return {
+        "detect_failover_s": metrics["recovery_s:node_crash"],
+        "failback_s": metrics["recovery_s:node_restart"],
+        "migration_s": max(m["duration_s"] for m in migrations),
+        "qos1_unaccounted": metrics["qos1_unaccounted"],
+        "cross_instance_duplicates": metrics["ml_cross_instance_duplicates"],
+        "ml_records": metrics["ml_records"],
+    }
+
+
+def bench_self_healing_cycle(benchmark):
+    outcomes = benchmark.pedantic(
+        lambda: [run_self_healing(seed) for seed in (0, 1, 2)],
+        rounds=1,
+        iterations=1,
+    )
+    print("\nself-healing cycle (crash -> failover -> rejoin -> fail-back):")
+    for o in outcomes:
+        print(
+            f"  detect+failover {o['detect_failover_s']:6.2f} s, "
+            f"fail-back {o['failback_s']:6.2f} s, "
+            f"migration {o['migration_s']:6.3f} s"
+        )
+    record_rows(
+        benchmark,
+        {
+            "mean_detect_failover_s": round(
+                sum(o["detect_failover_s"] for o in outcomes) / len(outcomes), 6
+            ),
+            "mean_failback_s": round(
+                sum(o["failback_s"] for o in outcomes) / len(outcomes), 6
+            ),
+            "mean_migration_s": round(
+                sum(o["migration_s"] for o in outcomes) / len(outcomes), 6
+            ),
+            "ml_records": sum(o["ml_records"] for o in outcomes),
+        },
+    )
+    for o in outcomes:
+        # Delivery accounting must be airtight across the whole cycle.
+        assert o["qos1_unaccounted"] == 0
+        assert o["cross_instance_duplicates"] == 0
+        # The live migration itself is cheap next to crash detection.
+        assert o["migration_s"] < 1.0
+        assert o["detect_failover_s"] > o["migration_s"]

@@ -179,9 +179,65 @@ def _bench_saturation() -> BenchRecord:
     return record
 
 
+def _bench_failover() -> BenchRecord:
+    """The self-healing path: crash -> failover -> rejoin -> live fail-back.
+
+    Pins the recovery latencies and the QoS 1 / ML delivery accounting of
+    the ``failover`` chaos scenario, so a regression in detection speed,
+    handoff duration, or exactly-once bookkeeping fails the bench gate
+    even when every invariant still technically passes.
+    """
+    from repro.chaos.scenarios import run_scenario
+
+    started = time.perf_counter()  # repro: lint-ok[DET001] - wall-clock half of the bench record
+    result = run_scenario("failover", seed=0, profile=True)
+    elapsed = time.perf_counter() - started  # repro: lint-ok[DET001] - wall-clock half of the bench record
+    metrics = result.report.metrics
+    tracer = result.tracer
+    migrations_done = len(list(tracer.select(event="migrate.done"))) if tracer else 0
+    failover_moves = (
+        len(list(tracer.select(event="mgmt.failover_moved"))) if tracer else 0
+    )
+    record = BenchRecord(name="failover")
+    record.sim = {
+        "seed": 0,
+        "duration_s": result.duration_s,
+        "trace_records": result.trace_records,
+        "trace_digest": result.trace_digest,
+        "invariants_ok": result.report.ok,
+        "recovery_s": {
+            "node_crash": round(metrics.get("recovery_s:node_crash", 0.0), 6),
+            "node_restart": round(metrics.get("recovery_s:node_restart", 0.0), 6),
+        },
+        "qos1": {
+            "forwarded": int(metrics.get("qos1_forwarded", 0)),
+            "delivered": int(metrics.get("qos1_delivered", 0)),
+            "dropped_explained": int(metrics.get("qos1_dropped_explained", 0)),
+            "unaccounted": int(metrics.get("qos1_unaccounted", 0)),
+            "duplicate_deliveries": int(
+                metrics.get("qos1_duplicate_deliveries", 0)
+            ),
+        },
+        "ml_records": int(metrics.get("ml_records", 0)),
+        "ml_cross_instance_duplicates": int(
+            metrics.get("ml_cross_instance_duplicates", 0)
+        ),
+        "failover_moves": failover_moves,
+        "migrations_completed": migrations_done,
+    }
+    profiler = result.profiler
+    events = profiler.events_profiled if profiler else 0
+    record.wall = {
+        "elapsed_s": round(elapsed, 4),
+        "events_per_s": round(events / elapsed, 1) if elapsed > 0 else 0.0,
+    }
+    return record
+
+
 #: name -> runner, the benchmarks `repro bench` knows how to run.
 BENCH_RUNNERS: dict[str, Callable[[], BenchRecord]] = {
     "fig5": _bench_fig5,
+    "failover": _bench_failover,
     "saturation": _bench_saturation,
 }
 

@@ -114,6 +114,7 @@ class Invariants:
         report = InvariantReport()
         self._check_qos1_accounting(report)
         self._check_ml_dedup(report)
+        self._check_cross_instance(report)
         for spec in recovery:
             self._check_recovery(report, spec)
         if self.cluster is not None:
@@ -205,6 +206,48 @@ class Invariants:
                     f"{total} ML records, no duplicates"
                     if not duplicates
                     else f"duplicate ML inputs: {_preview(duplicates)}"
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # 2b. Exactly-once per incarnation (across instances)
+    # ------------------------------------------------------------------
+
+    def _check_cross_instance(self, report: InvariantReport) -> None:
+        """No sample may be processed by two *instances* of one sub-task.
+
+        Check 2 keys on the full trace source (which embeds the hosting
+        module), so it forbids per-instance duplicates but would tolerate
+        the same sample being trained once on the pre-failover instance
+        and again on its successor. Stripping the ``@module`` suffix
+        closes that hole: across crash failover, restart reinstatement
+        and live migration, each sample reaches the learner exactly once
+        per sub-task — the handoff protocol's whole guarantee.
+        """
+        duplicates: list[str] = []
+        for event in ("ml.trained", "ml.judged"):
+            hosts: dict[tuple[str, str], set[str]] = {}
+            for record in self.tracer.select(event=event):
+                instance = record.source.rsplit("@", 1)[0]
+                key = (instance, str(record["sample_id"]))
+                hosts.setdefault(key, set()).add(record.source)
+            # Same-source repeats are check 2's finding; this one fires
+            # only when *distinct* instances both processed the sample.
+            duplicates.extend(
+                f"{event}:{instance}:{sample_id}({'+'.join(sorted(sources))})"
+                for (instance, sample_id), sources in sorted(hosts.items())
+                if len(sources) > 1
+            )
+        report.metrics["ml_cross_instance_duplicates"] = float(len(duplicates))
+        report.checks.append(
+            CheckResult(
+                name="exactly-once-per-incarnation",
+                ok=not duplicates,
+                detail=(
+                    "no sample processed by two instances of a sub-task"
+                    if not duplicates
+                    else f"cross-instance duplicates: {_preview(duplicates)}"
                 ),
             )
         )

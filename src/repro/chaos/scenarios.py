@@ -237,6 +237,17 @@ def _node_restart_plan(cluster: IFoTCluster, app: Application) -> FaultPlan:
     )
 
 
+def _failover_plan(cluster: IFoTCluster, app: Application) -> FaultPlan:
+    # Crash the learner's host, then power-cycle it (amnesia restart, new
+    # incarnation) 8 s later: exercises detect -> fail over -> rejoin ->
+    # live fail-back migration end to end on one host.
+    host = _train_host(app)
+    return FaultPlan(
+        "failover",
+        (NodeCrash(at=10.0, node=host), NodeRestart(at=18.0, node=host)),
+    )
+
+
 def _broker_restart_plan(cluster: IFoTCluster, app: Application) -> FaultPlan:
     return FaultPlan("broker-restart", (BrokerRestart(at=12.0),))
 
@@ -320,6 +331,31 @@ SCENARIOS: dict[str, ChaosScenario] = {
                     fault_kind="node_restart",
                     signal_event="mgmt.failover_moved",
                     bound_s=MODULE_RECOVERY_BOUND_S,
+                ),
+            ),
+        ),
+        ChaosScenario(
+            name="failover",
+            description=(
+                "the module hosting the learner crash-stops; management "
+                "must detect it and re-place the analysis subtasks, then "
+                "the host power-cycles back and the subtasks migrate home "
+                "live (pause/drain/transfer/resume) with zero QoS 1 loss "
+                "and no sample processed by two instances"
+            ),
+            duration_s=34.0,
+            build_plan=_failover_plan,
+            recovery=(
+                RecoveryCheck(
+                    fault_kind="node_crash",
+                    signal_event="mgmt.failover_moved",
+                    bound_s=MODULE_RECOVERY_BOUND_S,
+                ),
+                RecoveryCheck(
+                    fault_kind="node_restart",
+                    signal_event="migrate.done",
+                    bound_s=MODULE_RECOVERY_BOUND_S,
+                    measure_from="restored",
                 ),
             ),
         ),

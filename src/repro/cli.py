@@ -174,8 +174,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 result.profiler, title=f"Profile — chaos {result.name}"
             ).splitlines():
                 print(f"  {line}")
+        if getattr(args, "recover", False) and result.tracer is not None:
+            from repro.core.healing import recovery_report
+
+            print()
+            for line in recovery_report(result.tracer).render().splitlines():
+                print(f"  {line}")
         print()
     return 0 if all_ok else 1
+
+
+def _cmd_heal(args: argparse.Namespace) -> int:
+    """Run one scenario and narrate how the control plane healed it."""
+    from repro.core.healing import recovery_report
+
+    result = run_scenario(args.scenario, seed=args.seed)
+    print(
+        f"scenario {result.name} (seed {result.seed}, "
+        f"{result.duration_s:g}s, {result.faults_applied} faults)"
+    )
+    print(f"  trace digest: {result.trace_digest[:16]}")
+    print()
+    assert result.tracer is not None
+    print(recovery_report(result.tracer).render())
+    print()
+    print(result.report.render())
+    return 0 if result.report.ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -541,7 +565,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach the sim-time profiler and print the busy-time tree",
     )
+    chaos.add_argument(
+        "--recover",
+        action="store_true",
+        help="print a recovery report (detection latency, migration "
+        "durations, degraded-mode decisions) after the invariants",
+    )
     chaos.set_defaults(fn=_cmd_chaos)
+
+    heal = sub.add_parser(
+        "heal",
+        help="run a failure scenario and report how the control plane "
+        "healed it",
+    )
+    heal.add_argument(
+        "scenario",
+        nargs="?",
+        default="failover",
+        help="chaos scenario to heal (default: failover); see "
+        "'repro chaos --list'",
+    )
+    heal.add_argument("--seed", type=int, default=0)
+    heal.set_defaults(fn=_cmd_heal)
 
     trace = sub.add_parser(
         "trace", help="observed run + per-stage latency breakdown"

@@ -18,7 +18,9 @@ The four mechanisms of Fig. 4, plus the surrounding machinery:
 :mod:`repro.core.middleware` is the top-level facade
 (:class:`~repro.core.middleware.IFoTCluster`) that examples and benchmarks
 use. :mod:`repro.core.discovery` implements the paper's future-work stream
-search / dynamic membership.
+search / dynamic membership, and :mod:`repro.core.healing` the
+self-healing control plane (failure detection, degradation policy,
+recovery reporting) management composes on top of it.
 """
 
 from repro.core.analysis import JudgingClass, LearningClass, ManagingClass
@@ -34,6 +36,12 @@ from repro.core.discovery import StreamDirectory, StreamRecord
 from repro.core.dsl import format_recipe, parse_recipe
 from repro.core.distribution import PublishClass, SubscribeClass
 from repro.core.flow import FlowRecord
+from repro.core.healing import (
+    FailureDetector,
+    RecoveryReport,
+    plan_degradation,
+    recovery_report,
+)
 from repro.core.integration import ActuatorClass, SensorClass
 from repro.core.management import ManagementNode
 from repro.core.middleware import Application, IFoTCluster
@@ -46,6 +54,7 @@ __all__ = [
     "Application",
     "Assignment",
     "CapabilityAwareStrategy",
+    "FailureDetector",
     "FlowRecord",
     "format_recipe",
     "IFoTCluster",
@@ -57,8 +66,11 @@ __all__ = [
     "ModuleInfo",
     "NeuronModule",
     "parse_recipe",
+    "plan_degradation",
     "PublishClass",
     "Recipe",
+    "RecoveryReport",
+    "recovery_report",
     "RecipeSplit",
     "RoundRobinStrategy",
     "SensorClass",

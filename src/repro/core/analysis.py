@@ -125,6 +125,18 @@ class LearningClass(StreamOperator):
             out.attributes.update(info)
             self.emit(out)
 
+    def export_state(self) -> dict[str, Any]:
+        return {
+            "model": self.model.export_state(),
+            "records_trained": self.records_trained,
+        }
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        model_state = state.get("model")
+        if model_state is not None:
+            self.model.import_state(model_state)
+        self.records_trained = int(state.get("records_trained", 0))
+
     def _publish_snapshot(self) -> None:
         snapshot = self.model.export_state()
         self.module.client.publish(
@@ -196,6 +208,18 @@ class JudgingClass(StreamOperator):
                 _model_topic(self.application, str(model_from)),
                 self._on_model_snapshot,
             )
+
+    def export_state(self) -> dict[str, Any]:
+        return {
+            "model": self.model.export_state() if self.model.ready else None,
+            "model_loads": self.model_loads,
+        }
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        model_state = state.get("model")
+        if model_state is not None:
+            self.model.import_state(model_state)
+        self.model_loads = int(state.get("model_loads", 0))
 
     def _on_model_snapshot(self, _topic: str, payload: Any, _packet: Packet) -> None:
         if self.stopped:

@@ -81,6 +81,7 @@ class StreamDirectory(Component):
         self._modules: dict[str, ModuleRecord] = {}
         self._streams: dict[str, StreamRecord] = {}
         self._member_watchers: list[Any] = []
+        self._heartbeat_watchers: list[Any] = []
         self._known_alive: set[str] = set()
         client.subscribe("ifot/registry/module/+", self._on_module)
         client.subscribe("ifot/registry/stream/+/+", self._on_stream)
@@ -99,6 +100,15 @@ class StreamDirectory(Component):
         last-will) and on TTL expiry (silent death).
         """
         self._member_watchers.append(callback)
+
+    def watch_heartbeats(self, callback: Any) -> None:
+        """Register ``callback(name, incarnation, now)`` per announcement.
+
+        Fires on every non-tombstone registry refresh — the raw liveness
+        signal a failure detector accrues suspicion from, finer-grained
+        than the boolean join/leave edges of :meth:`watch_members`.
+        """
+        self._heartbeat_watchers.append(callback)
 
     def _scan_membership(self) -> None:
         alive_now = {m.name for m in self.modules()}
@@ -149,6 +159,8 @@ class StreamDirectory(Component):
         )
         if is_new:
             self._notify_members(name, True)
+        for watcher in self._heartbeat_watchers:
+            watcher(name, incarnation, self.runtime.now)
 
     def _on_stream(self, topic: str, payload: Any, _packet: Packet) -> None:
         key = topic.split("ifot/registry/stream/", 1)[-1]

@@ -27,7 +27,7 @@ Control-plane topics::
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.assignment import (
     Assignment,
@@ -46,6 +46,9 @@ from repro.errors import DeploymentError, StaticCheckError
 from repro.util.validate import Severity
 from repro.mqtt.packets import Packet
 from repro.runtime.component import Component
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.healing import FailureDetector
 
 __all__ = ["ModuleAgent", "ManagementNode", "strategy_by_name"]
 
@@ -114,10 +117,21 @@ class ModuleAgent(Component):
         }
         client.refresh_session()  # the session predates the will
         base = f"ifot/ctl/module/{module.name}"
-        client.subscribe(f"{base}/deploy", self._on_deploy)
-        client.subscribe(f"{base}/undeploy", self._on_undeploy)
-        client.subscribe(f"{base}/submit", self._on_submit)
-        client.subscribe("ifot/ctl/status/request", self._on_status_request)
+        client.subscribe_many(
+            [
+                (f"{base}/deploy", self._on_deploy),
+                (f"{base}/undeploy", self._on_undeploy),
+                (f"{base}/submit", self._on_submit),
+                (f"{base}/pause", self._on_pause),
+                (f"{base}/release", self._on_release),
+                ("ifot/ctl/status/request", self._on_status_request),
+            ]
+        )
+        self.migrations_adopted = 0
+        #: Migrations this module is the target of, awaiting the source's
+        #: tail buffer: migration id -> (application, subtask_id, tail
+        #: subscription handle).
+        self._migration_tails: dict[str, tuple[str, str, Any]] = {}
         self._announce()
         module.capability_listeners.append(self._announce)
         # Re-announce the moment the session is re-established (broker
@@ -146,11 +160,14 @@ class ModuleAgent(Component):
         application = str(payload["application"])
         subtask = SubTask.from_dict(payload["subtask"])
         try:
-            self.module.deploy(application, subtask)
+            operator = self.module.deploy(application, subtask)
         except DeploymentError as exc:
             self.trace("agent.deploy_failed", subtask=subtask.subtask_id, error=str(exc))
             return
         self.deploys_handled += 1
+        handoff = payload.get("handoff")
+        if isinstance(handoff, dict):
+            self._adopt_handoff(application, subtask, operator, handoff)
         for stream in subtask.outputs:
             self.directory.announce_stream(
                 application,
@@ -169,6 +186,202 @@ class ModuleAgent(Component):
             self.module.undeploy_application(application)
         else:
             self.module.undeploy(application, subtask_id)
+
+    # ------------------------------------------------------------------
+    # Live migration (pause -> drain -> transfer -> resume)
+    # ------------------------------------------------------------------
+
+    def _on_pause(self, _topic: str, payload: Any, _packet: Packet) -> None:
+        """Source side, step 1: stop processing, keep buffering.
+
+        The operator's MQTT client has already PUBACKed everything the
+        broker forwarded, so from here on every inbound record lands in
+        the operator's handoff buffer instead of being processed. The
+        drain delay lets records already queued on the CPU finish
+        mutating operator state before the snapshot is taken.
+        """
+        if self.stopped:
+            return
+        application = str(payload["application"])
+        subtask_id = str(payload["subtask_id"])
+        migration = str(payload["migration"])
+        drain_s = float(payload.get("drain_s", 0.25))
+        operator = self.module.operators.get(f"{application}/{subtask_id}")
+        if operator is None or not hasattr(operator, "pause"):
+            self._send_missing_state(migration, application, subtask_id)
+            return
+        operator.pause()
+        self.trace(
+            "migrate.paused",
+            migration=migration,
+            application=application,
+            subtask=subtask_id,
+        )
+        self.after(drain_s, self._send_migration_state, migration, application, subtask_id)
+
+    def _send_missing_state(
+        self, migration: str, application: str, subtask_id: str
+    ) -> None:
+        # The operator vanished before the snapshot (a restart or undeploy
+        # won the race): report that so the coordinator falls back to a
+        # plain redeploy instead of waiting out its timeout.
+        self.module.client.publish(
+            f"ifot/ctl/migrate/{migration}/state",
+            {
+                "application": application,
+                "subtask_id": subtask_id,
+                "from_module": self.module.name,
+                "missing": True,
+            },
+            qos=1,
+        )
+
+    def _send_migration_state(
+        self, migration: str, application: str, subtask_id: str
+    ) -> None:
+        """Source side, step 2: snapshot state + buffered records."""
+        if self.stopped:
+            return
+        operator = self.module.operators.get(f"{application}/{subtask_id}")
+        if operator is None or not hasattr(operator, "take_handoff_buffer"):
+            self._send_missing_state(migration, application, subtask_id)
+            return
+        buffered = [
+            [stream, record.to_payload()]
+            for stream, record in operator.take_handoff_buffer()
+        ]
+        self.module.client.publish(
+            f"ifot/ctl/migrate/{migration}/state",
+            {
+                "application": application,
+                "subtask_id": subtask_id,
+                "subtask": operator.subtask.to_dict(),
+                "state": operator.export_state(),
+                "buffered": buffered,
+                "from_module": self.module.name,
+            },
+            qos=1,
+        )
+        self.trace(
+            "migrate.state_sent",
+            migration=migration,
+            subtask=subtask_id,
+            buffered=len(buffered),
+        )
+
+    def _adopt_handoff(
+        self, application: str, subtask: SubTask, operator: Any, handoff: dict[str, Any]
+    ) -> None:
+        """Target side: import state, replay the snapshot buffer, go live.
+
+        ``begin_handoff_tracking`` runs before any live record can reach
+        the new instance (deploy and adoption happen in one event), so
+        every sample this instance processes live is recorded — the tail
+        replay later dedups against that set. That is the exactly-once
+        hinge: a record forwarded to both ends during the overlap window
+        is processed here live and skipped in the tail.
+        """
+        from repro.core.flow import FlowRecord
+
+        migration = str(handoff["migration"])
+        if not hasattr(operator, "absorb_handoff"):
+            return
+        state = handoff.get("state")
+        if state:
+            operator.import_state(state)
+        operator.begin_handoff_tracking()
+        buffered = [
+            (str(stream), FlowRecord.from_payload(payload))
+            for stream, payload in handoff.get("buffered", [])
+        ]
+        operator.absorb_handoff(buffered)
+        tail_sub = self.module.client.subscribe(
+            f"ifot/ctl/migrate/{migration}/tail", self._on_migrate_tail
+        )
+        self._migration_tails[migration] = (application, subtask.subtask_id, tail_sub)
+        self.migrations_adopted += 1
+        self.trace(
+            "migrate.adopted",
+            migration=migration,
+            application=application,
+            subtask=subtask.subtask_id,
+            replayed=len(buffered),
+        )
+        self.module.client.publish(
+            f"ifot/ctl/migrate/{migration}/ready",
+            {
+                "module": self.module.name,
+                "application": application,
+                "subtask_id": subtask.subtask_id,
+            },
+            qos=1,
+        )
+
+    def _on_release(self, _topic: str, payload: Any, _packet: Packet) -> None:
+        """Source side, step 3: hand over the tail, then disappear.
+
+        Snapshotting the tail and unsubscribing (via undeploy) happen
+        inside one event: any record the broker forwarded here before
+        this instant is either in the tail or was processed pre-pause —
+        nothing can slip between.
+        """
+        if self.stopped:
+            return
+        application = str(payload["application"])
+        subtask_id = str(payload["subtask_id"])
+        migration = str(payload["migration"])
+        operator = self.module.operators.get(f"{application}/{subtask_id}")
+        tail: list[list[Any]] = []
+        if operator is not None and hasattr(operator, "take_handoff_buffer"):
+            tail = [
+                [stream, record.to_payload()]
+                for stream, record in operator.take_handoff_buffer()
+            ]
+        self.module.undeploy(application, subtask_id)
+        self.module.client.publish(
+            f"ifot/ctl/migrate/{migration}/tail",
+            {
+                "application": application,
+                "subtask_id": subtask_id,
+                "buffered": tail,
+            },
+            qos=1,
+        )
+        self.trace(
+            "migrate.released",
+            migration=migration,
+            subtask=subtask_id,
+            tail=len(tail),
+        )
+
+    def _on_migrate_tail(self, topic: str, payload: Any, _packet: Packet) -> None:
+        """Target side, final step: replay the tail (deduped), finish."""
+        if self.stopped:
+            return
+        migration = topic.split("/")[3]
+        entry = self._migration_tails.pop(migration, None)
+        if entry is None:
+            return
+        application, subtask_id, tail_sub = entry
+        self.module.client.unsubscribe(tail_sub)
+        operator = self.module.operators.get(f"{application}/{subtask_id}")
+        if operator is None or not hasattr(operator, "absorb_handoff"):
+            return
+        from repro.core.flow import FlowRecord
+
+        tail = [
+            (str(stream), FlowRecord.from_payload(entry_payload))
+            for stream, entry_payload in payload.get("buffered", [])
+        ]
+        operator.absorb_handoff(tail, final=True)
+        self.trace(
+            "migrate.done",
+            migration=migration,
+            application=application,
+            subtask=subtask_id,
+            replayed=len(tail),
+            skipped=operator.handoff_skipped,
+        )
 
     # ------------------------------------------------------------------
     # Recipe leadership (Fig. 6 steps 2-3)
@@ -306,6 +519,10 @@ class ManagementNode:
         heartbeat_s: float = 10.0,
         auto_failover: bool = False,
         static_check: str = "warn",
+        detector_params: dict[str, Any] | None = None,
+        migration_drain_s: float = 0.25,
+        migration_timeout_s: float = 6.0,
+        failback_delay_s: float | None = None,
     ) -> None:
         self.module = module
         self.agent = ModuleAgent(
@@ -318,9 +535,58 @@ class ManagementNode:
         self.auto_failover = auto_failover
         self.failovers_performed = 0
         self.reinstatements_performed = 0
+        self.migrations_started = 0
+        self.migrations_completed = 0
+        self.migrations_aborted = 0
+        self.load_sheds_performed = 0
+        #: Applications shed to fit surviving capacity (degraded mode).
+        self.degraded_applications: list[str] = []
+        #: Pause->snapshot drain at the migration source.
+        self.migration_drain_s = migration_drain_s
+        #: Give up on a handoff after this long and redeploy plainly.
+        self.migration_timeout_s = migration_timeout_s
+        #: Wait this long after a displaced sub-task's home module rejoins
+        #: before migrating it back (lets its announcements settle).
+        self.failback_delay_s = (
+            heartbeat_s if failback_delay_s is None else failback_delay_s
+        )
         #: Applications this node led: name -> (recipe, live assignment).
         self._led: dict[str, tuple[Recipe, Assignment]] = {}
-        module.client.subscribe("ifot/ctl/status/report/+", self._on_status)
+        #: In-flight migrations: id -> coordinator state.
+        self._migrations: dict[str, dict[str, Any]] = {}
+        #: Sub-tasks failover moved off their assigned module, awaiting
+        #: fail-back when the original host rejoins: (app, sid) -> module.
+        self._displaced: dict[tuple[str, str], str] = {}
+        # Both maps are mutated from MQTT dispatch events and timers —
+        # cross-event shared state the schedule sanitizer should see.
+        from repro.runtime.state import tracked_state
+
+        self._migrations_cell = tracked_state(
+            module.node.runtime, f"mgmt.{module.name}", "migrations"
+        )
+        self._displaced_cell = tracked_state(
+            module.node.runtime, f"mgmt.{module.name}", "displaced"
+        )
+        self.detector: "FailureDetector | None" = None
+        if auto_failover:
+            from repro.core.healing import FailureDetector
+
+            self.detector = FailureDetector(
+                module.node,
+                self.agent.directory,
+                expected_interval_s=heartbeat_s,
+                on_confirm=self._on_detector_confirm,
+                exclude={module.name},
+                connected=lambda: module.client.connected,
+                **(detector_params or {}),
+            )
+        module.client.subscribe_many(
+            [
+                ("ifot/ctl/status/report/+", self._on_status),
+                ("ifot/ctl/migrate/+/state", self._on_migration_state),
+                ("ifot/ctl/migrate/+/ready", self._on_migration_ready),
+            ]
+        )
         self.directory.watch_members(self._on_membership_change)
 
     # ------------------------------------------------------------------
@@ -382,6 +648,11 @@ class ManagementNode:
     def stop_application(self, application: str) -> None:
         """Broadcast undeploy of ``application`` to every known module."""
         self._led.pop(application, None)
+        stale = [key for key in self._displaced if key[0] == application]
+        if stale:
+            self._displaced_cell.note_write()
+            for key in stale:
+                del self._displaced[key]
         for record in self.agent.directory.modules():
             self.module.client.publish(
                 f"ifot/ctl/module/{record.name}/undeploy",
@@ -400,6 +671,13 @@ class ManagementNode:
             self._reinstate_module(name)
         else:
             self._fail_over_module(name)
+
+    def _on_detector_confirm(self, name: str) -> None:
+        # The membership layer usually beats phi accrual to a clean crash
+        # (the broker's last-will tombstone fires at keep-alive expiry);
+        # the detector covers the cases that leave no tombstone. Failover
+        # is idempotent — a second pass finds no orphaned placements.
+        self._fail_over_module(name)
 
     def _reinstate_module(self, joined_module: str) -> None:
         """Re-send every sub-task still placed on a (re)joined module.
@@ -433,6 +711,53 @@ class ManagementNode:
                     module=joined_module,
                 )
             self.reinstatements_performed += 1
+        self._schedule_failback(joined_module)
+
+    def _schedule_failback(self, joined_module: str) -> None:
+        """Migrate sub-tasks failover displaced off ``joined_module`` home.
+
+        The rejoined module may still be running stale pre-failover
+        instances (a blip recovery keeps operators across the outage), so
+        those are undeployed first — for an amnesia restart that is a
+        no-op. The migration itself starts after ``failback_delay_s`` so
+        the rejoined module's announcements settle in every directory.
+        """
+        displaced = sorted(
+            key for key, origin in self._displaced.items() if origin == joined_module
+        )
+        if not displaced:
+            return
+        self._displaced_cell.note_write()
+        for app_name, sid in displaced:
+            self._displaced.pop((app_name, sid), None)
+            if app_name not in self._led:
+                continue
+            self.module.client.publish(
+                f"ifot/ctl/module/{joined_module}/undeploy",
+                {"application": app_name, "subtask_id": sid},
+                qos=1,
+            )
+            self.agent.after(
+                self.failback_delay_s, self._fail_back, app_name, sid, joined_module
+            )
+
+    def _fail_back(
+        self, application: str, subtask_id: str, home_module: str
+    ) -> None:
+        led = self._led.get(application)
+        if led is None:
+            return
+        _recipe, assignment = led
+        current = assignment.placements.get(subtask_id)
+        if current is None or current == home_module:
+            return
+        if all(r.name != home_module for r in self.directory.module_infos()):
+            # Home vanished again while the delay ran; stay put.
+            return
+        try:
+            self.migrate_subtask(application, subtask_id, home_module)
+        except DeploymentError:
+            return
 
     def _fail_over_module(self, dead_module: str) -> None:
         """Re-place every non-pinned sub-task that was on ``dead_module``.
@@ -442,6 +767,7 @@ class ManagementNode:
         data to replay). Sub-tasks pinned to the dead module are device
         bound and cannot move; they are reported and skipped.
         """
+        self._shed_if_overcommitted(dead_module)
         for app_name, (recipe, assignment) in self._led.items():
             orphans = [
                 sid
@@ -451,7 +777,14 @@ class ManagementNode:
             if not orphans:
                 continue
             subtasks = {s.subtask_id: s for s in RecipeSplit().split(recipe)}
-            candidates = self.directory.module_infos()
+            # The dead module may still linger in the directory when the
+            # detector beat the broker's tombstone to the verdict; never
+            # re-place orphans onto the module being failed over.
+            candidates = [
+                info
+                for info in self.directory.module_infos()
+                if info.name != dead_module
+            ]
             movable = []
             for sid in orphans:
                 subtask = subtasks[sid]
@@ -473,9 +806,21 @@ class ManagementNode:
             replacement = TaskAssignment(LoadAwareStrategy()).assign(
                 movable, candidates
             )
+            self._displaced_cell.note_write()
             for subtask in movable:
                 target = replacement.module_for(subtask.subtask_id)
                 assignment.placements[subtask.subtask_id] = target
+                self._displaced[(app_name, subtask.subtask_id)] = dead_module
+                # Defensive teardown: on a true crash this queues into a
+                # dying session and is dropped at expiry; on a false
+                # accusation it removes the stale instance so the
+                # replacement is the *only* live one (exactly-once per
+                # incarnation holds either way).
+                self.module.client.publish(
+                    f"ifot/ctl/module/{dead_module}/undeploy",
+                    {"application": app_name, "subtask_id": subtask.subtask_id},
+                    qos=1,
+                )
                 self.module.client.publish(
                     f"ifot/ctl/module/{target}/deploy",
                     {"application": app_name, "subtask": subtask.to_dict()},
@@ -495,6 +840,331 @@ class ManagementNode:
                 {"assignment": assignment.to_dict(), "leader": self.module.name},
                 retain=True,
             )
+
+    def _shed_if_overcommitted(self, dead_module: str) -> None:
+        """Graceful degradation: shed whole applications, lowest priority
+        first, when the surviving capacity cannot host everything.
+
+        Demand is measured in the calibrated CPU-utilization currency of
+        :mod:`repro.lint.rates` (the same one recipe feasibility checks
+        plan with), summed over every sub-task that will need surviving
+        capacity — already-placed survivors plus the movable orphans.
+        Sub-tasks pinned to the dead module die with their device and
+        demand nothing.
+        """
+        if not self._led:
+            return
+        from repro.core.healing import AppLoad, plan_degradation, recipe_utilization
+
+        capacity = sum(info.capacity for info in self.directory.module_infos())
+        loads: list[AppLoad] = []
+        for app_name, (recipe, assignment) in sorted(self._led.items()):
+            demand_subtasks = [
+                subtask
+                for subtask in RecipeSplit().split(recipe)
+                if not (
+                    assignment.placements.get(subtask.subtask_id) == dead_module
+                    and subtask.pin_to == dead_module
+                )
+            ]
+            loads.append(
+                AppLoad(
+                    application=app_name,
+                    priority=recipe.priority,
+                    utilization=recipe_utilization(recipe, demand_subtasks),
+                )
+            )
+        plan = plan_degradation(loads, capacity)
+        if not plan.shed and plan.feasible:
+            return
+        runtime = self.module.node.runtime
+        for victim in plan.shed:
+            self.load_sheds_performed += 1
+            self.degraded_applications.append(victim.application)
+            runtime.trace(
+                "mgmt",
+                "mgmt.load_shed",
+                application=victim.application,
+                priority=victim.priority,
+                utilization=round(victim.utilization, 4),
+            )
+            self.stop_application(victim.application)
+        if not plan.feasible:
+            runtime.trace(
+                "mgmt",
+                "mgmt.degraded",
+                residual=round(plan.residual, 4),
+                capacity=round(plan.capacity, 4),
+            )
+        self.module.client.publish(
+            "ifot/ctl/status/degraded",
+            {
+                "applications": sorted(set(self.degraded_applications)),
+                "residual": round(plan.residual, 4),
+                "capacity": round(plan.capacity, 4),
+            },
+            retain=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Live migration coordinator (QoS1-safe operator handoff)
+    # ------------------------------------------------------------------
+
+    def migrate_subtask(
+        self,
+        application: str,
+        subtask_id: str,
+        to_module: str,
+        drain_s: float | None = None,
+        timeout_s: float | None = None,
+    ) -> str | None:
+        """Move one sub-task to ``to_module`` without losing QoS1 records.
+
+        Protocol (each leg a QoS1 control message)::
+
+            mgmt -> source : pause      operator buffers instead of processing
+            source -> mgmt : state      after drain: snapshot + buffered records
+            mgmt -> target : deploy     with handoff {state, buffered}
+            target -> mgmt : ready      imported, replayed, live + tracking
+            mgmt -> source : release    undeploy; publish tail buffer
+            source -> target: tail      replay (deduped against live set)
+
+        Exactly-once: the overlap window (both ends subscribed) is covered
+        by the target's live-sample tracking — anything the broker
+        forwarded to both sides is processed live at the target and
+        skipped during tail replay. Returns the migration id, or ``None``
+        if the sub-task already lives on ``to_module``. A timeout aborts
+        the handoff and falls back to a plain redeploy (state lost, like
+        crash failover — but never two live instances).
+        """
+        led = self._led.get(application)
+        if led is None:
+            raise DeploymentError(f"application {application!r} is not led here")
+        recipe, assignment = led
+        source = assignment.module_for(subtask_id)
+        if source == to_module:
+            return None
+        subtasks = {s.subtask_id: s for s in RecipeSplit().split(recipe)}
+        subtask = subtasks.get(subtask_id)
+        if subtask is None:
+            raise DeploymentError(
+                f"{application!r} has no sub-task {subtask_id!r}"
+            )
+        if subtask.pin_to is not None and subtask.pin_to != to_module:
+            raise DeploymentError(
+                f"sub-task {subtask_id!r} is pinned to {subtask.pin_to!r}"
+            )
+        runtime = self.module.node.runtime
+        migration = runtime.ids.next("migration")
+        drain = self.migration_drain_s if drain_s is None else float(drain_s)
+        timeout = self.migration_timeout_s if timeout_s is None else float(timeout_s)
+        span = None
+        if runtime.obs is not None:
+            span = runtime.obs.start_span(
+                "migrate",
+                self.module.node,
+                migration=migration,
+                application=application,
+                subtask=subtask_id,
+                from_module=source,
+                to_module=to_module,
+            )
+        self._migrations_cell.note_write()
+        self._migrations[migration] = {
+            "application": application,
+            "subtask": subtask,
+            "from": source,
+            "to": to_module,
+            "phase": "pause",
+            "span": span,
+        }
+        self.migrations_started += 1
+        runtime.trace(
+            "mgmt",
+            "migrate.start",
+            migration=migration,
+            application=application,
+            subtask=subtask_id,
+            from_module=source,
+            to_module=to_module,
+        )
+        self.module.client.publish(
+            f"ifot/ctl/module/{source}/pause",
+            {
+                "application": application,
+                "subtask_id": subtask_id,
+                "migration": migration,
+                "drain_s": drain,
+            },
+            qos=1,
+        )
+        self.agent.after(timeout, self._migration_timeout, migration)
+        return migration
+
+    def _on_migration_state(self, topic: str, payload: Any, _packet: Packet) -> None:
+        migration = topic.split("/")[3]
+        self._migrations_cell.note_read()
+        entry = self._migrations.get(migration)
+        if entry is None:
+            return
+        if not isinstance(payload, dict) or payload.get("missing"):
+            self._migrations_cell.note_write()
+            self._migrations.pop(migration, None)
+            self._abort_migration(migration, entry, "source_missing")
+            return
+        entry["phase"] = "transfer"
+        self.module.node.runtime.trace(
+            "mgmt",
+            "migrate.transfer",
+            migration=migration,
+            subtask=entry["subtask"].subtask_id,
+            buffered=len(payload.get("buffered", [])),
+        )
+        self.module.client.publish(
+            f"ifot/ctl/module/{entry['to']}/deploy",
+            {
+                "application": entry["application"],
+                "subtask": payload.get("subtask") or entry["subtask"].to_dict(),
+                "handoff": {
+                    "migration": migration,
+                    "state": payload.get("state"),
+                    "buffered": payload.get("buffered", []),
+                    "from_module": payload.get("from_module"),
+                },
+            },
+            qos=1,
+        )
+
+    def _on_migration_ready(self, topic: str, payload: Any, _packet: Packet) -> None:
+        migration = topic.split("/")[3]
+        self._migrations_cell.note_write()
+        entry = self._migrations.pop(migration, None)
+        if entry is None:
+            return
+        application = entry["application"]
+        subtask_id = entry["subtask"].subtask_id
+        led = self._led.get(application)
+        if led is not None:
+            _recipe, assignment = led
+            assignment.placements[subtask_id] = entry["to"]
+            self.module.client.publish(
+                f"ifot/ctl/app/{application}/deployed",
+                {"assignment": assignment.to_dict(), "leader": self.module.name},
+                retain=True,
+            )
+        self.module.client.publish(
+            f"ifot/ctl/module/{entry['from']}/release",
+            {
+                "application": application,
+                "subtask_id": subtask_id,
+                "migration": migration,
+            },
+            qos=1,
+        )
+        self.migrations_completed += 1
+        runtime = self.module.node.runtime
+        runtime.trace(
+            "mgmt",
+            "migrate.switched",
+            migration=migration,
+            application=application,
+            subtask=subtask_id,
+            from_module=entry["from"],
+            to_module=entry["to"],
+        )
+        if entry["span"] is not None and runtime.obs is not None:
+            runtime.obs.finish(entry["span"], outcome="switched")
+
+    def _migration_timeout(self, migration: str) -> None:
+        self._migrations_cell.note_write()
+        entry = self._migrations.pop(migration, None)
+        if entry is None:
+            return
+        self._abort_migration(migration, entry, "timeout")
+
+    def _abort_migration(
+        self, migration: str, entry: dict[str, Any], reason: str
+    ) -> None:
+        """Fall back from a wedged handoff to a plain redeploy.
+
+        Operator state is lost, exactly like crash failover — the one
+        guarantee kept at all costs is that the paused source instance
+        never resumes, so no sample is ever processed by two live
+        instances of the same sub-task.
+        """
+        self.migrations_aborted += 1
+        runtime = self.module.node.runtime
+        application = entry["application"]
+        subtask = entry["subtask"]
+        runtime.trace(
+            "mgmt",
+            "migrate.aborted",
+            migration=migration,
+            reason=reason,
+            phase=entry["phase"],
+            application=application,
+            subtask=subtask.subtask_id,
+        )
+        if entry["span"] is not None and runtime.obs is not None:
+            runtime.obs.finish(entry["span"], outcome=f"aborted:{reason}")
+        led = self._led.get(application)
+        if led is None:
+            return
+        _recipe, assignment = led
+        if assignment.placements.get(subtask.subtask_id) != entry["from"]:
+            # Crash failover already re-placed it while the handoff was in
+            # flight; a second deploy would double-instantiate.
+            return
+        candidates = self.directory.module_infos()
+        target = entry["to"]
+        if all(info.name != target for info in candidates):
+            # The chosen target died too (double failure): pick a live one.
+            from repro.errors import AssignmentError
+
+            try:
+                replacement = TaskAssignment(LoadAwareStrategy()).assign(
+                    [subtask], candidates
+                )
+                target = replacement.module_for(subtask.subtask_id)
+            except (AssignmentError, DeploymentError):
+                runtime.trace(
+                    "mgmt",
+                    "migrate.stranded",
+                    migration=migration,
+                    application=application,
+                    subtask=subtask.subtask_id,
+                )
+                return
+        self.module.client.publish(
+            f"ifot/ctl/module/{entry['from']}/undeploy",
+            {"application": application, "subtask_id": subtask.subtask_id},
+            qos=1,
+        )
+        if target != entry["to"]:
+            self.module.client.publish(
+                f"ifot/ctl/module/{entry['to']}/undeploy",
+                {"application": application, "subtask_id": subtask.subtask_id},
+                qos=1,
+            )
+        self.module.client.publish(
+            f"ifot/ctl/module/{target}/deploy",
+            {"application": application, "subtask": subtask.to_dict()},
+            qos=1,
+        )
+        assignment.placements[subtask.subtask_id] = target
+        self.module.client.publish(
+            f"ifot/ctl/app/{application}/deployed",
+            {"assignment": assignment.to_dict(), "leader": self.module.name},
+            retain=True,
+        )
+        runtime.trace(
+            "mgmt",
+            "migrate.redeployed",
+            migration=migration,
+            application=application,
+            subtask=subtask.subtask_id,
+            to_module=target,
+        )
 
     # ------------------------------------------------------------------
     # Monitoring
@@ -552,5 +1222,7 @@ class ManagementNode:
         return "\n".join(lines)
 
     def shutdown(self) -> None:
+        if self.detector is not None:
+            self.detector.stop()
         self.agent.stop()
         self.module.shutdown()

@@ -175,6 +175,10 @@ class NeuronModule:
         cpu = self.node.cpu
         return {
             "module": self.name,
+            # Incarnation stamps every liveness-bearing message (registry
+            # announcements already carry it); consumers can tell a fresh
+            # boot's report from a stale pre-restart one.
+            "incarnation": self.node.incarnation,
             "operators": sorted(self.operators),
             "sensors": sorted(self.sensors),
             "actuators": sorted(self.actuators),

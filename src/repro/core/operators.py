@@ -125,6 +125,22 @@ class StreamOperator(Component):
             self._state_cell = tracked_state(
                 self.runtime, f"operator.{self.name}", "state"
             )
+        # Live-migration handoff state: while paused the operator buffers
+        # inbound records instead of processing them (the MQTT client has
+        # already PUBACKed, so pausing must not lose anything); a freshly
+        # deployed successor records every sample it processes so replayed
+        # buffers and its own live subscription never double-process. Both
+        # structures are schedule-sensitive, hence the tracked cell.
+        self.paused = False
+        self.records_buffered = 0
+        self.handoff_skipped = 0
+        self._handoff_buffer: list[tuple[str, FlowRecord]] = []
+        self._handoff_seen: set[str] | None = None
+        self._handoff_cell: StateCell | None = None
+        if subtask.inputs:
+            self._handoff_cell = tracked_state(
+                self.runtime, f"operator.{self.name}", "handoff"
+            )
         self.configure()
 
     def configure(self) -> None:
@@ -143,6 +159,16 @@ class StreamOperator(Component):
             ):
                 self.records_skipped += 1
                 return
+        if self.paused:
+            if self._handoff_cell is not None:
+                self._handoff_cell.note_write()
+            self.records_buffered += 1
+            self._handoff_buffer.append((stream, record))
+            return
+        if self._handoff_seen is not None:
+            if self._handoff_cell is not None:
+                self._handoff_cell.note_write()
+            self._handoff_seen.add(record.sample_id)
         self.records_in += 1
         if self.runtime.obs is not None:
             self.node.execute(
@@ -238,6 +264,68 @@ class StreamOperator(Component):
         self.records_out += 1
         for publisher in targets:
             publisher.publish_record(record)
+
+    # ------------------------------------------------------------------
+    # Live migration (pause -> drain -> transfer -> resume)
+    # ------------------------------------------------------------------
+
+    def pause(self) -> None:
+        """Stop processing; buffer every inbound record for handoff.
+
+        Records that were queued on the CPU before the pause still
+        complete (they were dispatched pre-pause); records arriving after
+        it land in the handoff buffer untouched.
+        """
+        if self._handoff_cell is not None:
+            self._handoff_cell.note_write()
+        self.paused = True
+
+    def take_handoff_buffer(self) -> list[tuple[str, FlowRecord]]:
+        """Drain and return everything buffered since :meth:`pause`."""
+        if self._handoff_cell is not None:
+            self._handoff_cell.note_write()
+        buffered, self._handoff_buffer = self._handoff_buffer, []
+        return buffered
+
+    def begin_handoff_tracking(self) -> None:
+        """Start recording processed sample ids (successor side).
+
+        Called immediately after deploy on the migration target, before
+        any live record can arrive, so the skip set in
+        :meth:`absorb_handoff` covers the whole overlap window.
+        """
+        if self._handoff_cell is not None:
+            self._handoff_cell.note_write()
+        self._handoff_seen = set()
+
+    def absorb_handoff(
+        self, buffered: list[tuple[str, FlowRecord]], final: bool = False
+    ) -> None:
+        """Replay records handed off by a migrating predecessor.
+
+        Samples this instance already processed (via its own live
+        subscription or an earlier handoff batch) are skipped, which is
+        what makes the pause->drain->transfer->resume protocol
+        exactly-once despite source and target being briefly subscribed
+        at the same time. ``final=True`` ends tracking (the tail batch).
+        """
+        if self._handoff_cell is not None:
+            self._handoff_cell.note_write()
+        seen = self._handoff_seen if self._handoff_seen is not None else set()
+        for stream, record in buffered:
+            if record.sample_id in seen:
+                self.handoff_skipped += 1
+                continue
+            self._dispatch(stream, record)
+        if final:
+            self._handoff_seen = None
+
+    def export_state(self) -> dict[str, Any]:
+        """Serializable cross-record state for migration (base: none)."""
+        return {}
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        """Restore state exported by a predecessor instance (base: no-op)."""
 
     def on_stop(self) -> None:
         if self.subscriber is not None:
@@ -345,6 +433,30 @@ class WindowOperator(StreamOperator):
         if self._batch:
             batch, self._batch = self._batch, []
             self._emit_window(batch)
+
+    def export_state(self) -> dict[str, Any]:
+        state: dict[str, Any] = {"windows_emitted": self.windows_emitted}
+        if self.mode == "align":
+            state["pending"] = {
+                source: record.to_payload()
+                for source, record in sorted(self._pending.items())
+            }
+        else:
+            state["batch"] = [record.to_payload() for record in self._batch]
+        return state
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        self.windows_emitted = int(state.get("windows_emitted", 0))
+        if self.mode == "align":
+            self._pending = {
+                source: FlowRecord.from_payload(payload)
+                for source, payload in state.get("pending", {}).items()
+            }
+        else:
+            self._batch = [
+                FlowRecord.from_payload(payload)
+                for payload in state.get("batch", [])
+            ]
 
     def _emit_window(self, records: list[FlowRecord]) -> None:
         merged = FlowRecord.merge(self.subtask.task_id, records)
@@ -511,6 +623,20 @@ class MergeOperator(StreamOperator):
         self.require_all = bool(self.params.get("require_all", True))
         self._latest: dict[str, FlowRecord] = {}
 
+    def export_state(self) -> dict[str, Any]:
+        return {
+            "latest": {
+                stream: record.to_payload()
+                for stream, record in sorted(self._latest.items())
+            }
+        }
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        self._latest = {
+            stream: FlowRecord.from_payload(payload)
+            for stream, payload in state.get("latest", {}).items()
+        }
+
     def on_record(self, stream: str, record: FlowRecord) -> None:
         self._latest[stream] = record
         if self.require_all and set(self._latest) < set(self.subtask.inputs):
@@ -548,6 +674,12 @@ class StatOperator(StreamOperator):
         if bad:
             raise RecipeError(f"{self.name}: unknown stats {sorted(bad)}")
         self.wanted = list(wanted)
+
+    def export_state(self) -> dict[str, Any]:
+        return {"window": self.window.export_state()}
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        self.window.import_state(state.get("window", {}))
 
     def on_record(self, stream: str, record: FlowRecord) -> None:
         for key in self.keys:
@@ -650,6 +782,14 @@ class EwmaOperator(StreamOperator):
         self.keys = [str(k) for k in self.params.get("keys", [])] or None
         self._state: dict[str, float] = {}
 
+    def export_state(self) -> dict[str, Any]:
+        return {"state": dict(sorted(self._state.items()))}
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        self._state = {
+            str(k): float(v) for k, v in state.get("state", {}).items()
+        }
+
     def on_record(self, stream: str, record: FlowRecord) -> None:
         nums = dict(record.datum.num_values)
         keys = self.keys if self.keys is not None else list(nums)
@@ -693,6 +833,12 @@ class DeltaOperator(StreamOperator):
         self._last: Any = None
         self.records_suppressed = 0
 
+    def export_state(self) -> dict[str, Any]:
+        return {"last": self._last}
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        self._last = state.get("last")
+
     def on_record(self, stream: str, record: FlowRecord) -> None:
         value = record.datum.num_values.get(self.key)
         if value is None:
@@ -734,6 +880,12 @@ class ThrottleOperator(StreamOperator):
         self._next_allowed = 0.0
         self.records_suppressed = 0
 
+    def export_state(self) -> dict[str, Any]:
+        return {"next_allowed": self._next_allowed}
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        self._next_allowed = float(state.get("next_allowed", 0.0))
+
     def on_record(self, stream: str, record: FlowRecord) -> None:
         now = self.runtime.now
         if now < self._next_allowed:
@@ -766,6 +918,16 @@ class DedupOperator(StreamOperator):
         self._order: RingBuffer[str] = RingBuffer(window)
         self._seen: set[str] = set()
         self.duplicates_dropped = 0
+
+    def export_state(self) -> dict[str, Any]:
+        return {"order": self._order.to_list()}
+
+    def import_state(self, state: dict[str, Any]) -> None:
+        self._order.clear()
+        self._seen.clear()
+        for sample_id in state.get("order", []):
+            self._order.append(str(sample_id))
+            self._seen.add(str(sample_id))
 
     def on_record(self, stream: str, record: FlowRecord) -> None:
         if record.sample_id in self._seen:

@@ -117,8 +117,14 @@ class Recipe:
     validates will deploy.
     """
 
-    def __init__(self, name: str, tasks: Iterable[TaskSpec]) -> None:
+    def __init__(
+        self, name: str, tasks: Iterable[TaskSpec], priority: int = 0
+    ) -> None:
         self.name = require_name(name, "recipe name")
+        #: Degradation rank: when surviving capacity cannot host every
+        #: application, lower-priority recipes are shed first (ties break
+        #: by name). 0 is the default tier.
+        self.priority = int(priority)
         self.tasks: dict[str, TaskSpec] = {}
         for task in tasks:
             if task.task_id in self.tasks:
@@ -251,10 +257,13 @@ class Recipe:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        result: dict[str, Any] = {
             "recipe": self.name,
             "tasks": [self.tasks[tid].to_dict() for tid in self._order],
         }
+        if self.priority != 0:
+            result["priority"] = self.priority
+        return result
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Recipe":
@@ -263,7 +272,7 @@ class Recipe:
         if "recipe" not in data or "tasks" not in data:
             raise RecipeError("recipe dict needs 'recipe' (name) and 'tasks'")
         tasks = [TaskSpec.from_dict(entry) for entry in data["tasks"]]
-        return cls(data["recipe"], tasks)
+        return cls(data["recipe"], tasks, priority=int(data.get("priority", 0)))
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -94,3 +94,21 @@ class WindowStat:
     @property
     def keys(self) -> list[str]:
         return sorted(self._keys)
+
+    # ------------------------------------------------------------------
+    # Migration (operator state handoff)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict[str, list[float]]:
+        """Window contents per key, oldest first (JSON-ready)."""
+        return {
+            key: entry.buffer.to_list()
+            for key, entry in sorted(self._keys.items())
+        }
+
+    def import_state(self, state: dict[str, list[float]]) -> None:
+        """Rebuild the windows from :meth:`export_state` output."""
+        self._keys.clear()
+        for key, values in state.items():
+            for value in values:
+                self.push(str(key), float(value))

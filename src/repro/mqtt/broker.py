@@ -66,6 +66,10 @@ class _Session:
     next_packet_id: int = 1
     connected: bool = True
     will: dict[str, Any] | None = None
+    #: Highest boot count seen in this client's stamped keep-alives. A
+    #: ping stamped below it belongs to a dead incarnation (it was in
+    #: flight across a restart) and must not pass for liveness.
+    incarnation: int = 0
     #: Sanitizer tag for this session's protocol state (packet-id counter,
     #: inflight queue, liveness) — set by the broker on session creation.
     cell: StateCell | None = None
@@ -253,10 +257,23 @@ class Broker(Component):
         self._remove_session(session, expired=False)
 
     def _on_pingreq(
-        self, source: Address, session: _Session | None, _packet: Packet
+        self, source: Address, session: _Session | None, packet: Packet
     ) -> None:
-        if session is not None:
-            self._send(source, Packet.pingresp())
+        if session is None:
+            return
+        incarnation = packet.get("incarnation")
+        if incarnation is not None:
+            incarnation = int(incarnation)
+            if incarnation < session.incarnation:
+                self.trace(
+                    "mqtt.broker.stale_ping",
+                    client=session.client_id,
+                    incarnation=incarnation,
+                    current=session.incarnation,
+                )
+                return
+            session.incarnation = incarnation
+        self._send(source, Packet.pingresp())
 
     # ------------------------------------------------------------------
     # SUBSCRIBE / UNSUBSCRIBE
@@ -300,6 +317,11 @@ class Broker(Component):
             if topic_filter in session.subscriptions:
                 del session.subscriptions[topic_filter]
                 self._subscriptions.remove(topic_filter, session.client_id)
+                self.trace(
+                    "mqtt.broker.unsubscribe",
+                    client=session.client_id,
+                    filter=topic_filter,
+                )
         self._send(source, Packet.unsuback(packet["packet_id"]))
 
     def _deliver_retained(self, session: _Session, topic_filter: str) -> None:

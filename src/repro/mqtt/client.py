@@ -323,6 +323,31 @@ class MqttClient(Component):
         )
         return subscription
 
+    def subscribe_many(
+        self, entries: "list[tuple[str, MessageCallback]]", qos: int = 0
+    ) -> list[Subscription]:
+        """Register several filters, announced in a single SUBSCRIBE.
+
+        Functionally equivalent to calling :meth:`subscribe` once per
+        entry, but the broker sees one packet instead of N — a joining
+        module registers its whole control plane without multiplying
+        the connect storm on the shared medium.
+        """
+        subscriptions: list[Subscription] = []
+        for topic_filter, callback in entries:
+            validate_filter(topic_filter)
+            subscription = Subscription(topic_filter, callback, min(qos, 1))
+            self._subscriptions.append(subscription)
+            self._dispatch.insert(topic_filter, subscription)
+            subscriptions.append(subscription)
+        filters = [(s.topic_filter, s.qos) for s in subscriptions]
+        self._when_connected(
+            lambda: self._send(
+                Packet.subscribe(self._allocate_packet_id(), filters)
+            )
+        )
+        return subscriptions
+
     def unsubscribe(self, subscription: Subscription) -> None:
         if subscription not in self._subscriptions:
             return
@@ -443,17 +468,20 @@ class MqttClient(Component):
             self._reconnect_timer = None
         if self.keepalive_s > 0 and self._ping_timer is None:
             self._ping_timer = self.every(
-                self.keepalive_s / 2.0, lambda: self._send(Packet.pingreq())
+                self.keepalive_s / 2.0,
+                lambda: self._send(
+                    Packet.pingreq(incarnation=self.node.incarnation)
+                ),
             )
         if not session_present and self._subscriptions and was_reconnect:
-            # The broker holds no state for us: replay every subscription.
-            for subscription in self._subscriptions:
-                self._send(
-                    Packet.subscribe(
-                        self._allocate_packet_id(),
-                        [(subscription.topic_filter, subscription.qos)],
-                    )
+            # The broker holds no state for us: replay every subscription
+            # in one SUBSCRIBE so recovery doesn't flood the medium.
+            self._send(
+                Packet.subscribe(
+                    self._allocate_packet_id(),
+                    [(s.topic_filter, s.qos) for s in self._subscriptions],
                 )
+            )
             self.trace(
                 "mqtt.client.resubscribed", count=len(self._subscriptions)
             )

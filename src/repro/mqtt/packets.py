@@ -172,8 +172,13 @@ class Packet:
         return cls(PacketType.UNSUBACK, {"packet_id": packet_id})
 
     @classmethod
-    def pingreq(cls) -> "Packet":
-        return cls(PacketType.PINGREQ)
+    def pingreq(cls, incarnation: int | None = None) -> "Packet":
+        # Keep-alives stamp the sender's boot count (announcements already
+        # do), so liveness consumers can discard heartbeats a dead
+        # incarnation left queued in the network.
+        if incarnation is None:
+            return cls(PacketType.PINGREQ)
+        return cls(PacketType.PINGREQ, {"incarnation": incarnation})
 
     @classmethod
     def pingresp(cls) -> "Packet":

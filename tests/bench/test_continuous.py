@@ -125,7 +125,7 @@ def test_committed_baseline_matches_current_code():
     from pathlib import Path
 
     baseline_dir = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
-    for name in ("fig5", "saturation"):
+    for name in ("failover", "fig5", "saturation"):
         baseline = load_bench(baseline_dir, name)
         comparison = compare_bench(run_bench(name), baseline)
         assert comparison.ok, (name, comparison.failures)

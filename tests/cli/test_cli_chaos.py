@@ -40,6 +40,25 @@ def test_same_seed_reports_same_digest(capsys):
     assert digest() == digest()
 
 
+@pytest.mark.slow
+def test_heal_prints_recovery_report(capsys):
+    assert main(["heal", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "recovery report" in out
+    assert "detection:" in out
+    assert "failover moves: 1" in out
+    assert "migrations: 1" in out
+    assert "PASS" in out
+
+
+@pytest.mark.slow
+def test_chaos_recover_flag_appends_report(capsys):
+    assert main(["chaos", "failover", "--recover"]) == 0
+    out = capsys.readouterr().out
+    assert "recovery report" in out
+    assert "degraded-mode decisions" in out
+
+
 def _stub_result(ok: bool):
     report = SimpleNamespace(
         ok=ok,

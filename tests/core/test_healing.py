@@ -1,0 +1,326 @@
+"""FailureDetector, degradation policy and recovery-report tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.healing import (
+    ALIVE,
+    CONFIRMED,
+    SUSPECT,
+    AppLoad,
+    FailureDetector,
+    plan_degradation,
+    recovery_report,
+)
+from repro.runtime.sim import SimRuntime
+from repro.sim.trace import Tracer
+
+EXPECTED_S = 2.0
+
+
+class FakeDirectory:
+    """Just the watch hooks the detector consumes."""
+
+    def __init__(self) -> None:
+        self.heartbeat_watchers = []
+        self.member_watchers = []
+
+    def watch_heartbeats(self, callback) -> None:
+        self.heartbeat_watchers.append(callback)
+
+    def watch_members(self, callback) -> None:
+        self.member_watchers.append(callback)
+
+    def heartbeat(self, name: str, incarnation: int, now: float) -> None:
+        for callback in self.heartbeat_watchers:
+            callback(name, incarnation, now)
+
+    def leave(self, name: str) -> None:
+        for callback in self.member_watchers:
+            callback(name, False)
+
+
+@pytest.fixture
+def rig():
+    runtime = SimRuntime(seed=11)
+    directory = FakeDirectory()
+    confirmed: list[str] = []
+    suspected: list[str] = []
+    detector = FailureDetector(
+        runtime.add_node("mgmt"),
+        directory,
+        expected_interval_s=EXPECTED_S,
+        on_suspect=suspected.append,
+        on_confirm=confirmed.append,
+    )
+    return runtime, directory, detector, suspected, confirmed
+
+
+def beat(runtime, directory, name, incarnation, at):
+    runtime.run(until=at)
+    directory.heartbeat(name, incarnation, runtime.now)
+
+
+class TestFailureDetector:
+    def test_thresholds_must_be_ordered(self):
+        runtime = SimRuntime(seed=1)
+        with pytest.raises(ValueError):
+            FailureDetector(
+                runtime.add_node("n"),
+                FakeDirectory(),
+                expected_interval_s=2.0,
+                suspect_phi=4.0,
+                confirm_phi=3.0,
+            )
+
+    def test_silence_walks_alive_suspect_confirmed(self, rig):
+        runtime, directory, detector, suspected, confirmed = rig
+        beat(runtime, directory, "pi-1", 0, 1.0)
+        beat(runtime, directory, "pi-1", 0, 3.0)
+        runtime.run(until=3.5)
+        assert detector.peers["pi-1"].state == ALIVE
+        # phi = silence / expected: suspect at 2 intervals of silence...
+        runtime.run(until=3.0 + 2.0 * EXPECTED_S + 1.0)
+        assert detector.peers["pi-1"].state == SUSPECT
+        assert suspected == ["pi-1"] and not confirmed
+        # ...confirmed at 3.
+        runtime.run(until=3.0 + 3.0 * EXPECTED_S + 1.0)
+        assert detector.peers["pi-1"].state == CONFIRMED
+        assert confirmed == ["pi-1"]
+        assert detector.confirms_raised == 1
+
+    def test_same_incarnation_heartbeat_refutes_suspicion(self, rig):
+        runtime, directory, detector, suspected, confirmed = rig
+        beat(runtime, directory, "pi-1", 3, 1.0)
+        runtime.run(until=1.0 + 2.5 * EXPECTED_S)
+        assert detector.peers["pi-1"].state == SUSPECT
+        beat(runtime, directory, "pi-1", 3, runtime.now + 0.1)
+        assert detector.peers["pi-1"].state == ALIVE
+        assert detector.refutes == 1
+        assert not confirmed
+
+    def test_stale_incarnation_never_resurrects_confirmed_peer(self, rig):
+        runtime, directory, detector, _, confirmed = rig
+        beat(runtime, directory, "pi-1", 2, 1.0)
+        runtime.run(until=1.0 + 4.0 * EXPECTED_S)
+        assert detector.peers["pi-1"].state == CONFIRMED
+        # A heartbeat left in flight by the dead boot (incarnation 1 < 2)
+        # must not refute the verdict.
+        directory.heartbeat("pi-1", 1, runtime.now)
+        assert detector.peers["pi-1"].state == CONFIRMED
+        assert detector.stale_heartbeats == 1
+        assert confirmed == ["pi-1"]
+
+    def test_higher_incarnation_resets_the_record(self, rig):
+        runtime, directory, detector, _, confirmed = rig
+        beat(runtime, directory, "pi-1", 1, 1.0)
+        runtime.run(until=1.0 + 4.0 * EXPECTED_S)
+        assert detector.peers["pi-1"].state == CONFIRMED
+        beat(runtime, directory, "pi-1", 2, runtime.now + 0.1)
+        peer = detector.peers["pi-1"]
+        assert peer.state == ALIVE
+        assert peer.incarnation == 2
+        assert peer.interval_ewma is None  # predecessor history discarded
+
+    def test_phi_basis_clamped_against_bursty_announcements(self, rig):
+        runtime, directory, detector, suspected, _ = rig
+        # Deploy/capability churn: announcements milliseconds apart drive
+        # the EWMA toward zero. One quiet heartbeat period must not read
+        # as hundreds of missed intervals.
+        beat(runtime, directory, "pi-1", 0, 1.0)
+        for i in range(5):
+            beat(runtime, directory, "pi-1", 0, 1.001 + i * 0.001)
+        peer = detector.peers["pi-1"]
+        assert peer.interval_ewma is not None and peer.interval_ewma < 0.01
+        assert detector.phi(peer, runtime.now + EXPECTED_S) < 2.0
+        runtime.run(until=runtime.now + 1.5 * EXPECTED_S)
+        assert peer.state == ALIVE and not suspected
+
+    def test_slower_cadence_raises_the_basis(self, rig):
+        runtime, directory, detector, suspected, _ = rig
+        # A peer announcing every 8 s (4x slower than expected) earns a
+        # proportionally longer grace period.
+        beat(runtime, directory, "pi-1", 0, 1.0)
+        beat(runtime, directory, "pi-1", 0, 9.0)
+        peer = detector.peers["pi-1"]
+        assert peer.interval_ewma == pytest.approx(8.0)
+        runtime.run(until=9.0 + 2.5 * EXPECTED_S)
+        assert peer.state == ALIVE  # 5 s silence, but basis is 8 s
+        assert detector.phi(peer, runtime.now) < 1.0
+
+    def test_membership_departure_forgets_the_peer(self, rig):
+        runtime, directory, detector, _, confirmed = rig
+        beat(runtime, directory, "pi-1", 0, 1.0)
+        directory.leave("pi-1")
+        assert "pi-1" not in detector.peers
+        runtime.run(until=30.0)
+        assert not confirmed  # no re-confirm of a known departure
+
+    def test_excluded_peer_is_never_tracked(self, rig):
+        runtime, directory, detector, _, _ = rig
+        detector.exclude.add("mgmt")
+        beat(runtime, directory, "mgmt", 0, 1.0)
+        assert "mgmt" not in detector.peers
+
+    def test_disconnected_observer_holds_accrual(self):
+        runtime = SimRuntime(seed=11)
+        directory = FakeDirectory()
+        link = {"up": True}
+        confirmed: list[str] = []
+        detector = FailureDetector(
+            runtime.add_node("mgmt"),
+            directory,
+            expected_interval_s=EXPECTED_S,
+            on_confirm=confirmed.append,
+            connected=lambda: link["up"],
+        )
+        beat(runtime, directory, "pi-1", 0, 1.0)
+        # Our own broker session drops: every peer goes silent at once,
+        # which is evidence about us, not them.
+        link["up"] = False
+        runtime.run(until=20.0)
+        assert detector.peers["pi-1"].state == ALIVE and not confirmed
+        # Accrual restarts from the reconnect instant: no instant verdict,
+        # but genuine post-reconnect silence still confirms.
+        link["up"] = True
+        runtime.run(until=runtime.now + 1.5 * EXPECTED_S)
+        assert detector.peers["pi-1"].state == ALIVE
+        runtime.run(until=runtime.now + 3.0 * EXPECTED_S)
+        assert confirmed == ["pi-1"]
+
+    def test_snapshot_renders_per_peer_state(self, rig):
+        runtime, directory, detector, _, _ = rig
+        beat(runtime, directory, "pi-1", 4, 1.0)
+        snap = detector.snapshot()
+        assert snap["pi-1"]["state"] == ALIVE
+        assert snap["pi-1"]["incarnation"] == 4
+        assert snap["pi-1"]["heartbeats"] == 1
+
+
+class TestPlanDegradation:
+    def loads(self):
+        return [
+            AppLoad("video", priority=0, utilization=0.5),
+            AppLoad("audit", priority=1, utilization=0.3),
+            AppLoad("alarm", priority=2, utilization=0.4),
+        ]
+
+    def test_everything_fits_nothing_shed(self):
+        plan = plan_degradation(self.loads(), capacity=2.0)
+        assert plan.shed == () and plan.feasible
+        assert plan.residual == pytest.approx(1.2)
+
+    def test_sheds_lowest_priority_first(self):
+        plan = plan_degradation(self.loads(), capacity=0.75)
+        assert [load.application for load in plan.shed] == ["video"]
+        assert plan.feasible and plan.residual == pytest.approx(0.7)
+
+    def test_priority_ties_break_by_name(self):
+        loads = [
+            AppLoad("bravo", priority=0, utilization=0.4),
+            AppLoad("alpha", priority=0, utilization=0.4),
+            AppLoad("keep", priority=5, utilization=0.4),
+        ]
+        plan = plan_degradation(loads, capacity=0.5)
+        assert [load.application for load in plan.shed] == ["alpha", "bravo"]
+
+    def test_last_application_is_never_shed(self):
+        loads = [AppLoad("only", priority=0, utilization=5.0)]
+        plan = plan_degradation(loads, capacity=1.0)
+        assert plan.shed == ()
+        assert not plan.feasible
+        assert plan.residual == pytest.approx(5.0)
+
+    def test_residual_overcommit_reported_when_infeasible(self):
+        loads = [
+            AppLoad("a", priority=0, utilization=2.0),
+            AppLoad("b", priority=1, utilization=2.0),
+        ]
+        plan = plan_degradation(loads, capacity=1.0)
+        assert [load.application for load in plan.shed] == ["a"]
+        assert not plan.feasible and plan.residual == pytest.approx(2.0)
+
+
+class TestRecoveryReport:
+    def synthetic_trace(self) -> Tracer:
+        tracer = Tracer()
+        tracer.emit(10.0, "chaos", "chaos.fault", kind="node_crash", node="m-d")
+        tracer.emit(13.9, "detector@mgmt", "detector.confirm", module="m-d")
+        tracer.emit(
+            14.0,
+            "mgmt",
+            "mgmt.failover_moved",
+            application="app",
+            subtask="train",
+            from_module="m-d",
+            to_module="m-c",
+        )
+        tracer.emit(
+            20.0,
+            "mgmt",
+            "migrate.start",
+            migration="migration-0",
+            application="app",
+            subtask="train",
+            from_module="m-c",
+            to_module="m-d",
+        )
+        tracer.emit(
+            20.3, "agent@m-c", "migrate.state_sent", migration="migration-0",
+            buffered=2,
+        )
+        tracer.emit(
+            20.4, "agent@m-c", "migrate.released", migration="migration-0",
+            tail=3,
+        )
+        tracer.emit(
+            20.5, "agent@m-d", "migrate.done", migration="migration-0",
+            replayed=4, skipped=1,
+        )
+        tracer.emit(
+            25.0, "mgmt", "mgmt.load_shed", application="batch", priority=0
+        )
+        tracer.emit(
+            25.0, "mgmt", "mgmt.degraded", residual=0.4, capacity=1.5
+        )
+        return tracer
+
+    def test_parses_detection_migration_and_shedding(self):
+        report = recovery_report(self.synthetic_trace())
+        assert [f["kind"] for f in report.faults] == ["node_crash"]
+        (detection,) = report.detections
+        assert detection["signal"] == "detector.confirm"
+        assert detection["latency_s"] == pytest.approx(3.9)
+        (migration,) = report.migrations
+        assert migration["duration_s"] == pytest.approx(0.5)
+        assert migration["snapshot"] == 2
+        assert migration["tail"] == 3
+        assert migration["skipped"] == 1
+        assert [entry["application"] for entry in report.shed] == ["batch"]
+        assert report.degraded[0]["residual"] == pytest.approx(0.4)
+        rendered = report.render()
+        assert "node_crash" in rendered
+        assert "migration-0" in rendered
+        assert "shed batch" in rendered
+
+    def test_undetected_fault_is_reported_as_such(self):
+        tracer = Tracer()
+        tracer.emit(5.0, "chaos", "chaos.fault", kind="partition", stations="a|b")
+        report = recovery_report(tracer)
+        (detection,) = report.detections
+        assert detection["latency_s"] is None
+        assert "never detected" in report.render()
+
+    def test_restart_noticed_via_failback_migration(self):
+        tracer = Tracer()
+        tracer.emit(18.0, "chaos", "chaos.fault", kind="node_restart", node="m-d")
+        tracer.emit(
+            20.1, "mgmt", "migrate.start", migration="migration-0",
+            application="app", subtask="train",
+            from_module="m-c", to_module="m-d",
+        )
+        report = recovery_report(tracer)
+        (detection,) = report.detections
+        assert detection["signal"] == "migrate.start"
+        assert detection["latency_s"] == pytest.approx(2.1)
