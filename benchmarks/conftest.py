@@ -19,6 +19,40 @@ import os
 from pathlib import Path
 
 
+def require_fresh_baseline(name: str) -> None:
+    """Fail loudly when the committed baseline is stale for this machine.
+
+    A ``BENCH_<name>.json`` whose environment fingerprint matches the
+    current host but whose schema version predates the current
+    ``BENCH_SCHEMA_VERSION`` means the baseline was simply never
+    regenerated after a schema bump — silently benchmarking alongside it
+    would let the gate rot. (A differing fingerprint is fine: some other
+    machine's baseline is not ours to regenerate.)
+    """
+    from repro.bench.continuous import (
+        BENCH_SCHEMA_VERSION,
+        environment_fingerprint,
+        load_bench,
+    )
+
+    baseline_dir = Path(__file__).parent / "baselines"
+    try:
+        baseline = load_bench(baseline_dir, name)
+    except FileNotFoundError:
+        return
+    if (
+        baseline.env == environment_fingerprint()
+        and baseline.schema_version < BENCH_SCHEMA_VERSION
+    ):
+        raise RuntimeError(
+            f"stale baseline {baseline_dir / f'BENCH_{name}.json'}: schema "
+            f"v{baseline.schema_version} predates current "
+            f"v{BENCH_SCHEMA_VERSION} and its environment fingerprint "
+            "matches this machine — regenerate it with: "
+            "repro bench --out benchmarks/baselines"
+        )
+
+
 def record_rows(benchmark, rows: dict) -> None:
     """Attach regenerated table rows to the benchmark record.
 
@@ -26,12 +60,13 @@ def record_rows(benchmark, rows: dict) -> None:
     byte-exact ``sim`` half of the exported bench record.
     """
     benchmark.extra_info.update(rows)
+    name = benchmark.name.removeprefix("bench_")
+    require_fresh_baseline(name)
     out = os.environ.get("REPRO_BENCH_OUT", "")
     if not out:
         return
     from repro.bench.continuous import BenchRecord, write_bench
 
-    name = benchmark.name.removeprefix("bench_")
     record = BenchRecord(name=name)
     record.sim = {key: rows[key] for key in sorted(rows)}
     stats = getattr(benchmark, "stats", None)

@@ -326,10 +326,25 @@ def compare_bench(
     """
     comparison = BenchComparison(name=current.name, ok=True)
     if current.schema_version != baseline.schema_version:
-        comparison.failures.append(
-            f"schema_version: baseline {baseline.schema_version}, "
-            f"current {current.schema_version} — regenerate the baseline"
-        )
+        # Loud, direction-specific failure — a stale baseline must never
+        # be skipped over, least of all on the machine it was made on.
+        if baseline.schema_version < current.schema_version:
+            where = (
+                "same environment"
+                if current.env == baseline.env
+                else "different environment"
+            )
+            comparison.failures.append(
+                f"stale baseline ({where}): schema v{baseline.schema_version} "
+                f"predates current v{current.schema_version} — regenerate it "
+                "with: repro bench --out <baseline-dir>"
+            )
+        else:
+            comparison.failures.append(
+                f"baseline schema v{baseline.schema_version} is newer than "
+                f"this checkout's v{current.schema_version} — update the "
+                "checkout before gating"
+            )
         comparison.ok = False
         return comparison
     if canonical_sim_json(current) != canonical_sim_json(baseline):

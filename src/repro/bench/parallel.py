@@ -1,0 +1,152 @@
+"""Parallel multi-seed runner: one worker process per seed, merged deterministically.
+
+The simulations themselves are single-threaded and deterministic, so the
+only safe parallelism is *across* runs: each seed is an independent
+simulation executed in its own worker process, and the merged result is
+a pure function of the (task, spec, seeds) request — byte-identical
+whether it ran serially or on any number of workers.
+
+Two contracts make that safe:
+
+* **Tasks are module-level functions** registered in :data:`PARALLEL_TASKS`
+  under a short name. They take ``(spec, seed)`` and return a JSON-able
+  summary dict. Module-level is not a style preference: worker processes
+  receive the function by pickled reference, so closures and lambdas
+  cannot cross the process boundary.
+* **Merging is keyed by seed.** Results are reassembled in the caller's
+  seed order regardless of worker completion order, and a worker failure
+  (an exception *or* a dead process) is a hard :class:`ParallelRunError`
+  naming the seed — a merged result never silently omits a seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError, IFoTError
+
+__all__ = [
+    "PARALLEL_TASKS",
+    "ParallelRunError",
+    "merge_digest",
+    "run_parallel",
+]
+
+
+class ParallelRunError(IFoTError):
+    """A worker process failed; the merged result would be incomplete."""
+
+
+def _chaos_task(spec: str, seed: int) -> dict[str, Any]:
+    """Run one chaos scenario at one seed; summarize the run."""
+    from repro.chaos import run_scenario
+
+    result = run_scenario(spec, seed=seed)
+    return {
+        "scenario": result.name,
+        "seed": result.seed,
+        "duration_s": result.duration_s,
+        "faults_applied": result.faults_applied,
+        "trace_records": result.trace_records,
+        "trace_digest": result.trace_digest,
+        "invariants_ok": result.report.ok,
+    }
+
+
+def _fig5_task(spec: str, seed: int) -> dict[str, Any]:
+    """Run the Fig. 5 experiment at one seed; summarize the profiled run.
+
+    ``spec`` is the duration in seconds (empty string for the default).
+    """
+    from repro.bench.calibration import pi_cost_model
+    from repro.bench.scenarios import run_fig5_experiment
+    from repro.prof import enable_profiling, profile_digest
+
+    duration_s = float(spec) if spec else 30.0
+    runtime = run_fig5_experiment(
+        seed=seed,
+        duration_s=duration_s,
+        observe=False,
+        prepare=lambda rt: enable_profiling(rt),
+        cost_model=pi_cost_model(),
+    )
+    profiler = runtime.prof
+    assert profiler is not None
+    return {
+        "scenario": "fig5",
+        "seed": seed,
+        "duration_s": duration_s,
+        "trace_records": len(runtime.tracer),
+        "events_executed": profiler.events_profiled,
+        "profile_digest": profile_digest(profiler),
+        "wlan_utilization": round(profiler.wlan_utilization(), 9),
+    }
+
+
+#: name -> module-level task function ``(spec, seed) -> summary dict``.
+PARALLEL_TASKS: dict[str, Callable[[str, int], dict[str, Any]]] = {
+    "chaos": _chaos_task,
+    "fig5": _fig5_task,
+}
+
+
+def run_parallel(
+    task: str,
+    spec: str,
+    seeds: Sequence[int],
+    workers: int = 1,
+) -> list[dict[str, Any]]:
+    """Run ``task`` once per seed and merge the results keyed by seed.
+
+    ``workers <= 1`` runs serially in-process (the reference execution);
+    otherwise seeds are distributed over a pool of worker processes. The
+    returned list follows the caller's seed order exactly, so serial and
+    parallel runs of the same request are byte-identical.
+
+    Raises :class:`ParallelRunError` if any worker raises or dies — the
+    merged list never silently drops a seed.
+    """
+    try:
+        fn = PARALLEL_TASKS[task]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown parallel task {task!r} (known: {sorted(PARALLEL_TASKS)})"
+        ) from None
+    seeds = list(seeds)
+    if len(set(seeds)) != len(seeds):
+        raise ConfigurationError(f"duplicate seeds in {seeds!r}")
+    if workers <= 1:
+        return [fn(spec, seed) for seed in seeds]
+    results: dict[int, dict[str, Any]] = {}
+    with ProcessPoolExecutor(max_workers=min(workers, len(seeds) or 1)) as pool:
+        futures = {seed: pool.submit(fn, spec, seed) for seed in seeds}
+        wait(futures.values(), return_when=FIRST_EXCEPTION)
+        for seed, future in futures.items():
+            try:
+                results[seed] = future.result()
+            except BrokenProcessPool as exc:
+                raise ParallelRunError(
+                    f"worker process for seed {seed} died: {exc}"
+                ) from exc
+            except Exception as exc:
+                raise ParallelRunError(
+                    f"task {task!r} failed for seed {seed}: {exc}"
+                ) from exc
+    missing = [seed for seed in seeds if seed not in results]
+    if missing:  # pragma: no cover - futures either resolve or raise above
+        raise ParallelRunError(f"no result for seeds {missing!r}")
+    return [results[seed] for seed in seeds]
+
+
+def merge_digest(results: list[dict[str, Any]]) -> str:
+    """Canonical digest of a merged multi-seed result list.
+
+    Serial and parallel runs of the same request produce the same digest;
+    tests and the CLI use it as the one-line equality check.
+    """
+    canonical = json.dumps(results, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

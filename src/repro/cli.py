@@ -154,6 +154,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(f"{name:<{width}}  {SCENARIOS[name].description}")
         return 0
     names = [args.scenario] if args.scenario else sorted(SCENARIOS)
+    if args.seeds:
+        return _chaos_multi_seed(names, args)
     all_ok = True
     for name in names:
         result = run_scenario(name, seed=args.seed, profile=args.profile)
@@ -181,6 +183,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             for line in recovery_report(result.tracer).render().splitlines():
                 print(f"  {line}")
         print()
+    return 0 if all_ok else 1
+
+
+def _chaos_multi_seed(names: list[str], args: argparse.Namespace) -> int:
+    """Fan one or more scenarios out over a seed sweep (one process per seed)."""
+    from repro.bench.parallel import merge_digest, run_parallel
+
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    all_ok = True
+    for name in names:
+        rows = run_parallel("chaos", name, seeds, workers=args.workers)
+        print(
+            f"scenario {name}: {len(rows)} seeds on "
+            f"{max(1, args.workers)} worker(s)"
+        )
+        for row in rows:
+            ok = bool(row["invariants_ok"])
+            all_ok = all_ok and ok
+            print(
+                f"  seed {row['seed']}: {row['trace_records']} trace records, "
+                f"{row['faults_applied']} faults, "
+                f"digest {row['trace_digest'][:16]}, "
+                f"{'OK' if ok else 'FAIL'}"
+            )
+        print(f"  merged digest: {merge_digest(rows)[:16]}")
     return 0 if all_ok else 1
 
 
@@ -560,6 +587,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list scenarios and exit"
     )
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--seeds",
+        default="",
+        help="comma-separated seed sweep: run each seed in its own worker "
+        "process and merge deterministically (ignores --seed/--profile)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for --seeds (default: 1 = serial reference)",
+    )
     chaos.add_argument(
         "--profile",
         action="store_true",

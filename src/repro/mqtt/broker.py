@@ -17,7 +17,7 @@ from typing import Any
 
 from repro.net.address import Address
 from repro.mqtt.packets import Packet, PacketType
-from repro.mqtt.topics import TopicTree, validate_topic
+from repro.mqtt.topics import TopicTree, topic_matches, validate_topic
 from repro.obs.context import FlowContext
 from repro.runtime.base import TimerHandle
 from repro.runtime.component import Component
@@ -108,7 +108,22 @@ class Broker(Component):
         self._sessions: dict[str, _Session] = {}
         self._address_index: dict[Address, str] = {}
         self._subscriptions: TopicTree[str] = TopicTree()  # filter -> client ids
+        # Fan-out resolution cache: topic -> deduped [(client_id, sub_qos)]
+        # in trie traversal order, exactly what the per-publish matching
+        # pass would compute. Invalidated whole on any subscription change
+        # (subscribe, unsubscribe, session drop) — publishes vastly
+        # outnumber those, so one matching pass serves a whole run.
+        self._resolution: dict[str, list[tuple[str, int]]] = {}
         self._retained: dict[str, _Retained] = {}
+        self._handlers = {
+            PacketType.CONNECT: self._on_connect,
+            PacketType.PUBLISH: self._on_publish,
+            PacketType.PUBACK: self._on_puback,
+            PacketType.SUBSCRIBE: self._on_subscribe,
+            PacketType.UNSUBSCRIBE: self._on_unsubscribe,
+            PacketType.PINGREQ: self._on_pingreq,
+            PacketType.DISCONNECT: self._on_disconnect,
+        }
         # Sanitizer tags (repro.runtime.state): the broker's shared stores
         # are native containers; these cells record read/write order at the
         # access choke points so the schedule sanitizer can detect
@@ -164,15 +179,7 @@ class Broker(Component):
 
     def _handle(self, source: Address, packet: Packet) -> None:
         session = self._touch(source)
-        handler = {
-            PacketType.CONNECT: self._on_connect,
-            PacketType.PUBLISH: self._on_publish,
-            PacketType.PUBACK: self._on_puback,
-            PacketType.SUBSCRIBE: self._on_subscribe,
-            PacketType.UNSUBSCRIBE: self._on_unsubscribe,
-            PacketType.PINGREQ: self._on_pingreq,
-            PacketType.DISCONNECT: self._on_disconnect,
-        }.get(packet.type)
+        handler = self._handlers.get(packet.type)
         if handler is None:
             self.trace("mqtt.broker.unexpected", type=packet.type.value)
             return
@@ -285,6 +292,7 @@ class Broker(Component):
         if session is None:
             return  # not connected; MQTT closes the socket, we drop
         self._subscriptions_cell.note_write()
+        self._resolution.clear()
         if session.cell is not None:
             session.cell.note_write()
         granted: list[int] = []
@@ -311,6 +319,7 @@ class Broker(Component):
         if session is None:
             return
         self._subscriptions_cell.note_write()
+        self._resolution.clear()
         if session.cell is not None:
             session.cell.note_write()
         for topic_filter in packet["filters"]:
@@ -325,8 +334,6 @@ class Broker(Component):
         self._send(source, Packet.unsuback(packet["packet_id"]))
 
     def _deliver_retained(self, session: _Session, topic_filter: str) -> None:
-        from repro.mqtt.topics import topic_matches
-
         sub_qos = session.subscriptions.get(topic_filter)
         if sub_qos is None:
             return
@@ -382,27 +389,44 @@ class Broker(Component):
         # One delivery per client even with overlapping subscriptions (the
         # client side then dispatches to every matching local callback).
         self._subscriptions_cell.note_read()
-        seen: set[str] = set()
-        for client_id in self._subscriptions.match(topic):
-            if client_id in seen:
-                continue
-            seen.add(client_id)
+        entries = self._resolution.get(topic)
+        if entries is None:
+            entries = self._resolve(topic)
+            self._resolution[topic] = entries
+        for client_id, sub_qos in entries:
             subscriber = self._sessions.get(client_id)
             if subscriber is None or not subscriber.connected:
                 continue
             if subscriber.cell is not None:
                 subscriber.cell.note_read()
-            sub_qos = max(
-                (
-                    q
-                    for f, q in subscriber.subscriptions.items()
-                    if _filter_matches(f, topic)
-                ),
-                default=0,
-            )
             self._forward(
                 subscriber, topic, payload, min(qos, sub_qos), headers, retain=False
             )
+
+    def _resolve(self, topic: str) -> list[tuple[str, int]]:
+        """One matching pass: deduped subscribers of ``topic`` with their
+        effective (max over matching filters) subscription QoS, in trie
+        traversal order — byte-for-byte the per-publish computation the
+        cache replaces."""
+        entries: list[tuple[str, int]] = []
+        seen: set[str] = set()
+        for client_id in self._subscriptions.match(topic):
+            if client_id in seen:
+                continue
+            seen.add(client_id)
+            session = self._sessions.get(client_id)
+            sub_qos = 0
+            if session is not None:
+                sub_qos = max(
+                    (
+                        q
+                        for f, q in session.subscriptions.items()
+                        if topic_matches(f, topic)
+                    ),
+                    default=0,
+                )
+            entries.append((client_id, sub_qos))
+        return entries
 
     def _forward(
         self,
@@ -607,6 +631,7 @@ class Broker(Component):
 
     def _drop_subscriptions(self, session: _Session) -> None:
         self._subscriptions_cell.note_write()
+        self._resolution.clear()
         for topic_filter in session.subscriptions:
             self._subscriptions.remove(topic_filter, session.client_id)
         session.subscriptions.clear()
@@ -615,9 +640,3 @@ class Broker(Component):
         for session in list(self._sessions.values()):
             self._cancel_inflight(session, reason="broker_stop")
         self.node.unbind(BROKER_SERVICE)
-
-
-def _filter_matches(topic_filter: str, topic: str) -> bool:
-    from repro.mqtt.topics import topic_matches
-
-    return topic_matches(topic_filter, topic)

@@ -10,13 +10,41 @@ charged to the network model, so timing behaviour is faithful.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ProtocolError
 from repro.util.serialization import decode_payload, encode_payload
 
-__all__ = ["PacketType", "Packet"]
+__all__ = ["PacketType", "Packet", "wire_fastpath_default"]
+
+
+def wire_fastpath_default() -> bool:
+    """Whether encoded wire bytes carry their packet for decode bypass.
+
+    ``REPRO_WIRE_FASTPATH=0`` disables it for differential testing.
+    """
+    return os.environ.get("REPRO_WIRE_FASTPATH", "1") != "0"
+
+
+#: Module-level switch read on every encode/decode so tests can flip it.
+WIRE_FASTPATH = wire_fastpath_default()
+
+
+class _Wire(bytes):
+    """Wire bytes that remember the :class:`Packet` they encode.
+
+    Byte-for-byte identical to a plain ``bytes`` payload — same length,
+    hash, equality, slicing — so every airtime/cost computation is
+    unchanged. :meth:`Packet.decode` recognizes the exact type and returns
+    the remembered packet, skipping the JSON round trip. Safe because
+    packets are frozen, the network layer never mutates or reslices
+    payload bytes (frames are dropped whole), and every receiver copies
+    field contents it mutates.
+    """
+
+    _packet: "Packet"
 
 
 class PacketType(str, enum.Enum):
@@ -65,11 +93,18 @@ class Packet:
         """Serialize to wire bytes."""
         body = dict(self.fields)
         body["_t"] = self.type.value
-        return encode_payload(body)
+        data = encode_payload(body)
+        if WIRE_FASTPATH:
+            wire = _Wire(data)
+            wire._packet = self
+            return wire
+        return data
 
     @classmethod
     def decode(cls, data: bytes) -> "Packet":
         """Parse wire bytes; raises ProtocolError on malformed packets."""
+        if type(data) is _Wire:
+            return data._packet
         body = decode_payload(data)
         if not isinstance(body, dict) or "_t" not in body:
             raise ProtocolError(f"not an MQTT packet: {body!r}")

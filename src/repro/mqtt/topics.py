@@ -12,6 +12,11 @@ Semantics follow the MQTT 3.1.1 specification:
 :class:`TopicTree` stores values under filters in a trie and answers
 "which values match this topic name" in time proportional to the topic
 depth times the branching, independent of total subscription count.
+
+The validators and :func:`topic_matches` are on the publish hot path
+(every broker fan-out re-validates), so successful results are memoized
+in small bounded caches. Only *valid* strings are cached — error paths
+always re-run the full check so messages stay exact.
 """
 
 from __future__ import annotations
@@ -26,6 +31,15 @@ __all__ = ["validate_topic", "validate_filter", "topic_matches", "TopicTree"]
 
 _WILDCARDS = ("+", "#")
 
+#: Bound on each memo cache; topics in a deployment are a small closed set,
+#: so in practice these never fill. Caches stop admitting (rather than
+#: evict) at the cap — correctness never depends on a hit.
+_CACHE_CAP = 4096
+
+_valid_topics: set[str] = set()
+_valid_filters: set[str] = set()
+_match_cache: dict[tuple[str, str], bool] = {}
+
 
 def _split(topic: str) -> list[str]:
     if not topic:
@@ -37,17 +51,23 @@ def _split(topic: str) -> list[str]:
 
 def validate_topic(topic: str) -> str:
     """Validate a publishable topic name; returns it unchanged."""
+    if topic in _valid_topics:
+        return topic
     for level in _split(topic):
         for wildcard in _WILDCARDS:
             if wildcard in level:
                 raise TopicError(
                     f"wildcard {wildcard!r} not allowed in topic name {topic!r}"
                 )
+    if len(_valid_topics) < _CACHE_CAP:
+        _valid_topics.add(topic)
     return topic
 
 
 def validate_filter(topic_filter: str) -> str:
     """Validate a subscription filter; returns it unchanged."""
+    if topic_filter in _valid_filters:
+        return topic_filter
     levels = _split(topic_filter)
     for i, level in enumerate(levels):
         if level == "#":
@@ -59,6 +79,8 @@ def validate_filter(topic_filter: str) -> str:
             raise TopicError(
                 f"wildcard must occupy a whole level in {topic_filter!r}"
             )
+    if len(_valid_filters) < _CACHE_CAP:
+        _valid_filters.add(topic_filter)
     return topic_filter
 
 
@@ -72,10 +94,19 @@ def topic_matches(topic_filter: str, topic: str) -> bool:
     >>> topic_matches("sensor/+", "sensor/a/b")
     False
     """
+    key = (topic_filter, topic)
+    cached = _match_cache.get(key)
+    if cached is not None:
+        return cached
     validate_filter(topic_filter)
     validate_topic(topic)
-    filter_levels = topic_filter.split("/")
-    topic_levels = topic.split("/")
+    result = _matches(topic_filter.split("/"), topic.split("/"))
+    if len(_match_cache) < _CACHE_CAP:
+        _match_cache[key] = result
+    return result
+
+
+def _matches(filter_levels: list[str], topic_levels: list[str]) -> bool:
     for i, flevel in enumerate(filter_levels):
         if flevel == "#":
             return True
@@ -85,9 +116,7 @@ def topic_matches(topic_filter: str, topic: str) -> bool:
             continue
         if flevel != topic_levels[i]:
             return False
-    if len(topic_levels) > len(filter_levels):
-        return False
-    return True
+    return len(topic_levels) <= len(filter_levels)
 
 
 class _TrieNode(Generic[T]):

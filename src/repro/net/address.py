@@ -41,4 +41,11 @@ class Address:
         return cls(head, tail)
 
     def __str__(self) -> str:
-        return f"{self.station}/{self.service}"
+        # Memoized: trace emission stringifies the same endpoints for
+        # every frame. Not a dataclass field, so eq/hash/order see only
+        # (station, service).
+        text = self.__dict__.get("_text")
+        if text is None:
+            text = f"{self.station}/{self.service}"
+            object.__setattr__(self, "_text", text)
+        return text

@@ -35,6 +35,7 @@ class NetworkInterface:
         self._medium = medium
         self.station = station
         self._receivers: dict[str, Receiver] = {}
+        self._source_addresses: dict[str, Address] = {}
         self._next_frame_id = 0
         self.frames_sent = 0
         self.frames_received = 0
@@ -56,8 +57,12 @@ class NetworkInterface:
         self, source_service: str, destination: Address, payload: bytes
     ) -> None:
         """Transmit ``payload`` to ``destination`` (fire-and-forget)."""
+        source = self._source_addresses.get(source_service)
+        if source is None:
+            source = Address(self.station, source_service)
+            self._source_addresses[source_service] = source
         frame = Frame(
-            source=Address(self.station, source_service),
+            source=source,
             destination=destination,
             payload=payload,
             frame_id=self._next_frame_id,

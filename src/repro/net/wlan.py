@@ -55,9 +55,11 @@ __all__ = ["WlanConfig", "WlanMedium", "GilbertElliottConfig"]
 
 
 class _NoRuntime:
-    """Stand-in runtime for standalone media (sanitizer permanently off)."""
+    """Stand-in runtime for standalone media (sanitizer and profiler
+    permanently off)."""
 
     san: Any = None
+    prof: Any = None
 
 
 _NO_RUNTIME = _NoRuntime()
@@ -330,9 +332,11 @@ class WlanMedium(Medium):
     def _transmit_now(self, frame: Frame) -> None:
         """Occupy the channel with ``frame`` and schedule its delivery."""
         now = self._kernel.now
-        degradations = [
-            d for d in self._active_degradations(now) if d.matches(frame)
-        ]
+        degradations: list[_Degradation] = []
+        if self._degradations:
+            degradations = [
+                d for d in self._active_degradations(now) if d.matches(frame)
+            ]
         bitrate_factor = 1.0
         for degradation in degradations:
             bitrate_factor = min(bitrate_factor, degradation.bitrate_factor)
@@ -348,7 +352,8 @@ class WlanMedium(Medium):
         self._channel_free_at = finish
         self.frames_transmitted += 1
         self.total_airtime += airtime
-        prof = getattr(self._owner_runtime, "prof", None)
+        runtime = self._owner_runtime
+        prof = None if runtime is None else runtime.prof
         if prof is not None:
             prof.on_airtime(frame.source.station, start, airtime)
         delivery_time = finish + self.config.propagation_delay_s

@@ -22,6 +22,7 @@ either. Three design points make that hold:
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.obs.metrics import metric_key
@@ -48,19 +49,37 @@ class BusyIntegrator:
     grants arrive in virtual-time order). They may overlap (k-server
     CPUs, queued airtime grants), so window queries sum *overlap* — for
     a single-server resource the result can never exceed the window.
+
+    Storage is three parallel arrays — starts, ends, and a running
+    maximum of ends — so a window query bisects to the first interval
+    that can overlap and to the first that starts past the window,
+    scanning only the slice between.  The scanned intervals, their
+    summation order, and the ``overlap > 0`` guard are exactly those of
+    the naive full scan, so results are bit-identical to it (profile
+    digests depend on that).
     """
 
-    __slots__ = ("_intervals", "_total")
+    __slots__ = ("_starts", "_ends", "_maxends", "_total")
 
     def __init__(self) -> None:
-        self._intervals: list[tuple[float, float]] = []  # (start, end)
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        #: ``_maxends[i] == max(_ends[:i+1])`` — nondecreasing, bisectable.
+        self._maxends: list[float] = []
         self._total = 0.0
 
     def add(self, start: float, duration: float) -> None:
         """Record a grant of ``duration`` seconds beginning at ``start``."""
         if duration <= 0.0:
             return
-        self._intervals.append((start, start + duration))
+        end = start + duration
+        maxends = self._maxends
+        self._starts.append(start)
+        self._ends.append(end)
+        if maxends and maxends[-1] > end:
+            maxends.append(maxends[-1])
+        else:
+            maxends.append(end)
         self._total += duration
 
     @property
@@ -70,17 +89,26 @@ class BusyIntegrator:
 
     @property
     def grants(self) -> int:
-        return len(self._intervals)
+        return len(self._starts)
 
     def busy_between(self, a: float, b: float) -> float:
         """Aggregate busy seconds inside the window ``[a, b]``."""
         if b <= a:
             return 0.0
+        starts = self._starts
+        # Everything from the first ``start >= b`` onward is irrelevant
+        # (starts are nondecreasing); everything before the first running
+        # max-of-ends ``> a`` has ``end <= a`` and contributes 0.
+        hi = bisect_left(starts, b)
+        if hi == 0:
+            return 0.0
+        lo = bisect_right(self._maxends, a, 0, hi)
         busy = 0.0
-        for start, end in self._intervals:
-            if start >= b:
-                break  # starts are nondecreasing: nothing later overlaps
-            overlap = min(end, b) - max(start, a)
+        ends = self._ends
+        for i in range(lo, hi):
+            start = starts[i]
+            end = ends[i]
+            overlap = (end if end < b else b) - (start if start > a else a)
             if overlap > 0.0:
                 busy += overlap
         return busy
@@ -133,12 +161,20 @@ class Profiler:
     # CPU hooks (repro.sim.resources)
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _node_of(resource_name: str) -> str:
+    #: Resource-name -> node-name memo (a handful of distinct names,
+    #: queried on every CPU grant). Shared: the mapping is pure.
+    _node_names: dict[str, str] = {}
+
+    @classmethod
+    def _node_of(cls, resource_name: str) -> str:
         """``module-e.cpu`` -> ``module-e`` (bare names pass through)."""
-        if resource_name.endswith(".cpu"):
-            return resource_name[: -len(".cpu")]
-        return resource_name
+        node = cls._node_names.get(resource_name)
+        if node is None:
+            node = resource_name
+            if resource_name.endswith(".cpu"):
+                node = resource_name[: -len(".cpu")]
+            cls._node_names[resource_name] = node
+        return node
 
     def on_cpu_start(self, resource_name: str, label: str, service_s: float) -> None:
         """One job entered service on a CPU for ``service_s`` seconds."""
@@ -174,6 +210,12 @@ class Profiler:
     # ------------------------------------------------------------------
     # KernelMonitor protocol (handler brackets)
     # ------------------------------------------------------------------
+
+    #: The profiler only acts on ``event_begin``; declaring the other two
+    #: hooks uninteresting lets the kernel skip their dispatch entirely.
+    wants_scheduled = False
+    wants_begin = True
+    wants_end = False
 
     def event_scheduled(
         self, handle: EventHandle, parent: EventHandle | None

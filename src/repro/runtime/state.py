@@ -60,12 +60,16 @@ class StateCell:
 
     @property
     def value(self) -> Any:
-        self.note_read()
+        san = self._runtime.san
+        if san is not None:
+            san.on_access(self, "read")
         return self._value
 
     @value.setter
     def value(self, new: Any) -> None:
-        self.note_write()
+        san = self._runtime.san
+        if san is not None:
+            san.on_access(self, "write")
         self._value = new
 
     def peek(self) -> Any:

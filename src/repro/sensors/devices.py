@@ -35,19 +35,47 @@ class FixedPayloadModel(SensorModel):
     def __init__(self, values: int = 3, label_period_s: float = 2.0) -> None:
         self.values = require_positive(values, "values")
         self.label_period_s = require_positive(label_period_s, "label_period_s")
+        # Hot path: per-channel keys and periods are invariant, so compute
+        # them once here instead of re-deriving f-strings and products on
+        # every sample. Same float expressions as before — readings are
+        # bit-identical.
+        self._channels: tuple[tuple[str, float], ...] = tuple(
+            (f"v{i}", self.label_period_s * (i + 1)) for i in range(self.values)
+        )
+        self._half_period = self.label_period_s / 2
 
     def sample(self, t: float, rng: random.Random) -> dict[str, Any]:
         reading: dict[str, Any] = {}
-        for i in range(self.values):
-            reading[f"v{i}"] = round(
-                sine_wave(t, period=self.label_period_s * (i + 1), amplitude=1.0)
-                + rng.gauss(0.0, 0.05),
+        gauss = rng.gauss
+        for key, period in self._channels:
+            reading[key] = round(
+                sine_wave(t, period=period, amplitude=1.0) + gauss(0.0, 0.05),
                 4,
             )
         # Ground-truth phase label so the experiment's Train class learns a
         # non-degenerate concept (which half-period we are in).
-        reading["label"] = "hi" if (t % self.label_period_s) < self.label_period_s / 2 else "lo"
+        reading["label"] = "hi" if (t % self.label_period_s) < self._half_period else "lo"
         return reading
+
+    def sample_batch(
+        self, t0: float, dt: float, n: int, rng: random.Random
+    ) -> list[dict[str, Any]]:
+        channels = self._channels
+        period_s = self.label_period_s
+        half = self._half_period
+        gauss = rng.gauss
+        out: list[dict[str, Any]] = []
+        for i in range(n):
+            t = t0 + i * dt
+            reading: dict[str, Any] = {}
+            for key, period in channels:
+                reading[key] = round(
+                    sine_wave(t, period=period, amplitude=1.0) + gauss(0.0, 0.05),
+                    4,
+                )
+            reading["label"] = "hi" if (t % period_s) < half else "lo"
+            out.append(reading)
+        return out
 
 
 class AccelerometerModel(SensorModel):

@@ -36,15 +36,37 @@ is not in the heap before then.
 
 Cancellation is lazy: handles are flagged and skipped when popped, the
 standard heapq idiom.
+
+Hot-path layout
+---------------
+The heap stores ``(time, tiebreak, seq, handle)`` tuples rather than bare
+handles: tuple comparison runs entirely in C and, because ``seq`` is
+unique, never falls through to comparing handles.  ``EventHandle.__lt__``
+is kept only for explicit ``sort_key`` comparisons in tests.
+
+Event pooling
+-------------
+Fired (and popped-cancelled) handles can be *recycled* through a free
+list, eliminating the dominant allocation in the simulation hot path.
+Recycling a handle that user code still references would be unsound: a
+later ``cancel()`` through the stale reference would cancel an unrelated
+event.  The pool therefore only accepts a handle when
+``sys.getrefcount`` proves the releasing call-chain holds the *only*
+remaining references — any handle retained by a timer list, an in-flight
+retry, or a test harness stays un-pooled forever.  That check is exact on
+CPython; on other implementations pooling is disabled entirely.
+``REPRO_EVENT_POOL=0`` force-disables it for differential testing.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import random
+import sys
 from typing import Any, Callable
 
-__all__ = ["EventHandle", "EventQueue"]
+__all__ = ["EventHandle", "EventQueue", "pooling_default"]
 
 #: Tiebreak base reserved for *epilogue* events: an epilogue's tiebreak is
 #: ``_EPILOGUE_BASE + priority``, so every epilogue sorts after every
@@ -52,6 +74,50 @@ __all__ = ["EventHandle", "EventQueue"]
 #: under perturbation included, and epilogues of different priority sort
 #: among themselves by priority. See :meth:`EventQueue.push`.
 _EPILOGUE_BASE = 2.0
+
+#: Upper bound on pooled handles per queue; beyond this, released handles
+#: are simply dropped (the pool is a cache, not an arena).
+_POOL_CAP = 4096
+
+class _ReleaseProbe:
+    """Measures ``sys.getrefcount`` for the exact release call shape.
+
+    The safety check in :meth:`EventQueue.release` compares against the
+    refcount a handle has when the releasing call-chain (caller local →
+    method argument → ``getrefcount`` argument) holds the *only*
+    references.  That baseline depends on CPython's calling convention,
+    which has shifted between minor versions, so it is probed at import
+    with an identical call shape rather than hard-coded.  Any external
+    holder can only *raise* the count, so an equality check against the
+    probed baseline errs on the side of never recycling.
+    """
+
+    __slots__ = ()
+
+    def release(self, handle: Any) -> int:
+        return sys.getrefcount(handle)
+
+
+def _probe_release_refs() -> int:
+    probe = _ReleaseProbe()
+    handle = object()
+    return probe.release(handle)
+
+
+#: ``sys.getrefcount`` at the release site when the releasing chain holds
+#: the only references (probed; 3 on CPython 3.10–3.12).
+_RELEASE_REFS = _probe_release_refs()
+
+
+def pooling_default() -> bool:
+    """Whether new queues pool event handles by default.
+
+    True only on CPython (the refcount safety check is exact there) and
+    when ``REPRO_EVENT_POOL`` is not ``0``.
+    """
+    if sys.implementation.name != "cpython":
+        return False
+    return os.environ.get("REPRO_EVENT_POOL", "1") != "0"
 
 
 class EventHandle:
@@ -112,18 +178,35 @@ def _noop(*_args: Any) -> None:
 
 
 class EventQueue:
-    """Min-heap of :class:`EventHandle` with deterministic ordering.
+    """Min-heap of scheduled events with deterministic ordering.
 
-    See the module docstring for the ordering contract.
+    See the module docstring for the ordering contract and the heap-entry
+    layout. ``pool=None`` picks the platform default (see
+    :func:`pooling_default`).
     """
 
-    def __init__(self) -> None:
-        self._heap: list[EventHandle] = []
+    __slots__ = ("_heap", "_seq", "_perturb", "_pool", "_pooling")
+
+    def __init__(self, pool: bool | None = None) -> None:
+        #: Heap of ``(time, tiebreak, seq, handle)`` entries.
+        self._heap: list[tuple[float, float, int, EventHandle]] = []
         self._seq = 0
         self._perturb: random.Random | None = None
+        self._pool: list[EventHandle] = []
+        self._pooling = pooling_default() if pool is None else bool(pool)
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    @property
+    def pooling(self) -> bool:
+        """Whether fired handles are recycled through the free list."""
+        return self._pooling
+
+    @property
+    def pooled(self) -> int:
+        """Number of handles currently parked in the free list."""
+        return len(self._pool)
 
     def set_perturbation(self, rng: random.Random | None) -> None:
         """Install (or, with ``None``, remove) equal-timestamp perturbation.
@@ -168,26 +251,55 @@ class EventQueue:
             tiebreak = 0.0
         else:
             tiebreak = self._perturb.random()
-        handle = EventHandle(time, self._seq, callback, args, tiebreak=tiebreak)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.tiebreak = tiebreak
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+        else:
+            handle = EventHandle(time, seq, callback, args, tiebreak=tiebreak)
+        heapq.heappush(self._heap, (time, tiebreak, seq, handle))
         return handle
+
+    def release(self, handle: EventHandle) -> None:
+        """Offer a fired (or popped-cancelled) handle back to the pool.
+
+        Only the kernel calls this, immediately after executing (or
+        discarding) a popped event.  The handle is recycled only when the
+        refcount proves no one else holds it — see the module docstring.
+        """
+        if (
+            self._pooling
+            and len(self._pool) < _POOL_CAP
+            and sys.getrefcount(handle) == _RELEASE_REFS
+        ):
+            handle.callback = _noop
+            handle.args = ()
+            self._pool.append(handle)
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or None if the queue is drained."""
         self._discard_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def pop(self) -> EventHandle | None:
         """Pop the next live event, or None if none remain."""
         self._discard_cancelled()
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)
+        return heapq.heappop(self._heap)[3]
 
     def _discard_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            handle = heapq.heappop(heap)[3]
+            self.release(handle)
 
     def clear(self) -> None:
         self._heap.clear()

@@ -4,11 +4,24 @@ The kernel is single-threaded and deterministic. Time only advances inside
 :meth:`SimKernel.run` / :meth:`SimKernel.step`, by jumping to the timestamp of
 the next scheduled event. All higher layers (network medium, CPU resources,
 MQTT broker, middleware classes) are plain callbacks scheduled here.
+
+Hot path
+--------
+``run`` drives an inlined pop/fire loop over the queue's tuple heap rather
+than calling :meth:`step` per event, and fired handles are offered back to
+the queue's free-list pool (see :mod:`repro.sim.events`).  Monitor hooks
+follow the one-attribute-load gate pattern used throughout the runtime
+(``repro.runtime.state``): the ``monitor`` setter caches one bound method
+per hook (or ``None``), so a detached monitor costs nothing and a monitor
+that declares a hook uninteresting (``wants_scheduled`` /
+``wants_begin`` / ``wants_end`` = False) skips that hook's call entirely —
+the profiler, for example, only pays for ``event_begin``.
 """
 
 from __future__ import annotations
 
 import random
+from heapq import heappop
 from typing import Any, Callable, Protocol
 
 from repro.errors import ClockError
@@ -27,6 +40,11 @@ class KernelMonitor(Protocol):
     accesses can be attributed to the running event.  ``kernel.monitor``
     is ``None`` in normal operation and every hook site guards on that, so
     the monitoring cost when disabled is one attribute load per event.
+
+    A monitor may additionally expose boolean attributes
+    ``wants_scheduled`` / ``wants_begin`` / ``wants_end`` (default: True)
+    to declare a hook it never acts on; the kernel then skips that hook's
+    dispatch entirely.
     """
 
     def event_scheduled(
@@ -45,27 +63,54 @@ class CompositeMonitor:
     schedule at once (the sanitizer and the profiler), they are chained
     through one of these. Children are invoked in attachment order for
     ``event_scheduled``/``event_begin`` and in reverse order for
-    ``event_end``, so brackets nest.
+    ``event_end``, so brackets nest.  Children that declare a hook
+    uninteresting via ``wants_*`` are left out of that hook's dispatch
+    list, and the composite's own ``wants_*`` flags reflect whether any
+    child remains — so hook skipping composes through the chain.
     """
 
-    __slots__ = ("monitors",)
+    __slots__ = (
+        "monitors",
+        "_scheduled",
+        "_begin",
+        "_end",
+        "wants_scheduled",
+        "wants_begin",
+        "wants_end",
+    )
 
     def __init__(self, monitors: tuple[KernelMonitor, ...]) -> None:
         self.monitors = monitors
+        self._scheduled = tuple(
+            m.event_scheduled
+            for m in monitors
+            if getattr(m, "wants_scheduled", True)
+        )
+        self._begin = tuple(
+            m.event_begin for m in monitors if getattr(m, "wants_begin", True)
+        )
+        self._end = tuple(
+            m.event_end
+            for m in reversed(monitors)
+            if getattr(m, "wants_end", True)
+        )
+        self.wants_scheduled = bool(self._scheduled)
+        self.wants_begin = bool(self._begin)
+        self.wants_end = bool(self._end)
 
     def event_scheduled(
         self, handle: EventHandle, parent: EventHandle | None
     ) -> None:
-        for monitor in self.monitors:
-            monitor.event_scheduled(handle, parent)
+        for hook in self._scheduled:
+            hook(handle, parent)
 
     def event_begin(self, handle: EventHandle) -> None:
-        for monitor in self.monitors:
-            monitor.event_begin(handle)
+        for hook in self._begin:
+            hook(handle)
 
     def event_end(self, handle: EventHandle) -> None:
-        for monitor in reversed(self.monitors):
-            monitor.event_end(handle)
+        for hook in self._end:
+            hook(handle)
 
 
 class SimKernel:
@@ -80,13 +125,16 @@ class SimKernel:
     (['b', 'a'], 5.0)
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, pool: bool | None = None) -> None:
         self._now = float(start_time)
-        self._queue = EventQueue()
+        self._queue = EventQueue(pool=pool)
         self._running = False
         self._events_processed = 0
-        #: Optional :class:`KernelMonitor`; ``None`` disables all hooks.
-        self.monitor: KernelMonitor | None = None
+        self._monitor: KernelMonitor | None = None
+        #: Cached bound hooks (None when detached or uninterested).
+        self._hook_scheduled: Callable[..., None] | None = None
+        self._hook_begin: Callable[..., None] | None = None
+        self._hook_end: Callable[..., None] | None = None
         self._current: EventHandle | None = None
 
     # ------------------------------------------------------------------
@@ -112,6 +160,35 @@ class SimKernel:
     def current_event(self) -> EventHandle | None:
         """The event whose handler is executing right now, if any."""
         return self._current
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+
+    @property
+    def monitor(self) -> KernelMonitor | None:
+        """The attached :class:`KernelMonitor`; ``None`` disables all hooks."""
+        return self._monitor
+
+    @monitor.setter
+    def monitor(self, monitor: KernelMonitor | None) -> None:
+        self._monitor = monitor
+        if monitor is None:
+            self._hook_scheduled = None
+            self._hook_begin = None
+            self._hook_end = None
+            return
+        self._hook_scheduled = (
+            monitor.event_scheduled
+            if getattr(monitor, "wants_scheduled", True)
+            else None
+        )
+        self._hook_begin = (
+            monitor.event_begin if getattr(monitor, "wants_begin", True) else None
+        )
+        self._hook_end = (
+            monitor.event_end if getattr(monitor, "wants_end", True) else None
+        )
 
     # ------------------------------------------------------------------
     # Schedule perturbation (see repro.san)
@@ -147,7 +224,11 @@ class SimKernel:
         """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ClockError(f"cannot schedule in the past (delay={delay})")
-        return self._push(self._now + delay, callback, args)
+        handle = self._queue.push(self._now + delay, callback, args)
+        hook = self._hook_scheduled
+        if hook is not None:
+            hook(handle, self._current)
+        return handle
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -157,12 +238,20 @@ class SimKernel:
             raise ClockError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        return self._push(time, callback, args)
+        handle = self._queue.push(time, callback, args)
+        hook = self._hook_scheduled
+        if hook is not None:
+            hook(handle, self._current)
+        return handle
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Run ``callback(*args)`` at the current instant, after pending
         same-instant events already queued."""
-        return self._push(self._now, callback, args)
+        handle = self._queue.push(self._now, callback, args)
+        hook = self._hook_scheduled
+        if hook is not None:
+            hook(handle, self._current)
+        return handle
 
     def schedule_epilogue(
         self,
@@ -186,23 +275,12 @@ class SimKernel:
         """
         if delay < 0:
             raise ClockError(f"cannot schedule in the past (delay={delay})")
-        return self._push(
+        handle = self._queue.push(
             self._now + delay, callback, args, epilogue=True, priority=priority
         )
-
-    def _push(
-        self,
-        time: float,
-        callback: Callable[..., None],
-        args: tuple[Any, ...],
-        epilogue: bool = False,
-        priority: int = 0,
-    ) -> EventHandle:
-        handle = self._queue.push(
-            time, callback, args, epilogue=epilogue, priority=priority
-        )
-        if self.monitor is not None:
-            self.monitor.event_scheduled(handle, self._current)
+        hook = self._hook_scheduled
+        if hook is not None:
+            hook(handle, self._current)
         return handle
 
     # ------------------------------------------------------------------
@@ -211,21 +289,28 @@ class SimKernel:
 
     def step(self) -> bool:
         """Execute the single next event. Returns False when drained."""
-        handle = self._queue.pop()
+        queue = self._queue
+        handle = queue.pop()
         if handle is None:
             return False
         self._now = handle.time
         self._events_processed += 1
-        if self.monitor is None:
+        if self._monitor is None:
             handle.callback(*handle.args)
+            queue.release(handle)
             return True
         self._current = handle
-        self.monitor.event_begin(handle)
+        hook = self._hook_begin
+        if hook is not None:
+            hook(handle)
         try:
             handle.callback(*handle.args)
         finally:
-            self.monitor.event_end(handle)
+            hook = self._hook_end
+            if hook is not None:
+                hook(handle)
             self._current = None
+        queue.release(handle)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -239,18 +324,82 @@ class SimKernel:
         if self._running:
             raise ClockError("kernel is already running (re-entrant run call)")
         self._running = True
+        queue = self._queue
+        heap = queue._heap
+        release = queue.release
+        pop = heappop
         executed = 0
         try:
-            while True:
-                if max_events is not None and executed >= max_events:
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-                executed += 1
+            if self._monitor is None:
+                # Fast path: no hooks, inlined pop/fire/release loop.
+                while True:
+                    if max_events is not None and executed >= max_events:
+                        break
+                    while heap and heap[0][3].cancelled:
+                        handle = pop(heap)[3]
+                        release(handle)
+                    if not heap:
+                        break
+                    if until is not None and heap[0][0] > until:
+                        break
+                    handle = pop(heap)[3]
+                    self._now = handle.time
+                    self._events_processed += 1
+                    handle.callback(*handle.args)
+                    executed += 1
+                    release(handle)
+            elif self._hook_end is None and self._hook_scheduled is None:
+                # Begin-only monitor (e.g. the profiler): no end bracket to
+                # guarantee and nothing reads ``_current`` (the scheduled
+                # hook, its only consumer, is off), so the per-event
+                # try/finally and current-event bookkeeping are skipped —
+                # same shape as the fast path plus one hook call.
+                hook_begin = self._hook_begin
+                while True:
+                    if max_events is not None and executed >= max_events:
+                        break
+                    while heap and heap[0][3].cancelled:
+                        handle = pop(heap)[3]
+                        release(handle)
+                    if not heap:
+                        break
+                    if until is not None and heap[0][0] > until:
+                        break
+                    handle = pop(heap)[3]
+                    self._now = handle.time
+                    self._events_processed += 1
+                    if hook_begin is not None:
+                        hook_begin(handle)
+                    handle.callback(*handle.args)
+                    executed += 1
+                    release(handle)
+            else:
+                hook_begin = self._hook_begin
+                hook_end = self._hook_end
+                while True:
+                    if max_events is not None and executed >= max_events:
+                        break
+                    while heap and heap[0][3].cancelled:
+                        handle = pop(heap)[3]
+                        release(handle)
+                    if not heap:
+                        break
+                    if until is not None and heap[0][0] > until:
+                        break
+                    handle = pop(heap)[3]
+                    self._now = handle.time
+                    self._events_processed += 1
+                    self._current = handle
+                    if hook_begin is not None:
+                        hook_begin(handle)
+                    try:
+                        handle.callback(*handle.args)
+                    finally:
+                        if hook_end is not None:
+                            hook_end(handle)
+                        self._current = None
+                    executed += 1
+                    release(handle)
         finally:
             self._running = False
         if until is not None and until > self._now:

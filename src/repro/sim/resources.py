@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["CpuResource", "ResourceStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Job:
     cost: float
     on_done: Callable[[], None] | None
@@ -125,21 +125,25 @@ class CpuResource:
         Zero-cost jobs still round-trip through the queue so event ordering
         stays consistent, but consume no virtual time when the CPU is idle.
         """
-        require_non_negative(cost, "cost")
+        if not cost >= 0:  # noqa: SIM201 - also catches NaN
+            require_non_negative(cost, "cost")
+        stats = self.stats
+        queue = self._queue
         job = _Job(cost, on_done, label, self._kernel.now)
-        self.stats.jobs_submitted += 1
+        stats.jobs_submitted += 1
         if (
             self.queue_limit is not None
             and self._busy >= self._servers
-            and len(self._queue) >= self.queue_limit
+            and len(queue) >= self.queue_limit
         ):
-            self.stats.jobs_dropped += 1
+            stats.jobs_dropped += 1
             return
-        self._queue.append(job)
-        if len(self._queue) > self.stats.max_queue_length:
-            self.stats.max_queue_length = len(self._queue)
-        if len(self._queue) > self._window_peak_queue:
-            self._window_peak_queue = len(self._queue)
+        queue.append(job)
+        depth = len(queue)
+        if depth > stats.max_queue_length:
+            stats.max_queue_length = depth
+        if depth > self._window_peak_queue:
+            self._window_peak_queue = depth
         self._dispatch()
 
     def execute(self, cost: float, fn: Callable[..., Any], *args: Any) -> None:
@@ -157,15 +161,17 @@ class CpuResource:
         return peak
 
     def _dispatch(self) -> None:
-        while self._busy < self._servers and self._queue:
-            job = self._queue.popleft()
+        queue = self._queue
+        while self._busy < self._servers and queue:
+            job = queue.popleft()
             self._busy += 1
-            wait = self._kernel.now - job.submitted_at
-            self.wait_times.add(wait)
+            now = self._kernel.now
+            self.wait_times.add(now - job.submitted_at)
             service = job.cost / self._speed
             self.service_times.add(service)
             self.stats.busy_time += service
-            prof = self._prof()
+            runtime = self._runtime
+            prof = None if runtime is None else runtime.prof
             if prof is not None:
                 prof.on_cpu_start(self.name, job.label, service)
             self._kernel.schedule(service, self._complete, job)
@@ -175,7 +181,8 @@ class CpuResource:
             raise SimulationError(f"{self.name}: completion with no busy server")
         self._busy -= 1
         self.stats.jobs_completed += 1
-        prof = self._prof()
+        runtime = self._runtime
+        prof = None if runtime is None else runtime.prof
         if prof is not None:
             prof.on_cpu_end(self.name, job.label, job.cost / self._speed)
         if job.on_done is not None:

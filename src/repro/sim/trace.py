@@ -17,7 +17,7 @@ from typing import Any, Callable, Iterator
 __all__ = ["TraceRecord", "Tracer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace entry."""
 
@@ -46,11 +46,15 @@ class Tracer:
         self, time: float, source: str, event: str, **fields: Any
     ) -> None:
         """Record an event and notify any taps registered for it."""
+        taps = self._taps.get(event)
+        if not self.enabled and taps is None:
+            return  # gate: no record is built when nobody will see it
         record = TraceRecord(time, source, event, fields)
         if self.enabled:
             self._records.append(record)
-        for tap in self._taps.get(event, ()):
-            tap(record)
+        if taps is not None:
+            for tap in taps:
+                tap(record)
 
     def tap(self, event: str, callback: Callable[[TraceRecord], None]) -> None:
         """Invoke ``callback(record)`` whenever ``event`` is emitted."""

@@ -24,6 +24,7 @@ _ALLOWED_SCALARS = (type(None), bool, int, float, str)
 
 
 def _check_encodable(value: Any, path: str = "$") -> None:
+    """Slow validation pass that names the offending path — error cases only."""
     if isinstance(value, _ALLOWED_SCALARS):
         if isinstance(value, float) and not math.isfinite(value):
             raise SerializationError(f"non-finite float at {path}: {value!r}")
@@ -41,6 +42,35 @@ def _check_encodable(value: Any, path: str = "$") -> None:
     raise SerializationError(f"unencodable type at {path}: {type(value).__name__}")
 
 
+def _keys_ok(value: Any) -> bool:
+    """Iterative dict-key check, visiting container nodes only.
+
+    ``json.dumps`` itself rejects every other invalid input (unknown
+    types raise ``TypeError``, NaN/Inf raise ``ValueError`` under
+    ``allow_nan=False``) — but it silently *stringifies* int/float/bool/
+    None dict keys instead of rejecting them, which would corrupt
+    canonical wire bytes. This is the one check that must run up front.
+    """
+    stack = [value]
+    pop = stack.pop
+    push = stack.append
+    while stack:
+        node = pop()
+        if type(node) is dict or isinstance(node, dict):
+            for key, item in node.items():
+                if type(key) is not str and not isinstance(key, str):
+                    return False
+                t = type(item)
+                if t is dict or t is list or t is tuple:
+                    push(item)
+        else:
+            for item in node:
+                t = type(item)
+                if t is dict or t is list or t is tuple:
+                    push(item)
+    return True
+
+
 def encode_payload(value: Any) -> bytes:
     """Encode ``value`` to canonical UTF-8 JSON bytes.
 
@@ -48,12 +78,16 @@ def encode_payload(value: Any) -> bytes:
     and non-finite floats (NaN/Inf are not valid JSON and would silently
     corrupt downstream analysis).
     """
-    _check_encodable(value)
+    t = type(value)
+    if (t is dict or t is list or t is tuple or isinstance(value, (dict, list, tuple))) and not _keys_ok(value):
+        _check_encodable(value)  # raises with the offending path
+        raise SerializationError(f"non-string dict key in {value!r}")  # pragma: no cover
     try:
         text = json.dumps(
             value, separators=(",", ":"), sort_keys=True, allow_nan=False
         )
-    except (TypeError, ValueError) as exc:  # defense in depth
+    except (TypeError, ValueError) as exc:
+        _check_encodable(value)  # raises with the offending path
         raise SerializationError(str(exc)) from exc
     return text.encode("utf-8")
 

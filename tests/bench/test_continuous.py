@@ -64,12 +64,58 @@ def test_missing_and_new_sim_keys_are_reported():
     assert "y: new key" in joined
 
 
-def test_schema_version_mismatch_refuses_to_compare():
+def test_newer_baseline_schema_refuses_to_compare():
     baseline = make_record()
     baseline.schema_version = BENCH_SCHEMA_VERSION + 1
     comparison = compare_bench(make_record(), baseline)
     assert not comparison.ok
-    assert "schema_version" in comparison.failures[0]
+    assert "newer than this checkout" in comparison.failures[0]
+
+
+def test_stale_baseline_schema_fails_loudly_same_environment():
+    """An old-schema baseline made on *this* machine is a hard failure
+    telling the operator to regenerate — never a skip."""
+    baseline = make_record()
+    baseline.schema_version = BENCH_SCHEMA_VERSION - 1
+    comparison = compare_bench(make_record(), baseline)
+    assert not comparison.ok
+    assert "stale baseline (same environment)" in comparison.failures[0]
+    assert "regenerate" in comparison.failures[0]
+
+
+def test_stale_baseline_schema_fails_loudly_cross_environment():
+    baseline = make_record()
+    baseline.schema_version = BENCH_SCHEMA_VERSION - 1
+    baseline.env = dict(baseline.env, machine="riscv128")
+    comparison = compare_bench(make_record(), baseline)
+    assert not comparison.ok
+    assert "stale baseline (different environment)" in comparison.failures[0]
+
+
+def test_require_fresh_baseline_detects_stale_committed_record(tmp_path, monkeypatch):
+    """The pytest-bench hook refuses to run alongside a stale committed
+    baseline whose fingerprint matches this machine."""
+    import importlib.util
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", repo_root / "benchmarks" / "conftest.py"
+    )
+    bench_conftest = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench_conftest)
+
+    stale = make_record()
+    stale.schema_version = BENCH_SCHEMA_VERSION - 1
+    write_bench(stale, tmp_path / "baselines")
+    monkeypatch.setattr(bench_conftest, "__file__", str(tmp_path / "conftest.py"))
+    with pytest.raises(RuntimeError, match="stale baseline"):
+        bench_conftest.require_fresh_baseline("t")
+    # Missing baseline: nothing to be stale about.
+    bench_conftest.require_fresh_baseline("absent")
+    # Fresh schema: fine.
+    write_bench(make_record(), tmp_path / "baselines")
+    bench_conftest.require_fresh_baseline("t")
 
 
 def test_wall_regression_gates_only_same_environment():

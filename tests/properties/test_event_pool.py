@@ -1,0 +1,179 @@
+"""Property tests: event-handle pooling is invisible to schedule semantics.
+
+The free list in :class:`repro.sim.events.EventQueue` recycles fired
+handles, which is only sound if a recycled handle can never be reached
+through a stale reference: cancelling a handle you kept from a *previous*
+event must never cancel (or otherwise affect) the event the pooled object
+was reincarnated as. The refcount guard in ``release`` is what guarantees
+that — these tests drive random schedule/cancel/fire interleavings
+against a pure-Python model and require exact agreement.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventQueue
+
+
+def _fire_one(queue: EventQueue, fired: list[int]) -> bool:
+    """Pop-execute-release exactly like the kernel run loop.
+
+    The handle lives only in this frame, so an event whose handle the
+    test did *not* keep is eligible for recycling here.
+    """
+    handle = queue.pop()
+    if handle is None:
+        return False
+    handle.callback(*handle.args)
+    queue.release(handle)
+    return True
+
+
+# One operation of the interleaving:
+#   ("schedule", time_bump, keep_ref) — push a new event
+#   ("cancel", index)                 — cancel through a kept handle
+#                                       (possibly long after it fired)
+#   ("fire",)                         — kernel step: pop + execute + release
+_ops = st.one_of(
+    st.tuples(
+        st.just("schedule"),
+        st.integers(min_value=0, max_value=5),
+        st.booleans(),
+    ),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=200)),
+    st.tuples(st.just("fire")),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=st.lists(_ops, max_size=80))
+def test_interleavings_match_unpooled_model(ops):
+    """Random schedule/cancel/fire interleavings: the pooled queue fires
+    exactly the events a pure model (no pooling, no reuse) says it should,
+    in exactly the model's order."""
+    queue = EventQueue(pool=True)
+    fired: list[int] = []
+    # Model rows: [event_id, time, seq, cancelled, fired, kept_handle|None]
+    model: list[list] = []
+    kept: list[int] = []  # indices of model rows whose handle we retained
+    now = 0.0
+    next_id = 0
+
+    for op in ops:
+        if op[0] == "schedule":
+            _, bump, keep = op
+            time = now + bump
+            event_id = next_id
+            next_id += 1
+            handle = queue.push(time, fired.append, (event_id,))
+            model.append([event_id, time, handle.seq, False, False, None])
+            if keep:
+                model[-1][5] = handle
+                kept.append(len(model) - 1)
+            del handle
+        elif op[0] == "cancel":
+            if not kept:
+                continue
+            row = model[kept[op[1] % len(kept)]]
+            # Cancel through the kept handle — even if the event already
+            # fired and its object may sit in (or have cycled through)
+            # the pool. The model only honours pre-fire cancellation;
+            # the real queue must agree, i.e. a stale cancel must never
+            # leak into a recycled event.
+            row[5].cancel()
+            if not row[4]:
+                row[3] = True
+        else:  # fire
+            live = [r for r in model if not r[3] and not r[4]]
+            if not live:
+                assert not _fire_one(queue, fired)
+                continue
+            expected = min(live, key=lambda r: (r[1], r[2]))
+            assert _fire_one(queue, fired)
+            assert fired[-1] == expected[0]
+            expected[4] = True
+            now = expected[1]
+
+    # Drain: every remaining live event fires in (time, seq) order.
+    remaining = sorted(
+        (r for r in model if not r[3] and not r[4]),
+        key=lambda r: (r[1], r[2]),
+    )
+    before = len(fired)
+    while _fire_one(queue, fired):
+        pass
+    assert fired[before:] == [r[0] for r in remaining]
+    # Nothing fired twice, nothing cancelled-before-fire fired at all.
+    assert len(fired) == len(set(fired))
+    cancelled_ids = {r[0] for r in model if r[3]}
+    assert not cancelled_ids.intersection(fired)
+
+
+def test_fired_unheld_handle_is_recycled():
+    """The pool actually works: a fired handle nobody holds is parked and
+    handed back out, fields fully reset."""
+    queue = EventQueue(pool=True)
+    fired: list[int] = []
+    first = queue.push(1.0, fired.append, (1,))
+    first_identity = id(first)
+    del first
+    assert _fire_one(queue, fired)
+    assert queue.pooled == 1
+    second = queue.push(2.0, fired.append, (2,))
+    assert id(second) == first_identity
+    assert queue.pooled == 0
+    assert second.time == 2.0
+    assert not second.cancelled
+    assert _fire_one(queue, fired)
+    assert fired == [1, 2]
+
+
+def test_held_handle_is_never_recycled():
+    """A handle the caller retains must not enter the pool — recycling it
+    would let a stale ``cancel`` kill an unrelated event."""
+    queue = EventQueue(pool=True)
+    fired: list[int] = []
+    held = queue.push(1.0, fired.append, (1,))
+    assert _fire_one(queue, fired)
+    assert queue.pooled == 0  # refcount guard saw our reference
+    replacement = queue.push(2.0, fired.append, (2,))
+    assert replacement is not held
+    held.cancel()  # stale cancel: must be a no-op for the queue
+    assert _fire_one(queue, fired)
+    assert fired == [1, 2]
+
+
+def test_cancellation_survives_reuse():
+    """Cancelling a *recycled* handle cancels the new event only."""
+    queue = EventQueue(pool=True)
+    fired: list[int] = []
+    first = queue.push(1.0, fired.append, (1,))
+    del first
+    assert _fire_one(queue, fired)
+    assert queue.pooled == 1
+    reborn = queue.push(2.0, fired.append, (2,))
+    reborn.cancel()
+    assert not _fire_one(queue, fired)
+    assert fired == [1]
+
+
+def test_popped_cancelled_handles_return_to_pool():
+    """Lazily discarded cancelled events are recycled too."""
+    queue = EventQueue(pool=True)
+    fired: list[int] = []
+    doomed = queue.push(1.0, fired.append, (1,))
+    doomed.cancel()
+    del doomed
+    assert queue.peek_time() is None  # discards the cancelled head
+    assert queue.pooled == 1
+
+
+def test_pool_disabled_never_parks():
+    queue = EventQueue(pool=False)
+    fired: list[int] = []
+    handle = queue.push(1.0, fired.append, (1,))
+    del handle
+    assert _fire_one(queue, fired)
+    assert queue.pooled == 0

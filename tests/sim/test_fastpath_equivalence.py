@@ -1,0 +1,178 @@
+"""Differential equivalence suite for the kernel hot-path optimizations.
+
+The speed campaign (event pooling, monitor-hook fast paths, the MQTT wire
+fast path, broker fan-out caching) must be *invisible* to the simulation:
+the schedule, the trace, and the profile are functions of (scenario,
+seed) only, never of which optimizations happen to be enabled. These
+tests run the same scenario under each toggle and require byte-identical
+digests:
+
+* ``REPRO_EVENT_POOL=0``  — event-handle pooling disabled;
+* ``packets.WIRE_FASTPATH = False`` — every packet round-trips through
+  canonical JSON bytes instead of the in-process decode bypass;
+* profiler attached / detached — the kernel's hooked vs hook-free run
+  loops (and the begin-only specialization between them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import SCENARIOS, run_scenario, trace_digest
+from repro.mqtt import packets
+from repro.prof import enable_profiling, profile_digest
+
+CHAOS_SCENARIOS = sorted(SCENARIOS)
+
+
+def _digest_excluding_prof(tracer) -> str:
+    """The trace digest minus profiler-emitted sampling records.
+
+    Attaching the profiler adds periodic ``prof``-source utilization
+    records (and the sampler events that produce them) — legitimately.
+    Hooks ON/OFF equivalence therefore compares the *application* trace:
+    everything except what the observer itself wrote.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for record in tracer:
+        if record.source == "prof":
+            continue
+        line = (
+            f"{record.time!r}|{record.source}|{record.event}"
+            f"|{sorted(record.fields.items())!r}\n"
+        )
+        digest.update(line.encode())
+    return digest.hexdigest()
+
+#: Short fig5 run — equivalence is about digests matching across
+#: configurations, not about the full 30 s workload.
+FIG5_DURATION_S = 8.0
+
+
+# ----------------------------------------------------------------------
+# Chaos scenarios: all 7, every toggle
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def chaos_baseline():
+    """Every scenario once under default toggles (pooling on, wire fast
+    path on, no monitor hooks) — the reference digests."""
+    return {name: run_scenario(name, seed=0) for name in CHAOS_SCENARIOS}
+
+
+@pytest.mark.parametrize("name", CHAOS_SCENARIOS)
+def test_pooling_off_equivalence(name, chaos_baseline, monkeypatch):
+    monkeypatch.setenv("REPRO_EVENT_POOL", "0")
+    unpooled = run_scenario(name, seed=0)
+    base = chaos_baseline[name]
+    assert unpooled.trace_records == base.trace_records
+    assert unpooled.trace_digest == base.trace_digest
+    assert unpooled.report.ok == base.report.ok
+
+
+@pytest.mark.parametrize("name", CHAOS_SCENARIOS)
+def test_hooks_on_equivalence(name, chaos_baseline):
+    """Attaching the profiler adds only its own ``prof`` sampling records;
+    the application trace is untouched."""
+    profiled = run_scenario(name, seed=0, profile=True)
+    base = chaos_baseline[name]
+    assert profiled.tracer is not None and base.tracer is not None
+    assert _digest_excluding_prof(profiled.tracer) == _digest_excluding_prof(
+        base.tracer
+    )
+    assert profiled.profiler is not None
+    assert profiled.profiler.events_profiled > 0
+
+
+@pytest.mark.parametrize("name", CHAOS_SCENARIOS)
+def test_wire_fastpath_off_equivalence(name, chaos_baseline, monkeypatch):
+    monkeypatch.setattr(packets, "WIRE_FASTPATH", False)
+    slow = run_scenario(name, seed=0)
+    base = chaos_baseline[name]
+    assert slow.trace_records == base.trace_records
+    assert slow.trace_digest == base.trace_digest
+
+
+@pytest.mark.parametrize("name", CHAOS_SCENARIOS)
+def test_profile_digest_pool_invariance(name, monkeypatch):
+    """The profile (busy-time attribution, event counts) is identical
+    whether or not handles are recycled through the pool."""
+    pooled = run_scenario(name, seed=0, profile=True)
+    monkeypatch.setenv("REPRO_EVENT_POOL", "0")
+    unpooled = run_scenario(name, seed=0, profile=True)
+    assert pooled.profiler is not None and unpooled.profiler is not None
+    assert (
+        unpooled.profiler.events_profiled == pooled.profiler.events_profiled
+    )
+    assert profile_digest(unpooled.profiler) == profile_digest(pooled.profiler)
+    assert unpooled.trace_digest == pooled.trace_digest
+
+
+# ----------------------------------------------------------------------
+# Fig. 5: the benchmark workload itself
+# ----------------------------------------------------------------------
+
+
+def _run_fig5(profiled: bool = True):
+    from repro.bench.calibration import pi_cost_model
+    from repro.bench.scenarios import run_fig5_experiment
+
+    runtime = run_fig5_experiment(
+        seed=55,
+        duration_s=FIG5_DURATION_S,
+        observe=False,
+        prepare=(lambda rt: enable_profiling(rt)) if profiled else None,
+        cost_model=pi_cost_model(),
+    )
+    return runtime
+
+
+@pytest.fixture(scope="module")
+def fig5_baseline():
+    runtime = _run_fig5(profiled=True)
+    assert runtime.prof is not None
+    return {
+        "trace_digest": trace_digest(runtime.tracer),
+        "app_trace_digest": _digest_excluding_prof(runtime.tracer),
+        "trace_records": len(runtime.tracer),
+        "events": runtime.prof.events_profiled,
+        "profile_digest": profile_digest(runtime.prof),
+    }
+
+
+def test_fig5_pooling_off_equivalence(fig5_baseline, monkeypatch):
+    monkeypatch.setenv("REPRO_EVENT_POOL", "0")
+    runtime = _run_fig5(profiled=True)
+    assert trace_digest(runtime.tracer) == fig5_baseline["trace_digest"]
+    assert len(runtime.tracer) == fig5_baseline["trace_records"]
+    assert runtime.prof.events_profiled == fig5_baseline["events"]
+    assert profile_digest(runtime.prof) == fig5_baseline["profile_digest"]
+
+
+def test_fig5_wire_fastpath_off_equivalence(fig5_baseline, monkeypatch):
+    monkeypatch.setattr(packets, "WIRE_FASTPATH", False)
+    runtime = _run_fig5(profiled=True)
+    assert trace_digest(runtime.tracer) == fig5_baseline["trace_digest"]
+    assert len(runtime.tracer) == fig5_baseline["trace_records"]
+    assert runtime.prof.events_profiled == fig5_baseline["events"]
+    assert profile_digest(runtime.prof) == fig5_baseline["profile_digest"]
+
+
+def test_fig5_hooks_off_equivalence(fig5_baseline):
+    """With no monitor attached the kernel takes its hook-free loop; the
+    application trace must not notice."""
+    runtime = _run_fig5(profiled=False)
+    assert runtime.prof is None
+    assert trace_digest(runtime.tracer) == fig5_baseline["app_trace_digest"]
+
+
+def test_fig5_all_toggles_off_equivalence(fig5_baseline, monkeypatch):
+    """Belt and braces: every optimization off at once, hooks on."""
+    monkeypatch.setenv("REPRO_EVENT_POOL", "0")
+    monkeypatch.setattr(packets, "WIRE_FASTPATH", False)
+    runtime = _run_fig5(profiled=True)
+    assert trace_digest(runtime.tracer) == fig5_baseline["trace_digest"]
+    assert profile_digest(runtime.prof) == fig5_baseline["profile_digest"]
