@@ -15,7 +15,6 @@ continuous-benchmark gate can diff either.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 
@@ -62,7 +61,9 @@ def record_rows(benchmark, rows: dict) -> None:
     benchmark.extra_info.update(rows)
     name = benchmark.name.removeprefix("bench_")
     require_fresh_baseline(name)
-    out = os.environ.get("REPRO_BENCH_OUT", "")
+    from repro.util.flags import flag_value
+
+    out = flag_value("REPRO_BENCH_OUT")
     if not out:
         return
     from repro.bench.continuous import BenchRecord, write_bench

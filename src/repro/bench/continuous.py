@@ -44,7 +44,9 @@ __all__ = [
 
 #: Bump when the record layout changes; the gate refuses to compare
 #: records with differing schema versions.
-BENCH_SCHEMA_VERSION = 1
+#: v2: fig5/failover records carry ``sim.op_busy`` (per-op CPU busy
+#: accounting) feeding the cost-model drift gate (RCP230).
+BENCH_SCHEMA_VERSION = 2
 
 #: Default relative tolerance on wall-clock events/sec (same-env only).
 DEFAULT_WALL_TOLERANCE = 0.35
@@ -105,6 +107,26 @@ def canonical_sim_json(record: BenchRecord) -> str:
 # serialized record is the canonical form.
 
 
+def _op_busy(profiler: Any) -> dict[str, dict[str, Any]]:
+    """Node-summed per-op CPU busy: ``{op: {"busy_s", "count"}}``.
+
+    This is the half of the profile the static drift gate
+    (:func:`repro.lint.dataflow.check_cost_drift`) replays against the
+    calibrated cost model, so it rounds exactly once, here.
+    """
+    totals: dict[str, list[float]] = {}
+    for (node, domain, op), (seconds, count) in profiler.busy.items():
+        if domain != "cpu":
+            continue
+        entry = totals.setdefault(op, [0.0, 0])
+        entry[0] += seconds
+        entry[1] += count
+    return {
+        op: {"busy_s": round(seconds, 9), "count": int(count)}
+        for op, (seconds, count) in sorted(totals.items())
+    }
+
+
 def _bench_fig5() -> BenchRecord:
     """The Fig. 5 watching experiment, profiled under the Pi calibration."""
     from repro.bench.calibration import pi_cost_model
@@ -137,6 +159,7 @@ def _bench_fig5() -> BenchRecord:
         "wlan_utilization": round(profiler.wlan_utilization(), 9)
         if profiler
         else 0.0,
+        "op_busy": _op_busy(profiler) if profiler else {},
     }
     events = record.sim["events_executed"]
     record.wall = {
@@ -199,6 +222,7 @@ def _bench_failover() -> BenchRecord:
         len(list(tracer.select(event="mgmt.failover_moved"))) if tracer else 0
     )
     record = BenchRecord(name="failover")
+    profiler = result.profiler
     record.sim = {
         "seed": 0,
         "duration_s": result.duration_s,
@@ -224,8 +248,8 @@ def _bench_failover() -> BenchRecord:
         ),
         "failover_moves": failover_moves,
         "migrations_completed": migrations_done,
+        "op_busy": _op_busy(profiler) if profiler else {},
     }
-    profiler = result.profiler
     events = profiler.events_profiled if profiler else 0
     record.wall = {
         "elapsed_s": round(elapsed, 4),

@@ -29,8 +29,10 @@ __all__ = [
     "PaperTestbed",
     "build_paper_testbed",
     "build_paper_recipe",
+    "paper_device_keys",
     "FIG5_RECIPE_PATH",
     "build_fig5_testbed",
+    "fig5_device_keys",
     "run_fig5_experiment",
 ]
 
@@ -160,6 +162,18 @@ def build_paper_recipe(rate_hz: float, qos: int = 0) -> Recipe:
     return Recipe("paper-exp", tasks)
 
 
+def paper_device_keys() -> dict[str, tuple[str, ...]]:
+    """Device -> channel keys for the paper testbed, as the static payload
+    checker (:func:`repro.lint.dataflow.check_recipe_payloads`) wants them.
+
+    Built from the same device models :func:`build_paper_testbed` attaches,
+    so the checker's view cannot drift from what actually runs.
+    """
+    keys = FixedPayloadModel(values=3).channel_keys()
+    assert keys is not None
+    return {"sample": keys}
+
+
 # ---------------------------------------------------------------------------
 # Fig. 5 "start watching" testbed (shared by `repro trace` and the
 # golden-trace tests, which fingerprint a run of exactly this build).
@@ -224,6 +238,30 @@ def build_fig5_testbed(
     pager_module.attach_actuator("pager", AlertActuator())
     cluster.settle(2.0)
     return runtime, cluster
+
+
+def fig5_device_keys() -> dict[str, tuple[str, ...]]:
+    """Device -> channel keys for the Fig. 5 cluster (see
+    :func:`paper_device_keys` for why this mirrors the testbed builder)."""
+    from repro.sensors import (
+        AccelerometerModel,
+        CameraModel,
+        EnvironmentSensorModel,
+        EventSchedule,
+    )
+
+    events = EventSchedule()
+    mapping: dict[str, tuple[str, ...]] = {}
+    for device, model in (
+        ("accel-wrist", AccelerometerModel(events)),
+        ("accel-waist", AccelerometerModel(events, sway_sigma=0.06)),
+        ("environment", EnvironmentSensorModel(events)),
+        ("camera", CameraModel(events)),
+    ):
+        keys = model.channel_keys()
+        assert keys is not None
+        mapping[device] = keys
+    return mapping
 
 
 def run_fig5_experiment(

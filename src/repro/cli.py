@@ -278,50 +278,104 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if spans_from_tracer(tracer) else 1
 
 
-def _lint_recipe(name_or_path: str) -> "tuple[Recipe, str]":
-    """Resolve ``--recipe`` to a Recipe: a built-in shortcut or a file."""
+def _lint_recipe(name_or_path: str) -> "tuple[Recipe, str, dict | None]":
+    """Resolve ``--recipe`` to (recipe, origin, device channel keys).
+
+    Built-in shortcuts carry the channel-key map of the testbed they run
+    on, so the payload checker sees the same devices the scenario
+    attaches; recipes loaded from files get ``None`` (open sensor
+    schemas).
+    """
     if name_or_path == "fig5":
-        from repro.bench.scenarios import FIG5_RECIPE_PATH
+        from repro.bench.scenarios import FIG5_RECIPE_PATH, fig5_device_keys
 
-        return _load_recipe(FIG5_RECIPE_PATH), str(FIG5_RECIPE_PATH)
+        return _load_recipe(FIG5_RECIPE_PATH), str(FIG5_RECIPE_PATH), fig5_device_keys()
     if name_or_path == "paper":
-        from repro.bench.scenarios import build_paper_recipe
+        from repro.bench.scenarios import build_paper_recipe, paper_device_keys
 
-        return build_paper_recipe(rate_hz=5.0), "<built-in paper recipe @ 5 Hz>"
+        return (
+            build_paper_recipe(rate_hz=5.0),
+            "<built-in paper recipe @ 5 Hz>",
+            paper_device_keys(),
+        )
+    if name_or_path == "failover":
+        from repro.bench.scenarios import paper_device_keys
+        from repro.chaos.scenarios import build_chaos_recipe
+
+        # The chaos testbed attaches the same FixedPayloadModel devices
+        # as the paper testbed.
+        return build_chaos_recipe(), "<built-in failover chaos recipe>", paper_device_keys()
     path = Path(name_or_path)
-    return _load_recipe(path), str(path)
+    return _load_recipe(path), str(path), None
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
+        DATAFLOW_RULES,
         LintRun,
+        analyze_state_soundness,
+        check_cost_drift,
         check_rate_feasibility,
         check_recipe,
+        check_recipe_payloads,
         lint_paths,
         render_json,
+        render_sarif,
         render_text,
         rule_catalog,
     )
 
     if args.catalog:
+        from repro.san.rules import SAN_RULES
+
         rows = list(rule_catalog())
+        rows += [
+            (rid, str(SAN_RULES[rid].severity), SAN_RULES[rid].description)
+            for rid in ("SAN020", "SAN021")
+        ]
+        rows += [
+            (rule.rule_id, str(rule.severity), rule.description)
+            for rule in DATAFLOW_RULES.values()
+        ]
         width = max(len(rule_id) for rule_id, _, _ in rows)
         for rule_id, severity, description in rows:
             print(f"{rule_id:<{width}}  {severity:<7}  {description}")
         return 0
-    if not args.paths and not args.recipe:
-        print("error: nothing to lint (give paths and/or --recipe)", file=sys.stderr)
+    if not args.paths and not args.recipe and not args.calibrate:
+        print(
+            "error: nothing to lint (give paths and/or --recipe/--calibrate)",
+            file=sys.stderr,
+        )
         return 2
     rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()] or None
     run = LintRun()
     if args.paths:
         run.merge(lint_paths(args.paths, rule_ids=rule_ids))
+        if args.dataflow:
+            run.merge(analyze_state_soundness(args.paths))
     if args.recipe:
-        recipe, origin = _lint_recipe(args.recipe)
-        for diag in check_recipe(recipe) + check_rate_feasibility(recipe):
+        recipe, origin, device_keys = _lint_recipe(args.recipe)
+        checks = (
+            check_recipe(recipe)
+            + check_rate_feasibility(recipe)
+            + check_recipe_payloads(recipe, device_keys)
+        )
+        for diag in checks:
             run.diagnostics.append(diag.replace(file=origin))
+    if args.calibrate:
+        import json as _json
+
+        from repro.bench.continuous import BenchRecord
+
+        baseline = BenchRecord.from_dict(
+            _json.loads(Path(args.calibrate).read_text())
+        )
+        for diag in check_cost_drift(baseline):
+            run.diagnostics.append(diag.replace(file=args.calibrate))
     run.finish()
-    render = render_json if args.format == "json" else render_text
+    render = {"json": render_json, "sarif": render_sarif}.get(
+        args.format, render_text
+    )
     print(
         render(
             run.diagnostics,
@@ -657,13 +711,35 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--recipe",
         default="",
-        help="also statically check a recipe: a file, 'fig5', or 'paper'",
+        help=(
+            "also statically check a recipe: a file, 'fig5', 'paper', or "
+            "'failover' (built-ins include payload schemas from their "
+            "testbed's devices)"
+        ),
+    )
+    lint.add_argument(
+        "--dataflow",
+        action="store_true",
+        help=(
+            "also run the interprocedural state-soundness pass "
+            "(SAN020/SAN021) over the given paths"
+        ),
+    )
+    lint.add_argument(
+        "--calibrate",
+        default="",
+        metavar="BASELINE",
+        help=(
+            "check a bench baseline's per-op busy accounting against the "
+            "calibrated cost model (RCP230 drift gate), e.g. "
+            "benchmarks/baselines/BENCH_fig5.json"
+        ),
     )
     lint.add_argument(
         "--strict", action="store_true", help="warnings also fail the run"
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="format"
+        "--format", choices=("text", "json", "sarif"), default="text", dest="format"
     )
     lint.add_argument(
         "--rules", default="", help="comma-separated rule ids (default: all)"

@@ -23,7 +23,7 @@ from typing import Any
 
 from repro.core.flow import FlowRecord
 from repro.core.models import build_flow_model
-from repro.core.operators import StreamOperator, register_operator
+from repro.core.operators import PayloadEffect, StreamOperator, register_operator
 from repro.errors import RecipeError
 from repro.ml.evaluation import PrequentialAccuracy
 from repro.ml.mix import MixCoordinator, MixParticipantState
@@ -63,6 +63,24 @@ class LearningClass(StreamOperator):
     """
 
     cost_op = "ml.train"
+
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        kind = str(params.get("model", "classifier"))
+        reads_any: tuple[str, ...] = ()
+        if kind in ("classifier", "knn", "tree"):
+            reads_any = (str(params.get("label_key", "label")),)
+        elif kind == "regression":
+            reads_any = (str(params.get("target_key", "target")),)
+        # Training-info attributes forwarded when emit_info is on; a
+        # may-produce union over the model kinds' train() outcomes.
+        return PayloadEffect(
+            reads_any=reads_any,
+            adds_attrs=(
+                "trained", "updated", "label", "reason", "score", "cluster",
+                "grew",
+            ),
+        )
 
     def configure(self) -> None:
         reserved = {
@@ -126,12 +144,14 @@ class LearningClass(StreamOperator):
             self.emit(out)
 
     def export_state(self) -> dict[str, Any]:
+        super().export_state()
         return {
             "model": self.model.export_state(),
             "records_trained": self.records_trained,
         }
 
     def import_state(self, state: dict[str, Any]) -> None:
+        super().import_state(state)
         model_state = state.get("model")
         if model_state is not None:
             self.model.import_state(model_state)
@@ -194,6 +214,23 @@ class JudgingClass(StreamOperator):
 
     cost_op = "ml.predict"
 
+    #: judge() output keys per model kind (see repro.core.models).
+    _JUDGE_ATTRS = {
+        "classifier": ("label", "margin"),
+        "regression": ("prediction",),
+        "anomaly": ("score", "anomalous"),
+        "cluster": ("cluster", "distance"),
+        "knn": ("label", "votes"),
+        "tree": ("label", "confidence"),
+    }
+
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        kind = str(params.get("model", "classifier"))
+        return PayloadEffect(
+            adds_attrs=cls._JUDGE_ATTRS.get(kind, ()) + ("judged",)
+        )
+
     def configure(self) -> None:
         reserved = {"model_from", "train_on_stream", "qos"}
         model_params = {k: v for k, v in self.params.items() if k not in reserved}
@@ -210,12 +247,14 @@ class JudgingClass(StreamOperator):
             )
 
     def export_state(self) -> dict[str, Any]:
+        super().export_state()
         return {
             "model": self.model.export_state() if self.model.ready else None,
             "model_loads": self.model_loads,
         }
 
     def import_state(self, state: dict[str, Any]) -> None:
+        super().import_state(state)
         model_state = state.get("model")
         if model_state is not None:
             self.model.import_state(model_state)
@@ -280,6 +319,11 @@ class ManagingClass(StreamOperator):
     """
 
     cost_op = "ml.mix"
+
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        # Coordination happens over control topics, not record streams.
+        return PayloadEffect(opaque=True)
 
     def configure(self) -> None:
         group = self.params.get("group")

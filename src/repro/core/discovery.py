@@ -26,6 +26,7 @@ from repro.mqtt.client import MqttClient
 from repro.mqtt.packets import Packet
 from repro.runtime.component import Component
 from repro.runtime.node import Node
+from repro.runtime.state import tracked_state
 
 __all__ = ["ModuleRecord", "StreamRecord", "StreamDirectory", "module_topic", "stream_topic"]
 
@@ -83,6 +84,10 @@ class StreamDirectory(Component):
         self._member_watchers: list[Any] = []
         self._heartbeat_watchers: list[Any] = []
         self._known_alive: set[str] = set()
+        # The directory's view is written by retained-message callbacks
+        # racing the periodic TTL rescan, and read by placement queries —
+        # track it so the sanitizer can order those accesses.
+        self._view_cell = tracked_state(node.runtime, f"directory.{node.name}", "view")
         client.subscribe("ifot/registry/module/+", self._on_module)
         client.subscribe("ifot/registry/stream/+/+", self._on_stream)
         # TTL expiry produces no message, so membership changes from
@@ -111,6 +116,7 @@ class StreamDirectory(Component):
         self._heartbeat_watchers.append(callback)
 
     def _scan_membership(self) -> None:
+        self._view_cell.note_write()
         alive_now = {m.name for m in self.modules()}
         for name in sorted(alive_now - self._known_alive):
             self._notify_members(name, True)
@@ -119,6 +125,7 @@ class StreamDirectory(Component):
         self._known_alive = alive_now
 
     def _notify_members(self, name: str, alive: bool) -> None:
+        self._view_cell.note_write()
         self._known_alive = (
             self._known_alive | {name} if alive else self._known_alive - {name}
         )
@@ -130,6 +137,7 @@ class StreamDirectory(Component):
     # ------------------------------------------------------------------
 
     def _on_module(self, topic: str, payload: Any, _packet: Packet) -> None:
+        self._view_cell.note_write()
         name = topic.rsplit("/", 1)[-1]
         if payload is None:  # retained tombstone: clean leave or last-will
             if self._modules.pop(name, None) is not None:
@@ -163,6 +171,7 @@ class StreamDirectory(Component):
             watcher(name, incarnation, self.runtime.now)
 
     def _on_stream(self, topic: str, payload: Any, _packet: Packet) -> None:
+        self._view_cell.note_write()
         key = topic.split("ifot/registry/stream/", 1)[-1]
         if payload is None:
             self._streams.pop(key, None)
@@ -186,6 +195,7 @@ class StreamDirectory(Component):
 
     def modules(self) -> list[ModuleRecord]:
         """Currently alive modules (heartbeat within TTL)."""
+        self._view_cell.note_read()
         return sorted(
             (m for m in self._modules.values() if self._alive(m.announced_at)),
             key=lambda m: m.name,
@@ -211,6 +221,7 @@ class StreamDirectory(Component):
     ) -> list[StreamRecord]:
         """Stream search: glob ``pattern`` against stream names, optionally
         within one application."""
+        self._view_cell.note_read()
         return sorted(
             (
                 s

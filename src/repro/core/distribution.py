@@ -51,7 +51,7 @@ class PublishClass(Component):
 
     def publish_record(self, record: FlowRecord) -> None:
         """Serialize and publish one record on this flow's topic."""
-        self.records_published += 1
+        self.records_published += 1  # repro: san-ok[SAN020] commutative counter
         self.trace(
             "flow.publish",
             topic=self.topic,
@@ -131,7 +131,7 @@ class SubscribeClass(Component):
         try:
             record = FlowRecord.from_payload(payload)
         except SerializationError:
-            self.decode_errors += 1
+            self.decode_errors += 1  # repro: san-ok[SAN020] commutative counter
             self.trace("flow.decode_error", topic=topic)
             return
         if self.runtime.obs is not None:
@@ -139,10 +139,10 @@ class SubscribeClass(Component):
             wire = headers.get("obs")
             if wire is not None:
                 record.ctx = FlowContext.from_wire(wire)
-        self.records_received += 1
+        self.records_received += 1  # repro: san-ok[SAN020] commutative counter
         self.callback(stream, record)
 
     def on_stop(self) -> None:
         for subscription in self._subscriptions:
             self.client.unsubscribe(subscription)
-        self._subscriptions.clear()
+        self._subscriptions.clear()  # repro: san-ok[SAN020] idempotent teardown

@@ -14,8 +14,10 @@ flow and drives an attached actuator model.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.flow import FlowRecord
-from repro.core.operators import StreamOperator, register_operator
+from repro.core.operators import PayloadEffect, StreamOperator, register_operator
 from repro.errors import RecipeError
 from repro.ml.features import Datum
 
@@ -32,6 +34,13 @@ class SensorClass(StreamOperator):
     """
 
     cost_op = "sensor.sample"
+
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        # The payload is the device model's reading; the checker narrows
+        # this to the device's channel_keys() when the testbed map knows
+        # the device, and treats it as open otherwise.
+        return PayloadEffect(opaque=True)
 
     def configure(self) -> None:
         device = self.params.get("device")
@@ -112,6 +121,10 @@ class ActuatorClass(StreamOperator):
     """
 
     cost_op = "actuator.apply"
+
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        return PayloadEffect(reads_attrs=("command",))
 
     def configure(self) -> None:
         device = self.params.get("device")

@@ -164,7 +164,7 @@ class ModuleAgent(Component):
         except DeploymentError as exc:
             self.trace("agent.deploy_failed", subtask=subtask.subtask_id, error=str(exc))
             return
-        self.deploys_handled += 1
+        self.deploys_handled += 1  # repro: san-ok[SAN020] commutative counter
         handoff = payload.get("handoff")
         if isinstance(handoff, dict):
             self._adopt_handoff(application, subtask, operator, handoff)
@@ -298,8 +298,14 @@ class ModuleAgent(Component):
         tail_sub = self.module.client.subscribe(
             f"ifot/ctl/migrate/{migration}/tail", self._on_migrate_tail
         )
-        self._migration_tails[migration] = (application, subtask.subtask_id, tail_sub)
-        self.migrations_adopted += 1
+        # The tails map is keyed by globally-unique migration id; adopt and
+        # tail are causally ordered by the handoff protocol.
+        self._migration_tails[migration] = (  # repro: san-ok[SAN020] protocol-ordered
+            application,
+            subtask.subtask_id,
+            tail_sub,
+        )
+        self.migrations_adopted += 1  # repro: san-ok[SAN020] commutative counter
         self.trace(
             "migrate.adopted",
             migration=migration,
@@ -359,7 +365,7 @@ class ModuleAgent(Component):
         if self.stopped:
             return
         migration = topic.split("/")[3]
-        entry = self._migration_tails.pop(migration, None)
+        entry = self._migration_tails.pop(migration, None)  # repro: san-ok[SAN020] protocol-ordered
         if entry is None:
             return
         application, subtask_id, tail_sub = entry
@@ -461,7 +467,7 @@ class ModuleAgent(Component):
         subtasks = RecipeSplit().split(recipe)
         modules = self.directory.module_infos()
         assignment = TaskAssignment(strategy).assign(subtasks, modules)
-        self.recipes_led += 1
+        self.recipes_led += 1  # repro: san-ok[SAN020] commutative counter
         self.trace(
             "agent.recipe_led",
             recipe=recipe.name,
@@ -498,9 +504,9 @@ class ModuleAgent(Component):
 
     def on_stop(self) -> None:
         if self._announce in self.module.capability_listeners:
-            self.module.capability_listeners.remove(self._announce)
+            self.module.capability_listeners.remove(self._announce)  # repro: san-ok[SAN020] idempotent teardown
         if self._announce in self.module.client.reconnect_listeners:
-            self.module.client.reconnect_listeners.remove(self._announce)
+            self.module.client.reconnect_listeners.remove(self._announce)  # repro: san-ok[SAN020] idempotent teardown
         self.directory.withdraw_module(self.module.name)
         self.directory.stop()
 
@@ -566,6 +572,13 @@ class ManagementNode:
         )
         self._displaced_cell = tracked_state(
             module.node.runtime, f"mgmt.{module.name}", "displaced"
+        )
+        # The led-applications ledger and collected status reports are
+        # written from console calls / MQTT status answers and read by the
+        # healing sweeps — track them for the same reason.
+        self._led_cell = tracked_state(module.node.runtime, f"mgmt.{module.name}", "led")
+        self._status_cell = tracked_state(
+            module.node.runtime, f"mgmt.{module.name}", "status"
         )
         self.detector: "FailureDetector | None" = None
         if auto_failover:
@@ -642,11 +655,13 @@ class ManagementNode:
             )
             return None
         assignment = self.agent.lead_deployment(recipe, strategy)
+        self._led_cell.note_write()
         self._led[recipe.name] = (recipe, assignment)
         return assignment
 
     def stop_application(self, application: str) -> None:
         """Broadcast undeploy of ``application`` to every known module."""
+        self._led_cell.note_write()
         self._led.pop(application, None)
         stale = [key for key in self._displaced if key[0] == application]
         if stale:
@@ -688,6 +703,7 @@ class ManagementNode:
         the agent side — a module that kept its operators (blip) rejects
         the duplicate and keeps running.
         """
+        self._led_cell.note_read()
         for app_name, (recipe, assignment) in self._led.items():
             owned = sorted(
                 sid
@@ -768,6 +784,7 @@ class ManagementNode:
         bound and cannot move; they are reported and skipped.
         """
         self._shed_if_overcommitted(dead_module)
+        self._led_cell.note_read()
         for app_name, (recipe, assignment) in self._led.items():
             orphans = [
                 sid
@@ -1177,6 +1194,7 @@ class ManagementNode:
     def _on_status(self, topic: str, payload: Any, _packet: Packet) -> None:
         module = topic.rsplit("/", 1)[-1]
         if isinstance(payload, dict):
+            self._status_cell.note_write()
             self.status_reports[module] = payload
 
     @property
@@ -1200,6 +1218,7 @@ class ManagementNode:
                 f"  {record.name:<16} load={record.load:6.2f} "
                 f"capacity={record.capacity:4.1f}  caps: {caps}{role}"
             )
+            self._status_cell.note_read()
             report = self.status_reports.get(record.name)
             if report and report.get("operators"):
                 for operator in report["operators"]:

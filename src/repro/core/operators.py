@@ -33,6 +33,7 @@ Generic operators defined here:
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.distribution import PublishClass, SubscribeClass
@@ -49,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "STATEFUL_OPERATORS",
+    "PayloadEffect",
     "StreamOperator",
     "register_operator",
     "create_operator",
@@ -68,6 +70,42 @@ STATEFUL_OPERATORS = {"merge", "stat", "ewma", "delta", "throttle", "dedup", "tr
 _SAN_TRACKED_OPERATORS = STATEFUL_OPERATORS | {"window"}
 
 
+@dataclass(frozen=True)
+class PayloadEffect:
+    """Static payload contract of one operator configuration.
+
+    The recipe payload checker (:mod:`repro.lint.dataflow`) abstract-
+    interprets the recipe DAG with these: ``reads*`` are keys the
+    operator looks up (a read of a key no upstream can produce is a
+    recipe bug), the rest describe how the output schema derives from the
+    input schema. Schemas are *may-produce* upper bounds — an ``adds``
+    key that only appears on some records still counts as producible.
+    """
+
+    #: Datum keys looked up on every record.
+    reads: tuple[str, ...] = ()
+    #: Attribute keys looked up on every record.
+    reads_attrs: tuple[str, ...] = ()
+    #: Keys looked up in attributes first, falling back to the datum.
+    reads_any: tuple[str, ...] = ()
+    #: Datum keys added to (or overwritten in) the output.
+    adds: tuple[str, ...] = ()
+    #: Attribute keys added to the output.
+    adds_attrs: tuple[str, ...] = ()
+    #: When set, the output datum is restricted to these keys.
+    select: tuple[str, ...] | None = None
+    #: Datum key renames applied to the output, as ``(old, new)`` pairs.
+    renames: tuple[tuple[str, str], ...] = ()
+    #: Output is a key-union fusion of all inputs (window/merge): later
+    #: contributors win key conflicts, so collisions are order-sensitive.
+    merges_inputs: bool = False
+    #: Drops records whose sample id was already seen (clears the
+    #: at-least-once duplication taint QoS 1 edges introduce).
+    dedups: bool = False
+    #: The output schema cannot be derived statically (open schema).
+    opaque: bool = False
+
+
 class StreamOperator(Component):
     """Base class wiring a sub-task to flows and the module CPU.
 
@@ -78,6 +116,14 @@ class StreamOperator(Component):
     """
 
     cost_op = "flow.process"
+
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        """Static payload contract for this configuration (base:
+        pass-through). Overridden per operator; callers must treat a
+        raising implementation as opaque (malformed params are RCP1xx's
+        job, not this one's)."""
+        return PayloadEffect()
 
     def __init__(
         self, module: "NeuronModule", application: str, subtask: SubTask
@@ -321,11 +367,24 @@ class StreamOperator(Component):
             self._handoff_seen = None
 
     def export_state(self) -> dict[str, Any]:
-        """Serializable cross-record state for migration (base: none)."""
+        """Serializable cross-record state for migration (base: none).
+
+        Notes the state cell so the schedule sanitizer can order the
+        export against same-instant record processing; overrides must
+        call ``super().export_state()`` first to keep that visibility.
+        """
+        if self._state_cell is not None:
+            self._state_cell.note_read()
         return {}
 
     def import_state(self, state: dict[str, Any]) -> None:
-        """Restore state exported by a predecessor instance (base: no-op)."""
+        """Restore state exported by a predecessor instance (base: no-op).
+
+        Notes the state cell (see :meth:`export_state`); overrides must
+        call ``super().import_state(state)`` first.
+        """
+        if self._state_cell is not None:
+            self._state_cell.note_write()
 
     def on_stop(self) -> None:
         if self.subscriber is not None:
@@ -382,6 +441,10 @@ class WindowOperator(StreamOperator):
     ``interval_s`` (time mode).
     """
 
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        return PayloadEffect(merges_inputs=True)
+
     def configure(self) -> None:
         self.mode = str(self.params.get("mode", "align"))
         if self.mode == "align":
@@ -435,6 +498,7 @@ class WindowOperator(StreamOperator):
             self._emit_window(batch)
 
     def export_state(self) -> dict[str, Any]:
+        super().export_state()
         state: dict[str, Any] = {"windows_emitted": self.windows_emitted}
         if self.mode == "align":
             state["pending"] = {
@@ -446,6 +510,7 @@ class WindowOperator(StreamOperator):
         return state
 
     def import_state(self, state: dict[str, Any]) -> None:
+        super().import_state(state)
         self.windows_emitted = int(state.get("windows_emitted", 0))
         if self.mode == "align":
             self._pending = {
@@ -533,6 +598,25 @@ class MapOperator(StreamOperator):
     plus that function's own parameters.
     """
 
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        fn = str(params.get("fn", "identity"))
+        if fn == "select":
+            keys = tuple(str(k) for k in params.get("keys", ()))
+            return PayloadEffect(reads=keys, select=keys)
+        if fn == "rename":
+            mapping = dict(params.get("mapping", {}))
+            pairs = tuple(sorted((str(k), str(v)) for k, v in mapping.items()))
+            return PayloadEffect(reads=tuple(k for k, _ in pairs), renames=pairs)
+        if fn == "scale":
+            key = params.get("key")
+            return PayloadEffect(reads=(str(key),) if key is not None else ())
+        if fn == "magnitude":
+            keys = tuple(str(k) for k in params.get("keys", ()))
+            out = str(params.get("out", "magnitude"))
+            return PayloadEffect(reads=keys, adds=(out,))
+        return PayloadEffect()
+
     def configure(self) -> None:
         fn_name = str(self.params.get("fn", "identity"))
         fn = _MAP_FNS.get(fn_name)
@@ -573,6 +657,15 @@ class FilterOperator(StreamOperator):
     Params: ``key``; ``op`` (gt/ge/lt/le/eq/ne, default ``gt``); ``value``;
     ``field`` = ``datum`` (default) or ``attrs``.
     """
+
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        key = params.get("key")
+        if key is None:
+            return PayloadEffect()
+        if str(params.get("field", "datum")) == "attrs":
+            return PayloadEffect(reads_attrs=(str(key),))
+        return PayloadEffect(reads=(str(key),))
 
     def configure(self) -> None:
         try:
@@ -619,11 +712,16 @@ class MergeOperator(StreamOperator):
     later-arriving stream wins for that emission.
     """
 
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        return PayloadEffect(merges_inputs=True)
+
     def configure(self) -> None:
         self.require_all = bool(self.params.get("require_all", True))
         self._latest: dict[str, FlowRecord] = {}
 
     def export_state(self) -> dict[str, Any]:
+        super().export_state()
         return {
             "latest": {
                 stream: record.to_payload()
@@ -632,6 +730,7 @@ class MergeOperator(StreamOperator):
         }
 
     def import_state(self, state: dict[str, Any]) -> None:
+        super().import_state(state)
         self._latest = {
             stream: FlowRecord.from_payload(payload)
             for stream, payload in state.get("latest", {}).items()
@@ -662,6 +761,15 @@ class StatOperator(StreamOperator):
     default 64), ``stats`` (subset of mean/std/min/max, default mean+std).
     """
 
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        keys = tuple(str(k) for k in params.get("keys", ()) or ())
+        wanted = tuple(str(s) for s in params.get("stats", ["mean", "std"]))
+        return PayloadEffect(
+            reads=keys,
+            adds_attrs=tuple(f"{key}_{stat}" for key in keys for stat in wanted),
+        )
+
     def configure(self) -> None:
         keys = self.params.get("keys")
         if not keys:
@@ -676,9 +784,11 @@ class StatOperator(StreamOperator):
         self.wanted = list(wanted)
 
     def export_state(self) -> dict[str, Any]:
+        super().export_state()
         return {"window": self.window.export_state()}
 
     def import_state(self, state: dict[str, Any]) -> None:
+        super().import_state(state)
         self.window.import_state(state.get("window", {}))
 
     def on_record(self, stream: str, record: FlowRecord) -> None:
@@ -715,6 +825,20 @@ class CommandOperator(StreamOperator):
     command fires when no rule matches. The looked-up value comes from the
     record attributes first, then the datum.
     """
+
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        keys: list[str] = []
+        rules = params.get("rules")
+        for rule in rules if isinstance(rules, list) else []:
+            if not isinstance(rule, dict):
+                continue
+            when = rule.get("when")
+            if isinstance(when, dict) and "key" in when:
+                key = str(when["key"])
+                if key not in keys:
+                    keys.append(key)
+        return PayloadEffect(reads_any=tuple(keys), adds_attrs=("command",))
 
     def configure(self) -> None:
         rules = self.params.get("rules")
@@ -774,6 +898,12 @@ class EwmaOperator(StreamOperator):
     ones so downstream operators are oblivious to the smoothing.
     """
 
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        return PayloadEffect(
+            reads=tuple(str(k) for k in params.get("keys", ()) or ())
+        )
+
     def configure(self) -> None:
         alpha = float(self.params.get("alpha", 0.2))
         if not 0.0 < alpha <= 1.0:
@@ -783,9 +913,11 @@ class EwmaOperator(StreamOperator):
         self._state: dict[str, float] = {}
 
     def export_state(self) -> dict[str, Any]:
+        super().export_state()
         return {"state": dict(sorted(self._state.items()))}
 
     def import_state(self, state: dict[str, Any]) -> None:
+        super().import_state(state)
         self._state = {
             str(k): float(v) for k, v in state.get("state", {}).items()
         }
@@ -824,6 +956,11 @@ class DeltaOperator(StreamOperator):
     record always passes (it establishes the baseline downstream).
     """
 
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        key = params.get("key")
+        return PayloadEffect(reads=(str(key),) if key else ())
+
     def configure(self) -> None:
         key = self.params.get("key")
         if not key:
@@ -834,9 +971,11 @@ class DeltaOperator(StreamOperator):
         self.records_suppressed = 0
 
     def export_state(self) -> dict[str, Any]:
+        super().export_state()
         return {"last": self._last}
 
     def import_state(self, state: dict[str, Any]) -> None:
+        super().import_state(state)
         self._last = state.get("last")
 
     def on_record(self, stream: str, record: FlowRecord) -> None:
@@ -881,9 +1020,11 @@ class ThrottleOperator(StreamOperator):
         self.records_suppressed = 0
 
     def export_state(self) -> dict[str, Any]:
+        super().export_state()
         return {"next_allowed": self._next_allowed}
 
     def import_state(self, state: dict[str, Any]) -> None:
+        super().import_state(state)
         self._next_allowed = float(state.get("next_allowed", 0.0))
 
     def on_record(self, stream: str, record: FlowRecord) -> None:
@@ -909,6 +1050,10 @@ class DedupOperator(StreamOperator):
     samples (default 1024).
     """
 
+    @classmethod
+    def payload_effect(cls, params: dict[str, Any]) -> PayloadEffect:
+        return PayloadEffect(dedups=True)
+
     def configure(self) -> None:
         window = int(self.params.get("window", 1024))
         if window <= 0:
@@ -920,9 +1065,11 @@ class DedupOperator(StreamOperator):
         self.duplicates_dropped = 0
 
     def export_state(self) -> dict[str, Any]:
+        super().export_state()
         return {"order": self._order.to_list()}
 
     def import_state(self, state: dict[str, Any]) -> None:
+        super().import_state(state)
         self._order.clear()
         self._seen.clear()
         for sample_id in state.get("order", []):

@@ -15,15 +15,31 @@ Two engines share one diagnostics currency
 
 Run both from the command line via ``repro lint``; the deployment path
 (:mod:`repro.core.management`) runs the recipe checker automatically.
+
+A third engine, the **interprocedural dataflow analyzer**
+(:mod:`repro.lint.dataflow`), reasons across files and across the task
+graph: state-declaration soundness for the schedule sanitizer
+(SAN020/SAN021), recipe payload-schema and at-least-once semantics
+checks (RCP200–RCP212), and the cost-model drift gate (RCP230/RCP231)
+that replays benchmark baselines against the calibrated cost model.
+``repro lint --dataflow`` / ``--calibrate`` run it.
 """
 
+from repro.lint.dataflow import (
+    DATAFLOW_RULES,
+    StreamSchema,
+    analyze_state_soundness,
+    check_cost_drift,
+    check_recipe_payloads,
+    propagate_schemas,
+)
 from repro.lint.engine import LintRun, lint_paths, lint_source
 from repro.lint.recipe_check import (
     check_rate_feasibility,
     check_recipe,
     check_recipe_dict,
 )
-from repro.lint.report import render_json, render_text
+from repro.lint.report import render_json, render_sarif, render_text
 from repro.lint.rules import RULE_CATALOG, LintRule, rule_catalog
 
 __all__ = [
@@ -33,7 +49,14 @@ __all__ = [
     "check_recipe",
     "check_recipe_dict",
     "check_rate_feasibility",
+    "check_recipe_payloads",
+    "check_cost_drift",
+    "analyze_state_soundness",
+    "propagate_schemas",
+    "StreamSchema",
+    "DATAFLOW_RULES",
     "render_json",
+    "render_sarif",
     "render_text",
     "LintRule",
     "RULE_CATALOG",

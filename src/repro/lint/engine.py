@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 import repro.lint.determinism  # noqa: F401  - registers the DET rules
+import repro.lint.envflags  # noqa: F401  - registers the FLG rules
 from repro.lint.rules import RULE_CATALOG, LintRule
 from repro.lint.suppress import parse_suppressions
 from repro.util.validate import Diagnostic, Severity, blocking

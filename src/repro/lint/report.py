@@ -8,7 +8,7 @@ from typing import Iterable
 
 from repro.util.validate import Diagnostic, Severity, blocking
 
-__all__ = ["render_text", "render_json", "summary_counts"]
+__all__ = ["render_text", "render_json", "render_sarif", "summary_counts"]
 
 
 def summary_counts(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
@@ -57,3 +57,86 @@ def render_json(
     if files_checked is not None:
         payload["files_checked"] = files_checked
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_descriptions() -> dict[str, str]:
+    """Best-effort id -> description over every rule family we emit."""
+    from repro.lint.dataflow import DATAFLOW_RULES
+    from repro.lint.rules import RULE_CATALOG
+    from repro.san.rules import SAN_RULES
+
+    table = {rule_id: cls.description for rule_id, cls in RULE_CATALOG.items()}
+    table.update({rid: rule.description for rid, rule in SAN_RULES.items()})
+    table.update({rid: rule.description for rid, rule in DATAFLOW_RULES.items()})
+    return table
+
+
+def render_sarif(
+    diagnostics: list[Diagnostic],
+    strict: bool = False,
+    suppressed: int = 0,
+    files_checked: int | None = None,
+) -> str:
+    """SARIF 2.1.0 log for code-scanning upload.
+
+    Findings without a file anchor (recipe / bench checks carry ``where``
+    instead) become logical locations, which SARIF viewers render as the
+    result's scope line.
+    """
+    descriptions = _rule_descriptions()
+    rule_ids = sorted({diag.rule for diag in diagnostics})
+    results = []
+    for diag in diagnostics:
+        result: dict[str, object] = {
+            "ruleId": diag.rule,
+            "level": _SARIF_LEVEL.get(diag.severity, "warning"),
+            "message": {"text": diag.format()},
+        }
+        if diag.file:
+            region: dict[str, int] = {"startLine": max(1, diag.line or 1)}
+            if diag.col:
+                region["startColumn"] = diag.col + 1
+            result["locations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": diag.file},
+                        "region": region,
+                    }
+                }
+            ]
+        elif diag.where:
+            result["locations"] = [
+                {"logicalLocations": [{"fullyQualifiedName": diag.where}]}
+            ]
+        results.append(result)
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": descriptions.get(rule_id, rule_id)
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -515,7 +515,8 @@ class Broker(Component):
     ) -> None:
         if session is None:
             return
-        self.stats.pubacks_in += 1
+        # The inflight-window state itself is noted on session.cell below.
+        self.stats.pubacks_in += 1  # repro: san-ok[SAN021] commutative counter
         if session.cell is not None:
             session.cell.note_write()
         inflight = session.inflight.pop(packet["packet_id"], None)

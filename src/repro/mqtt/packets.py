@@ -10,11 +10,11 @@ charged to the network model, so timing behaviour is faithful.
 from __future__ import annotations
 
 import enum
-import os
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ProtocolError
+from repro.util.flags import flag_enabled
 from repro.util.serialization import decode_payload, encode_payload
 
 __all__ = ["PacketType", "Packet", "wire_fastpath_default"]
@@ -25,7 +25,7 @@ def wire_fastpath_default() -> bool:
 
     ``REPRO_WIRE_FASTPATH=0`` disables it for differential testing.
     """
-    return os.environ.get("REPRO_WIRE_FASTPATH", "1") != "0"
+    return flag_enabled("REPRO_WIRE_FASTPATH")
 
 
 #: Module-level switch read on every encode/decode so tests can flip it.

@@ -260,6 +260,9 @@ class WlanMedium(Medium):
             burst.validate()
         if duration_s is not None:
             require_positive(duration_s, "duration_s")
+        # Degradation windows change how every in-flight frame is priced
+        # and dropped — that is channel state, same as the contention queue.
+        self._channel_cell.note_write()
         handle = self._next_degradation_handle
         self._next_degradation_handle += 1
         self._degradations.append(
@@ -275,6 +278,7 @@ class WlanMedium(Medium):
 
     def restore_link(self, handle: int) -> bool:
         """End the degradation window ``handle``. Returns True if found."""
+        self._channel_cell.note_write()
         before = len(self._degradations)
         self._degradations = [d for d in self._degradations if d.handle != handle]
         return len(self._degradations) < before

@@ -348,6 +348,9 @@ class Profiler:
         if getattr(runtime, "wlan", None) is not None and window > 0.0:
             share = self._wlan_timeline.busy_between(self._last_sample_t, now)
             u["prof.wlan.util"] = round(share / window, 9)
+        # Sampling consumes the accounting accumulators and moves the
+        # window origin the next busy_between() is measured from.
+        self._cell.note_write()
         self.samples += 1
         self._last_sample_t = now
         runtime.tracer.emit(now, "prof", PROF_SAMPLE_EVENT, u=u)

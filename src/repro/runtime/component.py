@@ -91,7 +91,7 @@ class Component:
     ) -> TimerHandle:
         """One-shot timer owned by this component."""
         handle = self.runtime.call_later(delay, self._guard(callback), *args)
-        self._timers.append(handle)
+        self._timers.append(handle)  # repro: san-ok[SAN020] append-only registration
         return handle
 
     def every(
@@ -101,7 +101,7 @@ class Component:
         timer = PeriodicTimer(
             self.runtime, interval, self._guard(callback), start_delay=start_delay
         )
-        self._periodic.append(timer)
+        self._periodic.append(timer)  # repro: san-ok[SAN020] append-only registration
         return timer
 
     def _guard(self, callback: Callable[..., None]) -> Callable[..., None]:
@@ -126,15 +126,15 @@ class Component:
         """Cancel all timers and mark the component stopped. Idempotent."""
         if self.stopped:
             return
-        self.stopped = True
+        self.stopped = True  # repro: san-ok[SAN020] monotonic latch, guarded re-entry
         for handle in self._timers:
             handle.cancel()
-        self._timers.clear()
+        self._timers.clear()  # repro: san-ok[SAN020] idempotent teardown
         for timer in self._periodic:
             timer.cancel()
-        self._periodic.clear()
+        self._periodic.clear()  # repro: san-ok[SAN020] idempotent teardown
         if self in self.node.components:
-            self.node.components.remove(self)
+            self.node.components.remove(self)  # repro: san-ok[SAN020] idempotent teardown
         self.on_stop()
 
     def on_stop(self) -> None:

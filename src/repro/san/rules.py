@@ -57,6 +57,38 @@ SAN_RULES: dict[str, SanRule] = {
             ),
         ),
         SanRule(
+            rule_id="SAN020",
+            severity=Severity.ERROR,
+            description=(
+                "undeclared schedule-reachable state: a method reachable "
+                "from scheduled handlers mutates an instance attribute of "
+                "a class that declares no tracked_state cell at all — the "
+                "dynamic sanitizer is blind to every race on it"
+            ),
+            hint=(
+                "declare the state with tracked_state(...) (repro.runtime."
+                "state) so SAN001/SAN002 can see it, or annotate the "
+                "mutation '# repro: san-ok[SAN020]' if it is init-only or "
+                "commutative by construction"
+            ),
+        ),
+        SanRule(
+            rule_id="SAN021",
+            severity=Severity.WARNING,
+            description=(
+                "partially tracked state: the class declares tracked_state "
+                "cells, but this schedule-reachable mutation is in a "
+                "method with no cell access on any path from a covered "
+                "method — races on it are invisible to the sanitizer"
+            ),
+            hint=(
+                "note the mutation through an existing cell (note_write), "
+                "declare a cell for the attribute, or annotate "
+                "'# repro: san-ok[SAN021]' if the attribute is init-only "
+                "or commutative by construction"
+            ),
+        ),
+        SanRule(
             rule_id="SAN010",
             severity=Severity.ERROR,
             description=(

@@ -20,6 +20,16 @@ class SensorModel(ABC):
     def sample(self, t: float, rng: random.Random) -> dict[str, Any]:
         """One reading at time ``t`` (a flat dict of numbers/strings)."""
 
+    def channel_keys(self) -> tuple[str, ...] | None:
+        """The datum keys every reading carries, or ``None`` if unknown.
+
+        The static payload checker (:mod:`repro.lint.dataflow`) seeds each
+        sensor task's output schema from this, so a recipe reading a key
+        the device never emits is caught before deployment. Models whose
+        payload is not statically known return ``None`` (open schema).
+        """
+        return None
+
     def sample_batch(
         self, t0: float, dt: float, n: int, rng: random.Random
     ) -> list[dict[str, Any]]:

@@ -44,6 +44,9 @@ class FixedPayloadModel(SensorModel):
         )
         self._half_period = self.label_period_s / 2
 
+    def channel_keys(self) -> tuple[str, ...]:
+        return tuple(key for key, _period in self._channels) + ("label",)
+
     def sample(self, t: float, rng: random.Random) -> dict[str, Any]:
         reading: dict[str, Any] = {}
         gauss = rng.gauss
@@ -90,6 +93,9 @@ class AccelerometerModel(SensorModel):
         self.events = events
         self.sway_sigma = sway_sigma
 
+    def channel_keys(self) -> tuple[str, ...]:
+        return ("ax", "ay", "az")
+
     def sample(self, t: float, rng: random.Random) -> dict[str, Any]:
         fall = self.events.active(t, "fall")
         if fall:
@@ -127,6 +133,9 @@ class EnvironmentSensorModel(SensorModel):
         self.events = events
         self.day_length_s = require_positive(day_length_s, "day_length_s")
         self._sound_floor = random_walk(start=32.0, step=0.5, low=28.0, high=40.0)
+
+    def channel_keys(self) -> tuple[str, ...]:
+        return ("illuminance_lux", "sound_db", "motion", "state")
 
     def sample(self, t: float, rng: random.Random) -> dict[str, Any]:
         occupied = self.events.is_active(t, "occupied")
@@ -168,6 +177,9 @@ class CrowdSensorModel(SensorModel):
         self.scenic_level = require_in_range(scenic_level, 0.0, 1.0, "scenic_level")
         self.day_length_s = require_positive(day_length_s, "day_length_s")
 
+    def channel_keys(self) -> tuple[str, ...]:
+        return ("people_count", "flow_speed_mps", "scenic_level")
+
     def sample(self, t: float, rng: random.Random) -> dict[str, Any]:
         base = 4.0 + 20.0 * self.popularity * diurnal(t, self.day_length_s)
         for surge in self.events.active(t, "surge"):
@@ -196,6 +208,9 @@ class CameraModel(SensorModel):
     def __init__(self, events: EventSchedule, occupants: int = 1) -> None:
         self.events = events
         self.occupants = max(0, int(occupants))
+
+    def channel_keys(self) -> tuple[str, ...]:
+        return ("motion_level", "person_count", "luminance")
 
     def sample(self, t: float, rng: random.Random) -> dict[str, Any]:
         falling = self.events.is_active(t, "fall")

@@ -61,10 +61,11 @@ CPython; on other implementations pooling is disabled entirely.
 from __future__ import annotations
 
 import heapq
-import os
 import random
 import sys
 from typing import Any, Callable
+
+from repro.util.flags import flag_enabled
 
 __all__ = ["EventHandle", "EventQueue", "pooling_default"]
 
@@ -117,7 +118,7 @@ def pooling_default() -> bool:
     """
     if sys.implementation.name != "cpython":
         return False
-    return os.environ.get("REPRO_EVENT_POOL", "1") != "0"
+    return flag_enabled("REPRO_EVENT_POOL")
 
 
 class EventHandle:

@@ -94,3 +94,85 @@ def test_recipe_file_with_findings(tmp_path, capsys):
 
 def test_missing_recipe_file_is_io_error(capsys):
     assert main(["lint", "--recipe", "no/such/file.recipe"]) == 2
+
+
+def test_catalog_lists_dataflow_rules(capsys):
+    assert main(["lint", "--catalog"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("FLG001", "SAN020", "SAN021", "RCP200", "RCP210", "RCP230"):
+        assert rule_id in out
+
+
+def test_dataflow_flag_runs_state_soundness(tmp_path, capsys):
+    path = tmp_path / "toy.py"
+    path.write_text(
+        "from repro.runtime.component import Component\n"
+        "\n"
+        "class Toy(Component):\n"
+        "    def on_record(self, stream, record):\n"
+        "        self.seen = 1\n",
+        encoding="utf-8",
+    )
+    # The determinism engine alone accepts the file ...
+    assert main(["lint", str(path)]) == 0
+    capsys.readouterr()
+    # ... the dataflow pass does not.
+    assert main(["lint", str(path), "--dataflow"]) == 1
+    assert "SAN020" in capsys.readouterr().out
+
+
+def test_recipe_shortcuts_pass_payload_checks(capsys):
+    for shortcut in ("fig5", "paper", "failover"):
+        assert main(["lint", "--recipe", shortcut, "--strict"]) == 0, shortcut
+        capsys.readouterr()
+
+
+def test_calibrate_committed_baseline_passes(capsys):
+    baseline = "benchmarks/baselines/BENCH_fig5.json"
+    assert main(["lint", "--calibrate", baseline, "--strict"]) == 0
+    assert "lint OK" in capsys.readouterr().out
+
+
+def test_calibrate_stale_baseline_fails(tmp_path, capsys):
+    # A baseline recorded under a 2x-cheaper model: every op drifts +100%.
+    baseline = json.loads(
+        __import__("pathlib").Path("benchmarks/baselines/BENCH_fig5.json").read_text()
+    )
+    for entry in baseline["sim"]["op_busy"].values():
+        entry["busy_s"] *= 2.0
+    stale = tmp_path / "BENCH_stale.json"
+    stale.write_text(json.dumps(baseline), encoding="utf-8")
+    assert main(["lint", "--calibrate", str(stale)]) == 1
+    assert "RCP230" in capsys.readouterr().out
+
+
+def test_sarif_format(tmp_path, capsys):
+    path = tmp_path / "dirty.py"
+    path.write_text("import time\nx = time.time()\n", encoding="utf-8")
+    assert main(["lint", str(path), "--format", "sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    result = run["results"][0]
+    assert result["ruleId"] == "DET001"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["region"]["startLine"] == 2
+
+
+def test_sarif_where_only_findings_use_logical_locations(capsys):
+    from repro.lint import render_sarif
+    from repro.util.validate import Diagnostic, Severity
+
+    diag = Diagnostic(
+        rule="RCP230",
+        severity=Severity.ERROR,
+        message="drift",
+        where="bench fig5: op mqtt.send",
+    )
+    log = json.loads(render_sarif([diag]))
+    location = log["runs"][0]["results"][0]["locations"][0]
+    assert location["logicalLocations"][0]["fullyQualifiedName"] == (
+        "bench fig5: op mqtt.send"
+    )

@@ -1,0 +1,268 @@
+"""State-declaration soundness (SAN020/SAN021): injected violations,
+the acceptance pair, coverage propagation, and suppression routing."""
+
+import textwrap
+
+from repro.lint import analyze_state_soundness, lint_source
+
+
+def analyze(tmp_path, source: str, name: str = "fixture.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return analyze_state_soundness([str(path)])
+
+
+#: The acceptance pair's broken half: a periodic component counting ticks
+#: in a plain attribute — no tracked_state cell anywhere, so the dynamic
+#: sanitizer can never see a race on it.
+TOY_UNDECLARED = """\
+from repro.runtime.component import Component
+
+
+class ToyCounter(Component):
+    def __init__(self, node):
+        super().__init__(node, "toy")
+        self.ticks = 0
+        self.every(1.0, self._tick)
+
+    def _tick(self):
+        self.ticks += 1
+"""
+
+#: The fixed half: same component, state declared and noted.
+TOY_TRACKED = """\
+from repro.runtime.component import Component
+from repro.runtime.state import tracked_state
+
+
+class ToyCounter(Component):
+    def __init__(self, node):
+        super().__init__(node, "toy")
+        self._cell = tracked_state(node.runtime, "toy", "ticks")
+        self.ticks = 0
+        self.every(1.0, self._tick)
+
+    def _tick(self):
+        self._cell.note_write()
+        self.ticks += 1
+"""
+
+
+class TestAcceptancePair:
+    def test_undeclared_toy_is_caught_with_exact_anchor(self, tmp_path):
+        run = analyze(tmp_path, TOY_UNDECLARED)
+        assert [d.rule for d in run.diagnostics] == ["SAN020"]
+        diag = run.diagnostics[0]
+        # Anchored to `self.ticks += 1` inside _tick, not the __init__ one.
+        assert diag.line == 11
+        assert "ToyCounter._tick" in diag.message
+        assert "self.ticks" in diag.message
+
+    def test_tracked_toy_passes(self, tmp_path):
+        run = analyze(tmp_path, TOY_TRACKED)
+        assert run.diagnostics == []
+
+    def test_init_mutations_are_exempt(self, tmp_path):
+        # Both halves assign self.ticks in __init__; neither flags it.
+        for source in (TOY_UNDECLARED, TOY_TRACKED):
+            run = analyze(tmp_path, source)
+            assert all(d.line != 8 for d in run.diagnostics)
+
+
+class TestPartialTracking:
+    def test_uncovered_mutation_in_cell_owning_class_is_san021(self, tmp_path):
+        run = analyze(
+            tmp_path,
+            """\
+            from repro.runtime.component import Component
+            from repro.runtime.state import tracked_state
+
+
+            class Partial(Component):
+                def __init__(self, node):
+                    super().__init__(node, "p")
+                    self._cell = tracked_state(node.runtime, "p", "a")
+                    self.every(1.0, self._tick)
+
+                def _tick(self):
+                    self.untracked = 1
+            """,
+        )
+        assert [(d.rule, d.line) for d in run.diagnostics] == [("SAN021", 12)]
+
+    def test_coverage_flows_through_called_helpers(self, tmp_path):
+        # The handler notes the cell, then delegates the mutation to a
+        # helper: the helper is covered via the instance-scoped edge.
+        run = analyze(
+            tmp_path,
+            """\
+            from repro.runtime.component import Component
+            from repro.runtime.state import tracked_state
+
+
+            class Delegating(Component):
+                def __init__(self, node):
+                    super().__init__(node, "d")
+                    self._cell = tracked_state(node.runtime, "d", "a")
+                    self.every(1.0, self._tick)
+
+                def _tick(self):
+                    self._cell.note_write()
+                    self._bump()
+
+                def _bump(self):
+                    self.count = 1
+            """,
+        )
+        assert run.diagnostics == []
+
+    def test_super_call_covers_the_override(self, tmp_path):
+        run = analyze(
+            tmp_path,
+            """\
+            from repro.runtime.component import Component
+            from repro.runtime.state import tracked_state
+
+
+            class Base(Component):
+                def __init__(self, node):
+                    super().__init__(node, "b")
+                    self._cell = tracked_state(node.runtime, "b", "s")
+                    self.every(1.0, self.work)
+
+                def work(self):
+                    self._cell.note_write()
+
+
+            class Child(Base):
+                def work(self):
+                    super().work()
+                    self.extra = 1
+            """,
+        )
+        assert run.diagnostics == []
+
+    def test_property_backed_cell_is_not_flagged(self, tmp_path):
+        # The runtime Node pattern: `self.alive = x` runs a property
+        # setter that writes the cell — a mutation of the property name
+        # is a call, not untracked state.
+        run = analyze(
+            tmp_path,
+            """\
+            from repro.runtime.component import Component
+            from repro.runtime.state import tracked_state
+
+
+            class Gadget(Component):
+                def __init__(self, node):
+                    super().__init__(node, "g")
+                    self._alive = tracked_state(node.runtime, "g", "alive")
+                    self.every(1.0, self.fail)
+
+                @property
+                def alive(self):
+                    return self._alive.value
+
+                @alive.setter
+                def alive(self, up):
+                    self._alive.value = up
+
+                def fail(self):
+                    self.alive = False
+            """,
+        )
+        assert run.diagnostics == []
+
+
+class TestScoping:
+    def test_non_component_helper_classes_are_not_flagged(self, tmp_path):
+        # A cell-less value class mutated from a schedule-reachable
+        # method belongs to the component driving it.
+        run = analyze(
+            tmp_path,
+            """\
+            class RunningStats:
+                def add(self, x):
+                    self.total = getattr(self, "total", 0.0) + x
+            """,
+        )
+        assert run.diagnostics == []
+
+    def test_unreachable_methods_are_not_flagged(self, tmp_path):
+        run = analyze(
+            tmp_path,
+            """\
+            from repro.runtime.component import Component
+
+
+            class Idle(Component):
+                def helper_nobody_calls(self):
+                    self.x = 1
+            """,
+        )
+        # Not registered with any scheduling call and not a lifecycle
+        # root: nothing schedule-reachable mutates state.
+        assert run.diagnostics == []
+
+    def test_lifecycle_roots_are_reachable(self, tmp_path):
+        run = analyze(
+            tmp_path,
+            """\
+            from repro.runtime.component import Component
+
+
+            class Sink(Component):
+                def on_record(self, stream, record):
+                    self.seen = 1
+            """,
+        )
+        assert [d.rule for d in run.diagnostics] == ["SAN020"]
+
+
+class TestSuppressionRouting:
+    def test_san_ok_suppresses_san020(self, tmp_path):
+        source = TOY_UNDECLARED.replace(
+            "        self.ticks += 1",
+            "        self.ticks += 1  # repro: san-ok[SAN020] commutative",
+        )
+        run = analyze(tmp_path, source)
+        assert run.diagnostics == []
+        assert run.suppressed == 1
+
+    def test_lint_ok_does_not_suppress_san_rules(self, tmp_path):
+        source = TOY_UNDECLARED.replace(
+            "        self.ticks += 1",
+            "        self.ticks += 1  # repro: lint-ok[SAN020]",
+        )
+        run = analyze(tmp_path, source)
+        assert [d.rule for d in run.diagnostics] == ["SAN020"]
+        assert run.suppressed == 0
+
+    def test_san_ok_does_not_suppress_engine_rules(self):
+        run = lint_source(
+            "import time\n"
+            "x = time.time()  # repro: san-ok[DET001]\n"
+        )
+        assert [d.rule for d in run.diagnostics] == ["DET001"]
+        assert run.suppressed == 0
+
+    def test_wrong_rule_id_in_san_ok_does_not_apply(self, tmp_path):
+        source = TOY_UNDECLARED.replace(
+            "        self.ticks += 1",
+            "        self.ticks += 1  # repro: san-ok[SAN021]",
+        )
+        run = analyze(tmp_path, source)
+        assert [d.rule for d in run.diagnostics] == ["SAN020"]
+
+
+class TestSelfAnalysis:
+    def test_repository_is_state_sound(self):
+        from pathlib import Path
+
+        from repro.lint.report import render_text
+
+        package = Path(__file__).resolve().parents[2] / "src" / "repro"
+        run = analyze_state_soundness([str(package)])
+        assert run.ok(strict=True), render_text(
+            run.diagnostics, strict=True, label="san"
+        )

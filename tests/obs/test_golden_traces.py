@@ -22,15 +22,15 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from pathlib import Path
 
 import pytest
 
 from repro.obs import canonical_span_lines, check_span_integrity, spans_from_tracer
+from repro.util.flags import flag_enabled
 
 GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
-REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+REGEN = flag_enabled("REPRO_REGEN_GOLDEN")
 
 
 def _digests(tracer, tmp_path: Path) -> dict:
