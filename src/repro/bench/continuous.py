@@ -46,7 +46,10 @@ __all__ = [
 #: records with differing schema versions.
 #: v2: fig5/failover records carry ``sim.op_busy`` (per-op CPU busy
 #: accounting) feeding the cost-model drift gate (RCP230).
-BENCH_SCHEMA_VERSION = 2
+#: v3: records carry per-flow end-to-end latency summaries
+#: (``sim.flows`` / per-rate ``flows``: count + p50/p95/p99/max ms)
+#: feeding the latency-bound soundness gate (RCP243/RCP244).
+BENCH_SCHEMA_VERSION = 3
 
 #: Default relative tolerance on wall-clock events/sec (same-env only).
 DEFAULT_WALL_TOLERANCE = 0.35
@@ -127,6 +130,49 @@ def _op_busy(profiler: Any) -> dict[str, dict[str, Any]]:
     }
 
 
+def _round_flows(
+    flows: dict[str, dict[str, float]]
+) -> dict[str, dict[str, Any]]:
+    """Canonical serialized form of a per-flow latency summary."""
+    return {
+        stage: {
+            key: int(value) if key == "count" else round(float(value), 6)
+            for key, value in sorted(summary.items())
+        }
+        for stage, summary in sorted(flows.items())
+    }
+
+
+def _recorder_summary(recorder: Any) -> dict[str, float]:
+    """Flow-summary shape from a harness :class:`LatencyRecorder` (ms)."""
+    return {
+        "count": recorder.count,
+        "p50_ms": recorder.percentile(50),
+        "p95_ms": recorder.percentile(95),
+        "p99_ms": recorder.percentile(99),
+        "max_ms": recorder.maximum,
+    }
+
+
+def _tracer_flows(tracer: Any) -> dict[str, dict[str, Any]]:
+    """Per-flow latency summaries from an observed run's tracer.
+
+    The observed companion run exists purely to measure flow latencies:
+    observation piggybacks span context on records, so its event counts
+    differ from the unobserved run that produces every other sim metric.
+    Both runs are pure functions of (scenario, seed), so the summaries
+    are still compared byte-exact.
+    """
+    from repro.obs.breakdown import (
+        flow_latency_summary,
+        spans_from_tracer,
+        stage_breakdown,
+    )
+
+    breakdown = stage_breakdown(spans_from_tracer(tracer))
+    return _round_flows(flow_latency_summary(breakdown))
+
+
 def _bench_fig5() -> BenchRecord:
     """The Fig. 5 watching experiment, profiled under the Pi calibration."""
     from repro.bench.calibration import pi_cost_model
@@ -161,6 +207,10 @@ def _bench_fig5() -> BenchRecord:
         else 0.0,
         "op_busy": _op_busy(profiler) if profiler else {},
     }
+    observed = run_fig5_experiment(
+        seed=55, duration_s=30.0, observe=True, cost_model=pi_cost_model()
+    )
+    record.sim["flows"] = _tracer_flows(observed.tracer)
     events = record.sim["events_executed"]
     record.wall = {
         "elapsed_s": round(elapsed, 4),
@@ -192,6 +242,12 @@ def _bench_saturation() -> BenchRecord:
             "samples_sensed": result.samples_sensed,
             "cpu_utilization": dict(result.cpu_utilization),
             "wlan_utilization": round(result.wlan_utilization, 9),
+            "flows": _round_flows(
+                {
+                    "train": _recorder_summary(result.training),
+                    "predict": _recorder_summary(result.predicting),
+                }
+            ),
         }
     elapsed = time.perf_counter() - started  # repro: lint-ok[DET001] - wall-clock half of the bench record
     record.sim = {"seed": 1, "duration_s": 2.5, "rates": rows}
@@ -250,6 +306,10 @@ def _bench_failover() -> BenchRecord:
         "migrations_completed": migrations_done,
         "op_busy": _op_busy(profiler) if profiler else {},
     }
+    observed = run_scenario("failover", seed=0, observe=True)
+    record.sim["flows"] = (
+        _tracer_flows(observed.tracer) if observed.tracer else {}
+    )
     events = profiler.events_profiled if profiler else 0
     record.wall = {
         "elapsed_s": round(elapsed, 4),

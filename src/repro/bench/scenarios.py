@@ -138,6 +138,10 @@ def build_paper_recipe(rate_hz: float, qos: int = 0) -> Recipe:
             inputs=["batch-train"],
             params={"model": "classifier", "label_key": "label", "emit_info": False},
             pin_to=TRAIN_MODULE,
+            # Sensing-to-trained budget at the reference 5 Hz operating
+            # point (`repro lint --recipe paper --deadline`); the static
+            # bound there is ~2.3 s, dominated by the align-window round.
+            deadline_ms=3000,
         ),
         TaskSpec(
             "gather-predict",
@@ -157,6 +161,9 @@ def build_paper_recipe(rate_hz: float, qos: int = 0) -> Recipe:
                 "train_on_stream": True,
             },
             pin_to=PREDICT_MODULE,
+            # Sensing-to-scored budget at the reference 5 Hz operating
+            # point (static bound ~1.7 s; see `train` above).
+            deadline_ms=2500,
         ),
     ]
     return Recipe("paper-exp", tasks)

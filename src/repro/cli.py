@@ -309,9 +309,49 @@ def _lint_recipe(name_or_path: str) -> "tuple[Recipe, str, dict | None]":
     return _load_recipe(path), str(path), None
 
 
+def _lint_latency_context(name_or_path: str) -> "LatencyContext":
+    """The :class:`LatencyContext` matching a ``--recipe`` argument.
+
+    Built-ins get the calibration their committed BENCH baselines were
+    measured under, so ``--validate`` compares like with like:
+
+    * ``fig5`` — Pi cost model on the default WLAN (what ``repro bench``
+      runs the Fig. 5 scenario with);
+    * ``paper`` — Pi cost model on the paper's measured WLAN;
+    * ``failover`` — Pi cost model (a sound upper bound over the chaos
+      testbed's zero-cost model), the chaos link's stationary
+      Gilbert–Elliott loss for QoS 1 retry amplification, and the
+      module-recovery bound as a one-off disruption allowance.
+
+    File recipes get the default context (generic cost model, default
+    WLAN).
+    """
+    from repro.lint import LatencyContext
+
+    if name_or_path == "fig5":
+        from repro.bench.calibration import pi_cost_model
+
+        return LatencyContext(cost_model=pi_cost_model())
+    if name_or_path == "paper":
+        from repro.bench.calibration import pi_cost_model, pi_wlan_config
+
+        return LatencyContext(cost_model=pi_cost_model(), wlan=pi_wlan_config())
+    if name_or_path == "failover":
+        from repro.bench.calibration import pi_cost_model
+        from repro.chaos.scenarios import MODULE_RECOVERY_BOUND_S
+
+        # Stationary loss of the chaos scenario's Gilbert-Elliott link
+        # (p_enter=0.05, p_exit=0.25, loss_bad=0.9).
+        return LatencyContext(
+            cost_model=pi_cost_model(),
+            loss_rate=0.15,
+            disruption_allowance_s=MODULE_RECOVERY_BOUND_S,
+        )
+    return LatencyContext()
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
-        DATAFLOW_RULES,
         LintRun,
         analyze_state_soundness,
         check_cost_drift,
@@ -322,28 +362,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         render_json,
         render_sarif,
         render_text,
-        rule_catalog,
     )
 
     if args.catalog:
-        from repro.san.rules import SAN_RULES
+        from repro.lint.catalog import render_catalog_text
 
-        rows = list(rule_catalog())
-        rows += [
-            (rid, str(SAN_RULES[rid].severity), SAN_RULES[rid].description)
-            for rid in ("SAN020", "SAN021")
-        ]
-        rows += [
-            (rule.rule_id, str(rule.severity), rule.description)
-            for rule in DATAFLOW_RULES.values()
-        ]
-        width = max(len(rule_id) for rule_id, _, _ in rows)
-        for rule_id, severity, description in rows:
-            print(f"{rule_id:<{width}}  {severity:<7}  {description}")
+        print(render_catalog_text())
         return 0
     if not args.paths and not args.recipe and not args.calibrate:
         print(
             "error: nothing to lint (give paths and/or --recipe/--calibrate)",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.deadline or args.validate) and not args.recipe:
+        print(
+            "error: --deadline/--validate analyze a recipe (add --recipe)",
             file=sys.stderr,
         )
         return 2
@@ -360,6 +394,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             + check_rate_feasibility(recipe)
             + check_recipe_payloads(recipe, device_keys)
         )
+        if args.deadline or args.validate:
+            from repro.lint import (
+                analyze_latency,
+                check_bound_soundness,
+                check_deadlines,
+                flows_from_bench,
+                flows_from_trace,
+            )
+
+            context = _lint_latency_context(args.recipe)
+            analysis = analyze_latency(recipe, context)
+            checks += check_deadlines(recipe, context, analysis)
+            if args.validate:
+                observed_path = Path(args.validate)
+                if observed_path.suffix == ".jsonl":
+                    observed = flows_from_trace(observed_path)
+                else:
+                    from repro.bench.continuous import BenchRecord
+
+                    observed = flows_from_bench(
+                        BenchRecord.from_dict(
+                            json.loads(observed_path.read_text())
+                        )
+                    )
+                checks += check_bound_soundness(
+                    recipe,
+                    observed,
+                    context,
+                    analysis,
+                    source=observed_path.name,
+                )
         for diag in checks:
             run.diagnostics.append(diag.replace(file=origin))
     if args.calibrate:
@@ -733,6 +798,26 @@ def build_parser() -> argparse.ArgumentParser:
             "check a bench baseline's per-op busy accounting against the "
             "calibrated cost model (RCP230 drift gate), e.g. "
             "benchmarks/baselines/BENCH_fig5.json"
+        ),
+    )
+    lint.add_argument(
+        "--deadline",
+        action="store_true",
+        help=(
+            "also run the static latency-bound analyzer over --recipe: "
+            "network-calculus bounds per flow checked against declared "
+            "deadline_ms (RCP240-RCP242)"
+        ),
+    )
+    lint.add_argument(
+        "--validate",
+        default="",
+        metavar="TRACE_OR_BENCH",
+        help=(
+            "with --deadline: hold the static bounds against observed "
+            "flow latencies from a BENCH baseline (schema v3 sim.flows) "
+            "or an obs.span .jsonl trace dump (RCP243 soundness gate, "
+            "RCP244 looseness)"
         ),
     )
     lint.add_argument(

@@ -41,7 +41,10 @@ Grammar (one construct per line; ``#`` starts a comment anywhere):
   ``on <module>`` — pin placement,
   ``[param] <key> = <value>`` — operator parameter. The ``param`` prefix
   is only needed when the key collides with a keyword (``in``, ``out``,
-  ``needs``, ``on``, ``task``, ``recipe``, ``param``).
+  ``needs``, ``on``, ``task``, ``recipe``, ``param``). The key
+  ``deadline_ms`` is special: it sets the task's end-to-end deadline
+  (a :class:`TaskSpec` field checked by ``repro lint --deadline``)
+  rather than an operator parameter.
 
 Values parse as JSON when possible (numbers, booleans, ``null``, quoted
 strings, ``[...]`` lists, ``{...}`` objects); otherwise a bare word is a
@@ -134,6 +137,7 @@ def parse_recipe(text: str) -> Recipe:
                 "capabilities": [],
                 "parallelism": int(match.group("par") or 1),
                 "pin_to": None,
+                "deadline_ms": None,
             }
             tasks.append(current)
             continue
@@ -173,7 +177,16 @@ def parse_recipe(text: str) -> Recipe:
                     f"line {line_no}: param {key!r} collides with a keyword; "
                     f"write 'param {key} = ...'"
                 )
-            current["params"][key] = _parse_value(match.group("value"), line_no)
+            value = _parse_value(match.group("value"), line_no)
+            if key == "deadline_ms" and not line.startswith("param "):
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise RecipeError(
+                        f"line {line_no}: deadline_ms must be a number, "
+                        f"got {value!r}"
+                    )
+                current["deadline_ms"] = value
+            else:
+                current["params"][key] = value
 
     if recipe_name is None:
         raise RecipeError("missing 'recipe <name>' declaration")
@@ -190,6 +203,7 @@ def parse_recipe(text: str) -> Recipe:
             capabilities=entry["capabilities"],
             parallelism=entry["parallelism"],
             pin_to=entry["pin_to"],
+            deadline_ms=entry["deadline_ms"],
         )
         for entry in tasks
     ]
@@ -236,6 +250,8 @@ def format_recipe(recipe: Recipe) -> str:
             lines.append(f"    needs {', '.join(task.capabilities)}")
         if task.pin_to:
             lines.append(f"    on {task.pin_to}")
+        if task.deadline_ms is not None:
+            lines.append(f"    deadline_ms = {json.dumps(task.deadline_ms)}")
         for key in sorted(task.params):
             prefix = "param " if key in _KEYWORDS else ""
             lines.append(f"    {prefix}{key} = {_format_value(task.params[key])}")

@@ -50,6 +50,12 @@ class TaskSpec:
     pin_to:
         Optional module name forcing placement (sensors and actuators are
         usually pinned to the module physically wired to the device).
+    deadline_ms:
+        Optional end-to-end deadline for records finishing at this task,
+        in milliseconds from the sensing instant at the flow's root.
+        Declared on sinks; the static latency-bound analyzer
+        (:mod:`repro.lint.latency`) rejects recipes whose computed
+        worst-case bound exceeds it (RCP240).
     """
 
     task_id: str
@@ -60,6 +66,7 @@ class TaskSpec:
     capabilities: list[str] = field(default_factory=list)
     parallelism: int = 1
     pin_to: str | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         require_name(self.task_id, "task_id")
@@ -68,6 +75,12 @@ class TaskSpec:
             raise RecipeError(
                 f"task {self.task_id!r}: parallelism must be >= 1"
             )
+        if self.deadline_ms is not None:
+            self.deadline_ms = float(self.deadline_ms)
+            if not self.deadline_ms > 0:
+                raise RecipeError(
+                    f"task {self.task_id!r}: deadline_ms must be positive"
+                )
 
     def to_dict(self) -> dict[str, Any]:
         result: dict[str, Any] = {
@@ -83,13 +96,15 @@ class TaskSpec:
             result["parallelism"] = self.parallelism
         if self.pin_to is not None:
             result["pin_to"] = self.pin_to
+        if self.deadline_ms is not None:
+            result["deadline_ms"] = self.deadline_ms
         return result
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "TaskSpec":
         unknown = set(data) - {
             "id", "operator", "inputs", "outputs", "params",
-            "capabilities", "parallelism", "pin_to",
+            "capabilities", "parallelism", "pin_to", "deadline_ms",
         }
         if unknown:
             raise RecipeError(f"unknown task fields: {sorted(unknown)}")
@@ -103,6 +118,7 @@ class TaskSpec:
                 capabilities=list(data.get("capabilities", [])),
                 parallelism=int(data.get("parallelism", 1)),
                 pin_to=data.get("pin_to"),
+                deadline_ms=data.get("deadline_ms"),
             )
         except KeyError as exc:
             raise RecipeError(f"task missing required field {exc}") from None

@@ -23,8 +23,29 @@ graph: state-declaration soundness for the schedule sanitizer
 checks (RCP200–RCP212), and the cost-model drift gate (RCP230/RCP231)
 that replays benchmark baselines against the calibrated cost model.
 ``repro lint --dataflow`` / ``--calibrate`` run it.
+
+A fourth engine, the **latency-bound analyzer**
+(:mod:`repro.lint.latency`), runs a network-calculus-style abstract
+interpretation over the task graph: token-bucket arrival curves composed
+with calibrated CPU/WLAN service curves yield a worst-case end-to-end
+latency bound per flow and a backlog bound per shared resource, checked
+against deadlines declared on recipe sinks (RCP240–RCP242) and validated
+against committed trace/bench observations by the soundness gate
+(RCP243/RCP244). ``repro lint --deadline`` / ``--validate`` run it.
+
+Every implemented rule across the four engines (plus the sanitizer's
+SAN-series) is registered in :mod:`repro.lint.catalog`; ``repro lint
+--catalog``, the README table and SARIF rule metadata all render from
+that single registry.
 """
 
+from repro.lint.catalog import (
+    CatalogEntry,
+    catalog_descriptions,
+    render_catalog_markdown,
+    render_catalog_text,
+    unified_catalog,
+)
 from repro.lint.dataflow import (
     DATAFLOW_RULES,
     StreamSchema,
@@ -34,6 +55,18 @@ from repro.lint.dataflow import (
     propagate_schemas,
 )
 from repro.lint.engine import LintRun, lint_paths, lint_source
+from repro.lint.latency import (
+    LATENCY_RULES,
+    FlowBound,
+    LatencyAnalysis,
+    LatencyContext,
+    ResourceBound,
+    analyze_latency,
+    check_bound_soundness,
+    check_deadlines,
+    flows_from_bench,
+    flows_from_trace,
+)
 from repro.lint.recipe_check import (
     check_rate_feasibility,
     check_recipe,
@@ -55,10 +88,25 @@ __all__ = [
     "propagate_schemas",
     "StreamSchema",
     "DATAFLOW_RULES",
+    "LATENCY_RULES",
+    "LatencyContext",
+    "LatencyAnalysis",
+    "FlowBound",
+    "ResourceBound",
+    "analyze_latency",
+    "check_deadlines",
+    "check_bound_soundness",
+    "flows_from_bench",
+    "flows_from_trace",
     "render_json",
     "render_sarif",
     "render_text",
     "LintRule",
     "RULE_CATALOG",
     "rule_catalog",
+    "CatalogEntry",
+    "unified_catalog",
+    "catalog_descriptions",
+    "render_catalog_text",
+    "render_catalog_markdown",
 ]

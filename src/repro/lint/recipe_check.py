@@ -28,6 +28,7 @@ concrete assignment and module inventory.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.core.operators import STATEFUL_OPERATORS
@@ -46,7 +47,77 @@ from repro.util.validate import Diagnostic, Severity
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.assignment import Assignment, ModuleInfo
 
-__all__ = ["check_recipe", "check_recipe_dict", "check_rate_feasibility"]
+__all__ = [
+    "RECIPE_RULES",
+    "RecipeRule",
+    "check_recipe",
+    "check_recipe_dict",
+    "check_rate_feasibility",
+]
+
+@dataclass(frozen=True)
+class RecipeRule:
+    """One recipe-checker rule (id, default severity, description)."""
+
+    rule_id: str
+    severity: Severity
+    description: str
+
+
+#: The recipe-checker rule catalog (RCP1xx). Severity is the *default*:
+#: RCP108 downgrades to a warning for sink-like processors with outputs.
+RECIPE_RULES: dict[str, RecipeRule] = {
+    rule.rule_id: rule
+    for rule in (
+        RecipeRule(
+            "RCP100",
+            Severity.ERROR,
+            "task spec malformed (bad id, bad parallelism, unknown field)",
+        ),
+        RecipeRule("RCP101", Severity.ERROR, "duplicate task id"),
+        RecipeRule(
+            "RCP102", Severity.ERROR, "stream produced by more than one task"
+        ),
+        RecipeRule(
+            "RCP103",
+            Severity.ERROR,
+            "consumed stream that nothing produces / malformed external "
+            "reference",
+        ),
+        RecipeRule("RCP104", Severity.ERROR, "dependency cycle"),
+        RecipeRule(
+            "RCP105",
+            Severity.WARNING,
+            "stream produced but never consumed (cross-app use is fine)",
+        ),
+        RecipeRule("RCP106", Severity.ERROR, "operator not in the registry"),
+        RecipeRule(
+            "RCP107",
+            Severity.WARNING,
+            "subscriber QoS exceeds publisher QoS on a stream",
+        ),
+        RecipeRule(
+            "RCP108",
+            Severity.ERROR,
+            "port shape: sources with inputs, processors without inputs",
+        ),
+        RecipeRule(
+            "RCP109",
+            Severity.WARNING,
+            "stateful operator sharded (split-merge chain hazard)",
+        ),
+        RecipeRule(
+            "RCP110",
+            Severity.ERROR,
+            "statically unschedulable: utilization exceeds capacity",
+        ),
+        RecipeRule(
+            "RCP111",
+            Severity.WARNING,
+            "near capacity (utilization above the warning threshold)",
+        ),
+    )
+}
 
 #: Operators that legitimately consume no stream (sources / control-plane).
 _SOURCE_OPERATORS = {"sensor", "mix"}

@@ -67,15 +67,10 @@ _SARIF_LEVEL = {
 
 
 def _rule_descriptions() -> dict[str, str]:
-    """Best-effort id -> description over every rule family we emit."""
-    from repro.lint.dataflow import DATAFLOW_RULES
-    from repro.lint.rules import RULE_CATALOG
-    from repro.san.rules import SAN_RULES
+    """id -> description from the unified catalog (every rule family)."""
+    from repro.lint.catalog import catalog_descriptions
 
-    table = {rule_id: cls.description for rule_id, cls in RULE_CATALOG.items()}
-    table.update({rid: rule.description for rid, rule in SAN_RULES.items()})
-    table.update({rid: rule.description for rid, rule in DATAFLOW_RULES.items()})
-    return table
+    return catalog_descriptions()
 
 
 def render_sarif(

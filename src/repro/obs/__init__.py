@@ -25,6 +25,7 @@ from repro.obs.breakdown import (
     canonical_span_lines,
     check_span_integrity,
     decompose_path,
+    flow_latency_summary,
     format_stage_table,
     path_to_root,
     span_index,
@@ -60,6 +61,7 @@ __all__ = [
     "path_to_root",
     "decompose_path",
     "stage_breakdown",
+    "flow_latency_summary",
     "format_stage_table",
     "to_chrome_trace",
     "canonical_span_lines",

@@ -35,6 +35,7 @@ __all__ = [
     "path_to_root",
     "decompose_path",
     "stage_breakdown",
+    "flow_latency_summary",
     "format_stage_table",
     "to_chrome_trace",
     "canonical_span_lines",
@@ -258,6 +259,29 @@ def stage_breakdown(
                 (span.end - chain[0].start) * 1000.0
             )
     return breakdown
+
+
+def flow_latency_summary(breakdown: StageBreakdown) -> dict[str, dict[str, float]]:
+    """Per-flow end-to-end latency summary, keyed by leaf stage.
+
+    Each entry carries ``count`` and the ``p50/p95/p99/max`` latency in
+    milliseconds. This is the measured half of the latency-bound
+    soundness gate: BENCH baselines embed it (schema v3, ``sim.flows``)
+    and ``repro lint --deadline --validate`` compares each flow's
+    observed max against the static worst-case bound (RCP243) and its
+    p99 against the bound's tightness (RCP244).
+    """
+    summary: dict[str, dict[str, float]] = {}
+    for stage in sorted(breakdown.end_to_end):
+        recorder = breakdown.end_to_end[stage]
+        summary[stage] = {
+            "count": recorder.count,
+            "p50_ms": recorder.percentile(50),
+            "p95_ms": recorder.percentile(95),
+            "p99_ms": recorder.percentile(99),
+            "max_ms": recorder.maximum,
+        }
+    return summary
 
 
 def format_stage_table(breakdown: StageBreakdown, title: str = "") -> str:

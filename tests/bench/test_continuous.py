@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -175,3 +176,57 @@ def test_committed_baseline_matches_current_code():
         baseline = load_bench(baseline_dir, name)
         comparison = compare_bench(run_bench(name), baseline)
         assert comparison.ok, (name, comparison.failures)
+
+
+# ---------------------------------------------------------------------------
+# Schema v3: per-flow latency summaries
+# ---------------------------------------------------------------------------
+
+_FLOW_KEYS = {"count", "p50_ms", "p95_ms", "p99_ms", "max_ms"}
+_BASELINES = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+
+
+def test_committed_baselines_are_v3_with_flows():
+    for name in ("fig5", "failover"):
+        record = load_bench(_BASELINES, name)
+        assert record.schema_version == BENCH_SCHEMA_VERSION
+        assert record.sim["flows"], name
+        for stage, summary in record.sim["flows"].items():
+            assert set(summary) == _FLOW_KEYS, (name, stage)
+            assert summary["count"] >= 1
+            assert (
+                summary["p50_ms"]
+                <= summary["p95_ms"]
+                <= summary["p99_ms"]
+                <= summary["max_ms"]
+            )
+    saturation = load_bench(_BASELINES, "saturation")
+    assert saturation.schema_version == BENCH_SCHEMA_VERSION
+    for rate, row in saturation.sim["rates"].items():
+        assert set(row["flows"]) == {"train", "predict"}, rate
+        for summary in row["flows"].values():
+            assert set(summary) == _FLOW_KEYS
+
+
+def test_committed_baselines_contain_recipe_sink_flows():
+    """The soundness gate needs the sink stages to be present."""
+    assert "alert-messaging" in load_bench(_BASELINES, "fig5").sim["flows"]
+    assert "train" in load_bench(_BASELINES, "failover").sim["flows"]
+
+
+def test_flows_from_bench_reads_v3_records():
+    from repro.lint.latency import flows_from_bench
+
+    record = load_bench(_BASELINES, "fig5")
+    flows = flows_from_bench(record)
+    assert flows == record.sim["flows"]
+    # The raw dict form works too (CLI --validate path).
+    assert flows_from_bench(record.to_dict()) == record.sim["flows"]
+
+
+def test_flow_drift_fails_the_gate():
+    baseline = make_record(flows={"act": {"count": 3, "max_ms": 1.0}})
+    current = make_record(flows={"act": {"count": 3, "max_ms": 2.0}})
+    comparison = compare_bench(current, baseline)
+    assert not comparison.ok
+    assert any("flows.act.max_ms" in failure for failure in comparison.failures)

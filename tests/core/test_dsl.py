@@ -208,3 +208,54 @@ task judge : predict
     harness.settle(3.0)
     assert harness.runtime.tracer.count("ml.judged") > 10
     app.stop()
+
+
+class TestDeadlines:
+    DEADLINED = """
+recipe timed
+
+task sense : sensor
+    out raw
+    device = accel
+    rate_hz = 10
+
+task act : actuator
+    in raw
+    deadline_ms = 750.5
+    device = pager
+"""
+
+    def test_deadline_parses_as_task_field_not_param(self):
+        recipe = parse_recipe(self.DEADLINED)
+        act = recipe.tasks["act"]
+        assert act.deadline_ms == 750.5
+        assert "deadline_ms" not in act.params
+
+    def test_param_prefix_keeps_it_an_operator_param(self):
+        text = self.DEADLINED.replace(
+            "    deadline_ms = 750.5", "    param deadline_ms = 750.5"
+        )
+        act = parse_recipe(text).tasks["act"]
+        assert act.deadline_ms is None
+        assert act.params["deadline_ms"] == 750.5
+
+    def test_non_numeric_deadline_rejected(self):
+        text = self.DEADLINED.replace(
+            "    deadline_ms = 750.5", "    deadline_ms = soon"
+        )
+        with pytest.raises(RecipeError, match="deadline_ms must be a number"):
+            parse_recipe(text)
+
+    def test_deadline_round_trips(self):
+        recipe = parse_recipe(self.DEADLINED)
+        again = parse_recipe(format_recipe(recipe))
+        assert again.tasks["act"].deadline_ms == 750.5
+        assert recipe.to_dict() == again.to_dict()
+
+    def test_deadline_survives_json_dsl(self):
+        recipe = parse_recipe(self.DEADLINED)
+        assert Recipe.from_json(recipe.to_json()).tasks["act"].deadline_ms == 750.5
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(RecipeError, match="deadline_ms must be positive"):
+            TaskSpec("t", "map", inputs=[], outputs=[], deadline_ms=0)

@@ -1,0 +1,100 @@
+"""The unified rule catalog cannot drift from the code.
+
+Regression for the catalog-drift bug: ``repro lint --catalog``, the
+README rule table and SARIF rule metadata previously assembled their
+rule lists independently and disagreed. All three now render from
+:func:`repro.lint.catalog.unified_catalog`; these tests assert that
+every rule id *emitted anywhere in the source* appears in the registry
+and in each rendering, RCP24x included.
+"""
+
+import json
+import re
+from pathlib import Path
+
+from repro.lint.catalog import (
+    README_CATALOG_BEGIN,
+    README_CATALOG_END,
+    catalog_descriptions,
+    render_catalog_markdown,
+    render_catalog_text,
+    unified_catalog,
+)
+from repro.lint.report import render_sarif
+from repro.util.validate import Diagnostic, Severity
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: Rule ids mentioned in waiver syntax/docs but intentionally uncatalogued.
+_RULE_ID = re.compile(r"\"((?:DET|FLG|RCP|SAN)\d{3})\"")
+
+
+def emitted_rule_ids() -> set[str]:
+    """Every rule-id string literal in the source tree."""
+    found: set[str] = set()
+    for path in (REPO / "src" / "repro").rglob("*.py"):
+        found.update(_RULE_ID.findall(path.read_text()))
+    return found
+
+
+def test_every_emitted_rule_is_registered():
+    registered = {entry.rule_id for entry in unified_catalog()}
+    missing = emitted_rule_ids() - registered
+    assert not missing, f"rules emitted but not in the catalog: {sorted(missing)}"
+
+
+def test_catalog_is_id_ordered_and_unique():
+    ids = [entry.rule_id for entry in unified_catalog()]
+    assert ids == sorted(ids)
+    assert len(ids) == len(set(ids))
+
+
+def test_latency_rules_present():
+    ids = {entry.rule_id for entry in unified_catalog()}
+    assert {"RCP240", "RCP241", "RCP242", "RCP243", "RCP244"} <= ids
+
+
+def test_text_rendering_lists_every_rule():
+    text = render_catalog_text()
+    for entry in unified_catalog():
+        assert entry.rule_id in text
+
+
+def test_readme_table_matches_registry():
+    readme = (REPO / "README.md").read_text()
+    assert README_CATALOG_BEGIN in readme and README_CATALOG_END in readme
+    start = readme.index(README_CATALOG_BEGIN) + len(README_CATALOG_BEGIN)
+    end = readme.index(README_CATALOG_END)
+    committed = readme[start:end].strip()
+    assert committed == render_catalog_markdown(), (
+        "README rule table drifted from the registry — regenerate the "
+        "block between the rule-catalog markers with "
+        "repro.lint.catalog.render_catalog_markdown()"
+    )
+
+
+def test_sarif_metadata_comes_from_registry():
+    descriptions = catalog_descriptions()
+    diagnostics = [
+        Diagnostic(
+            rule=entry.rule_id,
+            severity=entry.severity,
+            message="x",
+            where="test",
+        )
+        for entry in unified_catalog()
+    ]
+    sarif = json.loads(render_sarif(diagnostics))
+    rules = {
+        rule["id"]: rule["shortDescription"]["text"]
+        for rule in sarif["runs"][0]["tool"]["driver"]["rules"]
+    }
+    for entry in unified_catalog():
+        assert rules[entry.rule_id] == descriptions[entry.rule_id]
+        # The description must be real metadata, not the id fallback.
+        assert rules[entry.rule_id] != entry.rule_id
+
+
+def test_severities_are_severity_instances():
+    for entry in unified_catalog():
+        assert isinstance(entry.severity, Severity)

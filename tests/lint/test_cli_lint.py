@@ -176,3 +176,116 @@ def test_sarif_where_only_findings_use_logical_locations(capsys):
     assert location["logicalLocations"][0]["fullyQualifiedName"] == (
         "bench fig5: op mqtt.send"
     )
+
+
+def test_deadline_requires_recipe(capsys):
+    assert main(["lint", "--deadline"]) == 2
+    assert "--recipe" in capsys.readouterr().err
+
+
+def test_deadline_passes_builtins_strict(capsys):
+    for name in ("fig5", "paper", "failover"):
+        assert main(["lint", "--recipe", name, "--deadline", "--strict"]) == 0, name
+        assert "lint OK" in capsys.readouterr().out
+
+
+def test_deadline_reports_rcp240_for_hot_recipe(tmp_path, capsys):
+    recipe = tmp_path / "hot.recipe"
+    recipe.write_text(
+        "recipe hot\n\n"
+        "task sense : sensor\n"
+        "    out raw\n"
+        "    device = d\n"
+        "    rate_hz = 50\n\n"
+        "task act : actuator\n"
+        "    in raw\n"
+        "    deadline_ms = 1\n"
+        "    device = d\n",
+        encoding="utf-8",
+    )
+    assert main(["lint", "--recipe", str(recipe), "--deadline"]) == 1
+    out = capsys.readouterr().out
+    assert "RCP240" in out
+
+
+def test_validate_builtin_baselines_clean(capsys):
+    for name in ("fig5", "failover"):
+        baseline = f"benchmarks/baselines/BENCH_{name}.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    "--recipe",
+                    name,
+                    "--deadline",
+                    "--validate",
+                    baseline,
+                ]
+            )
+            == 0
+        ), name
+        capsys.readouterr()
+
+
+def test_validate_reads_trace_jsonl(tmp_path, capsys):
+    """--validate accepts an obs.span JSONL dump; an impossible observed
+    max on the sink trips the soundness gate."""
+    recipe = tmp_path / "chain.recipe"
+    recipe.write_text(
+        "recipe chain\n\n"
+        "task sense : sensor\n"
+        "    out raw\n"
+        "    device = d\n"
+        "    rate_hz = 5\n\n"
+        "task act : actuator\n"
+        "    in raw\n"
+        "    device = d\n",
+        encoding="utf-8",
+    )
+    trace = tmp_path / "trace.jsonl"
+    spans = [
+        {
+            "t": 0.001,
+            "src": "n1",
+            "ev": "obs.span",
+            "f": {
+                "trace": "t1",
+                "span": "a",
+                "name": "sense",
+                "task": "sense",
+                "hop": 0,
+                "start": 0.0,
+            },
+        },
+        {
+            "t": 500.001,
+            "src": "n1",
+            "ev": "obs.span",
+            "f": {
+                "trace": "t1",
+                "span": "b",
+                "parent": "a",
+                "name": "act",
+                "task": "act",
+                "hop": 1,
+                "start": 500.0,
+            },
+        },
+    ]
+    trace.write_text(
+        "\n".join(json.dumps(span) for span in spans) + "\n", encoding="utf-8"
+    )
+    assert (
+        main(
+            [
+                "lint",
+                "--recipe",
+                str(recipe),
+                "--deadline",
+                "--validate",
+                str(trace),
+            ]
+        )
+        == 1
+    )
+    assert "RCP243" in capsys.readouterr().out

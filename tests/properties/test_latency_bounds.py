@@ -1,0 +1,127 @@
+"""Property tests: latency-bound monotonicity and instability exactness.
+
+The issue's contract for the analyzer, checked over generated inputs:
+
+* the end-to-end bound is monotone non-decreasing in input rate, in
+  declared burst, and in per-op cost (chain recipes without align
+  windows — an align window's fill wait is ``1/min_rate``, which
+  legitimately *shrinks* as rates rise);
+* RCP241 fires exactly when some shared resource's utilization
+  reaches 1.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recipe import Recipe, TaskSpec
+from repro.lint.latency import LatencyContext, analyze_latency, check_deadlines
+from repro.runtime.costs import CostModel, OpCost
+
+
+def build_chain(rate_hz: float, burst: float, stages: int, qos: int = 0) -> Recipe:
+    """sensor -> map^stages -> actuator; no windows, so no align holds."""
+    tasks = [
+        TaskSpec(
+            "sense",
+            "sensor",
+            outputs=["s0"],
+            params={"device": "d", "rate_hz": rate_hz, "burst": burst, "qos": qos},
+        )
+    ]
+    for i in range(stages):
+        tasks.append(
+            TaskSpec(
+                f"stage{i}",
+                "map",
+                inputs=[f"s{i}"],
+                outputs=[f"s{i + 1}"],
+                params={"qos": qos},
+            )
+        )
+    tasks.append(
+        TaskSpec(
+            "act", "actuator", inputs=[f"s{stages}"], params={"device": "d"}
+        )
+    )
+    return Recipe("prop-chain", tasks)
+
+
+def make_model(op_cost_s: float) -> CostModel:
+    ops = {
+        op: OpCost(base_s=op_cost_s)
+        for op in (
+            "flow.process",
+            "sensor.sample",
+            "actuator.apply",
+            "mqtt.send",
+            "mqtt.recv",
+            "mqtt.route",
+            "mqtt.forward",
+        )
+    }
+    return CostModel(ops=ops)
+
+
+def sink_bound(recipe: Recipe, context: LatencyContext) -> float:
+    return analyze_latency(recipe, context).flows["act"].bound_s
+
+
+rates = st.floats(min_value=0.5, max_value=200.0)
+bursts = st.floats(min_value=1.0, max_value=16.0)
+costs = st.floats(min_value=1e-5, max_value=5e-3)
+factors = st.floats(min_value=1.0, max_value=8.0)
+stage_counts = st.integers(min_value=1, max_value=4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rate=rates, burst=bursts, cost=costs, factor=factors, stages=stage_counts)
+def test_bound_monotone_in_rate(rate, burst, cost, factor, stages):
+    context = LatencyContext(cost_model=make_model(cost))
+    low = sink_bound(build_chain(rate, burst, stages), context)
+    high = sink_bound(build_chain(rate * factor, burst, stages), context)
+    assert high >= low or math.isinf(high)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rate=rates, burst=bursts, cost=costs, factor=factors, stages=stage_counts)
+def test_bound_monotone_in_burst(rate, burst, cost, factor, stages):
+    context = LatencyContext(cost_model=make_model(cost))
+    low = sink_bound(build_chain(rate, burst, stages), context)
+    high = sink_bound(build_chain(rate, burst * factor, stages), context)
+    assert high >= low
+
+
+@settings(max_examples=60, deadline=None)
+@given(rate=rates, burst=bursts, cost=costs, factor=factors, stages=stage_counts)
+def test_bound_monotone_in_op_cost(rate, burst, cost, factor, stages):
+    recipe = build_chain(rate, burst, stages)
+    low = sink_bound(recipe, LatencyContext(cost_model=make_model(cost)))
+    high = sink_bound(
+        recipe, LatencyContext(cost_model=make_model(cost).scaled(factor))
+    )
+    assert high >= low
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    rate=st.floats(min_value=1.0, max_value=2000.0),
+    burst=bursts,
+    cost=costs,
+    stages=stage_counts,
+)
+def test_rcp241_fires_iff_some_hop_saturates(rate, burst, cost, stages):
+    recipe = build_chain(rate, burst, stages)
+    context = LatencyContext(cost_model=make_model(cost))
+    analysis = analyze_latency(recipe, context)
+    saturated = any(
+        bound.utilization >= 1.0 for bound in analysis.resources.values()
+    )
+    rcp241 = {
+        diag.rule for diag in check_deadlines(recipe, context, analysis)
+    } & {"RCP241"}
+    assert bool(rcp241) == saturated
+    # And an unstable analysis always poisons the sink's bound.
+    if saturated:
+        assert math.isinf(analysis.flows["act"].bound_s)
