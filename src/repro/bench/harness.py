@@ -38,6 +38,9 @@ class ExperimentResult:
     #: The run's :class:`~repro.prof.Profiler` when run with
     #: ``profile=True``, else None.
     profiler: Any = None
+    #: The run's :class:`~repro.obs.slo.SloEngine` when run with
+    #: ``slo=True``, else None.
+    slo_engine: Any = None
     #: Per-node CPU busy share over the measured window (``profile=True``).
     cpu_utilization: dict[str, float] = field(default_factory=dict)
 
@@ -77,6 +80,7 @@ def run_paper_experiment(
     broker_cpu_speed: float = 1.0,
     observe: bool = False,
     profile: bool = False,
+    slo: bool = False,
 ) -> ExperimentResult:
     """Run the Fig. 7/9 experiment at one sensing rate.
 
@@ -98,13 +102,24 @@ def run_paper_experiment(
     )
     testbed.qos = qos
     runtime = testbed.runtime
-    if observe:
+    if observe or slo:
         from repro.obs import enable_observability
 
         # The bench testbed keeps trace storage off for speed; an observed
         # run exists to produce the trace, so turn it back on.
         runtime.tracer.enabled = True
         enable_observability(runtime)
+    if slo:
+        from repro.bench.scenarios import build_paper_recipe
+        from repro.obs.slo import enable_slo
+
+        # Same recipe the testbed will submit: the engine derives its
+        # policy from the declared deadlines before deployment.
+        enable_slo(
+            runtime,
+            recipe=build_paper_recipe(rate_hz, qos=qos),
+            cluster=testbed.cluster,
+        )
     profiler = None
     if profile:
         from repro.prof import enable_profiling
@@ -148,6 +163,7 @@ def run_paper_experiment(
             result.jobs_dropped[name] = node.cpu.stats.jobs_dropped
     result.wlan_utilization = runtime.wlan.utilization()
     result.tracer = runtime.tracer
+    result.slo_engine = runtime.slo
     return result
 
 

@@ -277,20 +277,28 @@ def run_fig5_experiment(
     observe: bool = True,
     prepare: "Callable[[SimRuntime], None] | None" = None,
     cost_model: "CostModel | None" = None,
+    slo: bool = False,
 ) -> SimRuntime:
     """Deploy the shipped Fig. 5 recipe and run for ``duration_s``.
 
     Returns the runtime; its tracer carries the full event trace (span
     trees and metric scrapes included when ``observe`` is on).
     ``prepare`` and ``cost_model`` are forwarded to
-    :func:`build_fig5_testbed`.
+    :func:`build_fig5_testbed`. ``slo=True`` installs the online SLO
+    engine on the recipe's declared deadlines before deployment (it
+    implies ``observe`` — the engine consumes the span stream); the
+    engine stays reachable as ``runtime.slo``.
     """
     from repro.core.dsl import parse_recipe
 
     runtime, cluster = build_fig5_testbed(
-        seed=seed, observe=observe, prepare=prepare, cost_model=cost_model
+        seed=seed, observe=observe or slo, prepare=prepare, cost_model=cost_model
     )
     recipe = parse_recipe(FIG5_RECIPE_PATH.read_text())
+    if slo:
+        from repro.obs.slo import enable_slo
+
+        enable_slo(runtime, recipe=recipe, cluster=cluster)
     app = cluster.submit(recipe)
     cluster.settle(2.0)
     runtime.run(until=runtime.now + duration_s)

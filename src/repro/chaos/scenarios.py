@@ -190,6 +190,8 @@ class ScenarioResult:
     tracer: Tracer | None = None
     #: The run's profiler when run with ``profile=True`` (``repro.prof``).
     profiler: object | None = None
+    #: The run's SLO engine when run with ``slo=True`` (``repro.obs.slo``).
+    slo_engine: object | None = None
 
 
 def trace_digest(tracer: Tracer) -> str:
@@ -440,6 +442,7 @@ def run_scenario(
     observe: bool = False,
     prepare: Callable[[SimRuntime], None] | None = None,
     profile: bool = False,
+    slo: bool = False,
 ) -> ScenarioResult:
     """Build the testbed, inject the scenario's plan, check invariants.
 
@@ -449,11 +452,15 @@ def run_scenario(
     ``prepare`` is forwarded to :func:`build_chaos_cluster` (sanitizer
     hook installation). ``profile=True`` attaches the sim-time profiler
     so fault-window utilization shows up in the result's profiler.
+    ``slo=True`` installs the online SLO engine (``repro.obs.slo``) on
+    the recipe's declared deadlines before the workload starts; it
+    implies ``observe`` (the engine consumes the span stream) and leaves
+    the engine on ``result.slo_engine``.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     runtime, cluster = build_chaos_cluster(seed, prepare=prepare)
-    if observe:
+    if observe or slo:
         from repro.obs import enable_observability
 
         enable_observability(runtime)
@@ -462,7 +469,12 @@ def run_scenario(
         from repro.prof import enable_profiling
 
         profiler = enable_profiling(runtime)
-    app = cluster.submit(build_chaos_recipe())
+    recipe = build_chaos_recipe()
+    if slo:
+        from repro.obs.slo import enable_slo
+
+        enable_slo(runtime, recipe=recipe, cluster=cluster)
+    app = cluster.submit(recipe)
     cluster.settle(2.0)
     plan = scenario.build_plan(cluster, app).validate()
     injector = Injector(runtime, cluster=cluster)
@@ -481,4 +493,5 @@ def run_scenario(
         faults_applied=injector.faults_applied,
         tracer=runtime.tracer,
         profiler=profiler,
+        slo_engine=runtime.slo,
     )

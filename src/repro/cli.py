@@ -37,6 +37,17 @@ Commands
     fresh records against a committed baseline (byte-exact on sim
     metrics, tolerance-banded on wall throughput). Exit code 1 on
     regression — this is the CI gate.
+``slo``
+    Run a scenario with the online SLO engine attached and print the
+    conformance report: per-flow latency sketches vs declared deadlines,
+    the burn-rate alert timeline (sim-time anchors), drift findings and
+    SLO3xx diagnostics. ``--strict`` fails on warnings too;
+    ``--expect-burn`` inverts the gate for chaos acceptance runs (exit 0
+    iff a page alert fired).
+``top``
+    Live console for a running real backend: polls the scrape endpoint
+    served by ``AsyncioRuntime.serve_metrics`` and redraws a top-style
+    view of flows, node watermarks and hot series.
 """
 
 from __future__ import annotations
@@ -60,7 +71,7 @@ from repro.core.dsl import format_recipe, parse_recipe
 from repro.core.operators import registered_operators
 from repro.core.recipe import Recipe
 from repro.core.splitter import RecipeSplit
-from repro.errors import IFoTError
+from repro.errors import ConfigurationError, IFoTError
 
 __all__ = ["main"]
 
@@ -262,7 +273,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         tracer = result.tracer
         title = f"Latency breakdown — paper pipeline at {args.rate:g} Hz"
     print()
-    print(format_trace_breakdown(tracer, title=title))
+    if args.summary:
+        from repro.obs import flow_latency_summary, stage_breakdown
+        from repro.obs.slo import format_flow_summary
+
+        deadlines_ms = None
+        if args.recipe:
+            recipe, _origin, _keys = _lint_recipe(args.recipe)
+            deadlines_ms = {
+                task_id: task.deadline_ms
+                for task_id, task in recipe.tasks.items()
+                if task.deadline_ms is not None
+            }
+        flows = flow_latency_summary(
+            stage_breakdown(spans_from_tracer(tracer))
+        )
+        print(title)
+        print(format_flow_summary(flows, deadlines_ms))
+    else:
+        print(format_trace_breakdown(tracer, title=title))
     if args.jsonl:
         count = tracer.to_jsonl(args.jsonl)
         print(f"wrote {count} trace records to {args.jsonl}")
@@ -565,6 +594,171 @@ def _prof_paper_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_slo_scenario(args: argparse.Namespace) -> "tuple[str, object]":
+    """Run the requested scenario with the SLO engine on; returns
+    ``(label, engine)``. Profiling rides along so the drift watch and
+    node watermarks have data."""
+    scenario = args.scenario
+    if scenario.startswith("chaos:"):
+        scenario = scenario[len("chaos:") :]
+    if scenario == "fig5":
+        from repro.bench.calibration import pi_cost_model
+        from repro.bench.scenarios import run_fig5_experiment
+        from repro.prof import enable_profiling
+
+        seed = 55 if args.seed is None else args.seed
+        duration = 30.0 if args.duration is None else args.duration
+        print(
+            f"running fig5 with the SLO engine online "
+            f"(duration {duration:g}s, seed {seed})...",
+            file=sys.stderr,
+        )
+        runtime = run_fig5_experiment(
+            seed=seed,
+            duration_s=duration,
+            prepare=lambda rt: enable_profiling(rt),
+            cost_model=pi_cost_model(),
+            slo=True,
+        )
+        return f"fig5 (seed {seed}, {duration:g}s)", runtime.slo
+    if scenario == "paper":
+        from repro.bench.harness import run_paper_experiment
+
+        seed = 0 if args.seed is None else args.seed
+        duration = 2.5 if args.duration is None else args.duration
+        print(
+            f"running the paper testbed with the SLO engine online "
+            f"({args.rate:g} Hz, duration {duration:g}s, seed {seed})...",
+            file=sys.stderr,
+        )
+        result = run_paper_experiment(
+            args.rate,
+            duration_s=duration,
+            seed=seed,
+            profile=True,
+            slo=True,
+        )
+        return f"paper @ {args.rate:g} Hz (seed {seed})", result.slo_engine
+    if scenario in SCENARIOS:
+        seed = 0 if args.seed is None else args.seed
+        print(
+            f"running chaos scenario {scenario!r} with the SLO engine online...",
+            file=sys.stderr,
+        )
+        result = run_scenario(scenario, seed=seed, slo=True, profile=True)
+        return f"chaos:{scenario} (seed {seed})", result.slo_engine
+    raise ConfigurationError(
+        f"unknown slo scenario {args.scenario!r} "
+        f"(known: fig5, paper, chaos:<{'|'.join(sorted(SCENARIOS))}>)"
+    )
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.lint.report import render_text
+    from repro.obs.slo import format_flow_summary
+    from repro.util.validate import blocking
+
+    label, engine = _run_slo_scenario(args)
+    if engine is None:
+        print("the SLO engine is disabled (REPRO_SLO=0 or kill switch)")
+        return 2
+    report = engine.report()
+    diagnostics = engine.diagnostics()
+    if args.format == "json":
+        payload = {
+            "scenario": label,
+            "report": report,
+            "diagnostics": [
+                {**dataclasses.asdict(d), "severity": str(d.severity)}
+                for d in diagnostics
+            ],
+        }
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print()
+        print(f"SLO report — {label}")
+        flows = {
+            flow_id: entry
+            for flow_id, entry in report["flows"].items()
+            if entry["count"]
+        }
+        if flows:
+            print(format_flow_summary(
+                flows,
+                {f: e["deadline_ms"] for f, e in report["flows"].items()},
+            ))
+        for flow_id, entry in report["flows"].items():
+            if not entry["count"]:
+                print(f"{flow_id:<20} (no completed traces)")
+            extras = []
+            if entry["overdue"]:
+                extras.append(f"{entry['overdue']} overdue (never completed)")
+            if entry["violations"] - entry["overdue"]:
+                extras.append(
+                    f"{entry['violations'] - entry['overdue']} late"
+                )
+            if extras:
+                print(f"{flow_id:<20} {', '.join(extras)}")
+        if report["alerts"]:
+            print("\nalert timeline (sim-time anchors):")
+            for alert in report["alerts"]:
+                print(
+                    f"  t={alert['t']:>9.3f}s  {alert['flow']:<16} "
+                    f"{alert['from']:>4} -> {alert['state']:<4} "
+                    f"(burn {alert['burn_short']:.1f} short / "
+                    f"{alert['burn_long']:.1f} long)"
+                )
+        if report["drift"]:
+            print("\ncost-model drift (online):")
+            for op, finding in report["drift"].items():
+                print(
+                    f"  t={finding['t']:>9.3f}s  {op:<16} "
+                    f"{finding['drift']:+.0%} "
+                    f"({finding['observed_s'] * 1e3:.3f} ms observed vs "
+                    f"{finding['predicted_s'] * 1e3:.3f} ms modeled)"
+                )
+        print()
+        print(render_text(diagnostics, strict=args.strict, label="slo"))
+    paged = any(alert["state"] == "page" for alert in report["alerts"])
+    if args.expect_burn:
+        if not paged:
+            print("expected a deadline burn page but none fired", file=sys.stderr)
+            return 1
+        return 0
+    return 1 if blocking(diagnostics, strict=args.strict) else 0
+
+
+def _fetch_text(url: str, timeout_s: float = 10.0) -> str:
+    import urllib.request
+
+    with urllib.request.urlopen(  # repro: lint-ok[DET005] - live console poll  # noqa: S310
+        url, timeout=timeout_s
+    ) as response:
+        return response.read().decode("utf-8")
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    url = args.url.rstrip("/") + "/top"
+    iteration = 0
+    while True:
+        try:
+            body = _fetch_text(url)
+        except OSError as exc:
+            print(f"error: cannot reach {url}: {exc}", file=sys.stderr)
+            return 1
+        if not args.no_clear and iteration:
+            print("\x1b[2J\x1b[H", end="")
+        print(body, end="" if body.endswith("\n") else "\n")
+        iteration += 1
+        if args.iterations and iteration >= args.iterations:
+            return 0
+        time.sleep(args.interval)  # repro: lint-ok[DET005] - interactive poll cadence
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.continuous import (
         BENCH_RUNNERS,
@@ -765,6 +959,18 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--chrome", default="", help="export spans as Chrome trace_event JSON"
     )
+    trace.add_argument(
+        "--summary",
+        action="store_true",
+        help="one-screen per-flow p50/p95/p99/max table instead of the "
+        "full breakdown (BENCH schema v3 flow stats)",
+    )
+    trace.add_argument(
+        "--recipe",
+        default="",
+        help="with --summary: recipe (fig5|paper|failover|path) supplying "
+        "deadline_ms for the SLO verdict column",
+    )
     trace.set_defaults(fn=_cmd_trace)
 
     lint = sub.add_parser(
@@ -923,6 +1129,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional wall-throughput regression (default: 0.35)",
     )
     bench.set_defaults(fn=_cmd_bench)
+
+    slo = sub.add_parser(
+        "slo", help="run a scenario with the online SLO engine and report"
+    )
+    slo.add_argument(
+        "scenario",
+        help="fig5 | paper | chaos:<name> (or a bare chaos scenario name)",
+    )
+    slo.add_argument("--seed", type=int, default=None)
+    slo.add_argument(
+        "--duration", type=float, default=None, help="fig5/paper run length (s)"
+    )
+    slo.add_argument("--rate", type=float, default=5.0, help="sensing rate (paper)")
+    slo.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too (SLO301/302/310/320), not just pages",
+    )
+    slo.add_argument(
+        "--expect-burn",
+        action="store_true",
+        help="acceptance mode: exit 0 iff a page alert fired (chaos runs)",
+    )
+    slo.add_argument("--format", choices=("text", "json"), default="text")
+    slo.set_defaults(fn=_cmd_slo)
+
+    top = sub.add_parser(
+        "top", help="live SLO/metrics console for a running real backend"
+    )
+    top.add_argument(
+        "url", help="scrape endpoint base URL (AsyncioRuntime.serve_metrics)"
+    )
+    top.add_argument("--interval", type=float, default=2.0, help="poll period (s)")
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after N polls (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="do not clear the screen between redraws",
+    )
+    top.set_defaults(fn=_cmd_top)
     return parser
 
 

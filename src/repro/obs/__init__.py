@@ -1,6 +1,6 @@
 """End-to-end observability: flow tracing, metrics, latency breakdown.
 
-The layer has three parts (see ``docs/ARCHITECTURE.md``):
+The layer's core parts (see ``docs/ARCHITECTURE.md``):
 
 * :mod:`repro.obs.context` — :class:`FlowContext`/:class:`Span`, the
   causal references carried through the middleware in MQTT
@@ -9,6 +9,15 @@ The layer has three parts (see ``docs/ARCHITECTURE.md``):
   trace at sim-time intervals;
 * :mod:`repro.obs.breakdown` — offline span-tree reconstruction,
   integrity checks, per-stage latency tables and Chrome export.
+
+Built on top, and imported lazily to keep the core cheap:
+
+* :mod:`repro.obs.sketch` — mergeable fixed-memory latency quantile
+  sketches (the SLO engine's distributions);
+* :mod:`repro.obs.slo` — the online SLO engine: deadline conformance,
+  burn-rate alerting, drift watch, status publication;
+* :mod:`repro.obs.export` — Prometheus/OTLP renderings of the metrics
+  registry and the real backend's HTTP scrape endpoint.
 
 Instrumentation is zero-cost-when-disabled: every site in the middleware
 checks ``runtime.obs is not None`` before allocating anything, and

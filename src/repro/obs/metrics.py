@@ -15,6 +15,7 @@ determinism and JSONL round-trip.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable
 
 from repro.util.stats import RunningStats, percentile
@@ -169,24 +170,115 @@ class HistogramMetric:
         """The ``q``-th percentile of the (possibly decimated) samples."""
         return percentile(self._samples, q)
 
+    def merge(self, other: "HistogramMetric") -> "HistogramMetric":
+        """Fold ``other`` into this histogram (parallel aggregation).
+
+        Welford halves merge exactly. The sample buffers are first
+        decimated to a common stride (strides are always powers of two
+        times the original 1, so the coarser one wins), concatenated
+        self-first, then re-decimated under the cap — the result is a
+        pure function of the two buffers, no RNG.
+        """
+        self.stats.merge(other.stats)
+        ours, our_stride = self._samples, self._stride
+        theirs, their_stride = list(other._samples), other._stride
+        while our_stride < their_stride:
+            ours = ours[1::2]
+            our_stride *= 2
+        while their_stride < our_stride:
+            theirs = theirs[1::2]
+            their_stride *= 2
+        merged = list(ours) + theirs
+        while len(merged) > self.MAX_SAMPLES:
+            merged = merged[1::2]
+            our_stride *= 2
+        self._samples = merged
+        self._stride = our_stride
+        self._seen += other._seen
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form; :meth:`from_dict` reproduces the instrument."""
+        stats = self.stats
+        return {
+            "key": self.key,
+            "count": stats.count,
+            "mean": stats.mean,
+            "m2": stats._m2,
+            "min": stats.minimum if stats.count else None,
+            "max": stats.maximum if stats.count else None,
+            "samples": list(self._samples),
+            "stride": self._stride,
+            "seen": self._seen,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "HistogramMetric":
+        histogram = cls(data["key"])
+        stats = histogram.stats
+        count = int(data["count"])
+        if count:
+            stats._count = count
+            stats._mean = float(data["mean"])
+            stats._m2 = float(data["m2"])
+            stats._min = float(data["min"])
+            stats._max = float(data["max"])
+        histogram._samples = [float(v) for v in data["samples"]]
+        histogram._stride = int(data["stride"])
+        histogram._seen = int(data["seen"])
+        return histogram
+
 
 class MetricsRegistry:
-    """Get-or-create home for every instrument in one runtime."""
+    """Get-or-create home for every instrument in one runtime.
 
-    def __init__(self) -> None:
+    Series admission is bounded: once ``max_series`` distinct keys
+    exist, new keys stop being stored (the same admission-stop shape as
+    the wire-codec topic caches — existing series keep working, a label
+    explosion cannot grow memory without bound). Callers still get a
+    working instrument back, it is just unregistered; the registry
+    counts every such drop and surfaces the total in
+    :meth:`snapshot` so scrapes make the overflow visible, and the SLO
+    engine raises an ``SLO320`` finding from it.
+    """
+
+    #: Default admission cap on distinct series across all instrument kinds.
+    DEFAULT_MAX_SERIES = 2048
+
+    def __init__(self, max_series: int | None = DEFAULT_MAX_SERIES) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, HistogramMetric] = {}
+        self.max_series = max_series
+        self.dropped_series = 0
+        self.first_dropped_key: str | None = None
 
     # ------------------------------------------------------------------
     # Instrument factories (idempotent by fully-qualified name)
     # ------------------------------------------------------------------
 
+    def _admit(self, key: str) -> bool:
+        """Admission-stop: may a *new* series named ``key`` be stored?"""
+        if self.max_series is None or len(self) < self.max_series:
+            return True
+        self.dropped_series += 1
+        if self.first_dropped_key is None:
+            self.first_dropped_key = key
+            warnings.warn(
+                f"metric cardinality cap reached ({self.max_series} series); "
+                f"new series starting with {key!r} are not registered",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return False
+
     def counter(self, name: str, **labels: str) -> Counter:
         key = metric_key(name, labels)
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter(key)
+            instrument = Counter(key)
+            if self._admit(key):
+                self._counters[key] = instrument
         return instrument
 
     def gauge(
@@ -195,7 +287,9 @@ class MetricsRegistry:
         key = metric_key(name, labels)
         instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge(key, fn)
+            instrument = Gauge(key, fn)
+            if self._admit(key):
+                self._gauges[key] = instrument
         elif fn is not None:
             instrument.fn = fn  # re-bind after a node restart
         return instrument
@@ -204,8 +298,25 @@ class MetricsRegistry:
         key = metric_key(name, labels)
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = HistogramMetric(key)
+            instrument = HistogramMetric(key)
+            if self._admit(key):
+                self._histograms[key] = instrument
         return instrument
+
+    def instruments(self) -> list[tuple[str, str, Any]]:
+        """Every stored instrument as ``(kind, key, instrument)``, sorted.
+
+        The telemetry exporters (:mod:`repro.obs.export`) need the typed
+        instruments, not the flattened :meth:`snapshot` values.
+        """
+        out: list[tuple[str, str, Any]] = []
+        for key in sorted(self._counters):
+            out.append(("counter", key, self._counters[key]))
+        for key in sorted(self._gauges):
+            out.append(("gauge", key, self._gauges[key]))
+        for key in sorted(self._histograms):
+            out.append(("histogram", key, self._histograms[key]))
+        return out
 
     # ------------------------------------------------------------------
     # Scraping
@@ -242,6 +353,8 @@ class MetricsRegistry:
                     "p95": round(histogram.quantile(95), 9),
                     "p99": round(histogram.quantile(99), 9),
                 }
+        if self.dropped_series:
+            out["obs.meta.dropped_series"] = self.dropped_series
         return out
 
     def __len__(self) -> int:

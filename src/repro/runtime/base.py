@@ -43,6 +43,10 @@ class Runtime(ABC):
         # CPU/WLAN/kernel hook sites charge resource grants to it, and
         # None keeps the hot path at one attribute load per site.
         self.prof: Any = None
+        # Online SLO engine hook (repro.obs.slo.SloEngine), same gating.
+        # The engine is a pure consumer of tracer taps and timers; None
+        # means no SLO evaluation and zero added events.
+        self.slo: Any = None
 
     @property
     @abstractmethod

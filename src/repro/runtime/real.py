@@ -40,6 +40,7 @@ class AsyncioRuntime(Runtime):
         self._epoch = self.loop.time()
         self.network = InprocNetwork(loop=self.loop, latency_s=network_latency_s)
         self.nodes: dict[str, Node] = {}
+        self._metrics_server: Any = None
 
     # ------------------------------------------------------------------
     # Runtime contract
@@ -98,8 +99,25 @@ class AsyncioRuntime(Runtime):
         finally:
             asyncio.set_event_loop(None)
 
+    def serve_metrics(self, host: str = "127.0.0.1", port: int = 0) -> Any:
+        """Bind the telemetry scrape endpoint (``repro.obs.export``).
+
+        The socket binds synchronously — the loop is idle outside
+        :meth:`run_for` — so the ephemeral port is known immediately;
+        requests are served while the loop runs. Returns the
+        :class:`~repro.obs.export.MetricsServer`.
+        """
+        if self._metrics_server is None:
+            from repro.obs.export import MetricsServer
+
+            self._metrics_server = MetricsServer(self, host=host, port=port).start()
+        return self._metrics_server
+
     def close(self) -> None:
         """Dispose of the event loop. The runtime is unusable afterwards."""
+        if self._metrics_server is not None:
+            self._metrics_server.stop()
+            self._metrics_server = None
         if not self.loop.is_closed():
             self.loop.close()
 

@@ -70,6 +70,15 @@ FLAGS: dict[str, EnvFlag] = {
             "by benchmarks/conftest.py record_rows().",
         ),
         EnvFlag(
+            "REPRO_SLO",
+            "1",
+            "Online SLO engine master switch (PR 10). With 0, "
+            "repro.obs.slo.enable_slo is a no-op and runtime.slo stays "
+            "None — the differential equivalence suite uses this to "
+            "prove the engine-off trace is byte-identical. Read by "
+            "repro.obs.slo.enable_slo().",
+        ),
+        EnvFlag(
             "REPRO_REGEN_GOLDEN",
             "0",
             "Set to 1 to regenerate the committed golden trace digests "

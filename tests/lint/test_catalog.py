@@ -26,7 +26,7 @@ from repro.util.validate import Diagnostic, Severity
 REPO = Path(__file__).resolve().parents[2]
 
 #: Rule ids mentioned in waiver syntax/docs but intentionally uncatalogued.
-_RULE_ID = re.compile(r"\"((?:DET|FLG|RCP|SAN)\d{3})\"")
+_RULE_ID = re.compile(r"\"((?:DET|FLG|RCP|SAN|SLO)\d{3})\"")
 
 
 def emitted_rule_ids() -> set[str]:
@@ -52,6 +52,11 @@ def test_catalog_is_id_ordered_and_unique():
 def test_latency_rules_present():
     ids = {entry.rule_id for entry in unified_catalog()}
     assert {"RCP240", "RCP241", "RCP242", "RCP243", "RCP244"} <= ids
+
+
+def test_slo_rules_present():
+    ids = {entry.rule_id for entry in unified_catalog()}
+    assert {"SLO300", "SLO301", "SLO302", "SLO310", "SLO320"} <= ids
 
 
 def test_text_rendering_lists_every_rule():

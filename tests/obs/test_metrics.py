@@ -174,6 +174,70 @@ def test_scraper_emits_metric_records_at_sim_intervals():
     obs.stop_scraping()
 
 
+def test_cardinality_cap_stops_admission_but_returns_instruments():
+    registry = MetricsRegistry(max_series=2)
+    kept_a = registry.counter("a")
+    kept_b = registry.gauge("b")
+    with pytest.warns(RuntimeWarning, match="cardinality cap"):
+        dropped = registry.counter("c")
+    # The caller still gets a working instrument — it is just unregistered.
+    dropped.inc(5)
+    assert dropped.value == 5
+    assert len(registry) == 2
+    assert registry.dropped_series == 1
+    assert registry.first_dropped_key == "c"
+    # Existing series keep working and re-registration stays idempotent.
+    assert registry.counter("a") is kept_a
+    assert registry.gauge("b") is kept_b
+    assert registry.dropped_series == 1
+
+
+def test_cardinality_cap_warns_once_then_counts_silently():
+    import warnings
+
+    registry = MetricsRegistry(max_series=1)
+    registry.counter("a")
+    with pytest.warns(RuntimeWarning):
+        registry.counter("b")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        registry.histogram("c")
+        registry.gauge("d")
+    assert not caught
+    assert registry.dropped_series == 3
+
+
+def test_dropped_series_surface_in_snapshot():
+    registry = MetricsRegistry(max_series=1)
+    registry.counter("a").inc()
+    with pytest.warns(RuntimeWarning):
+        registry.counter("b").inc()
+    snap = registry.snapshot()
+    assert snap["a"] == 1
+    assert "b" not in snap
+    assert snap["obs.meta.dropped_series"] == 1
+
+
+def test_unbounded_registry_when_cap_is_none():
+    registry = MetricsRegistry(max_series=None)
+    for i in range(MetricsRegistry.DEFAULT_MAX_SERIES + 5):
+        registry.counter("m", i=str(i))
+    assert registry.dropped_series == 0
+
+
+def test_histogram_merge_after_decimation_bounds_buffer():
+    left, right = HistogramMetric("h"), HistogramMetric("h")
+    n = HistogramMetric.MAX_SAMPLES + 10
+    for i in range(n):
+        left.observe(float(i))
+    for i in range(100):
+        right.observe(float(i))
+    left.merge(right)
+    assert len(left._samples) <= HistogramMetric.MAX_SAMPLES
+    assert left.stats.count == n + 100
+    assert left._stride > 1
+
+
 def test_node_gauges_registered_for_nodes():
     runtime = SimRuntime(seed=1)
     obs = enable_observability(runtime, scrape_interval_s=0)

@@ -1,0 +1,137 @@
+"""Property tests for the SLO quantile sketches and histogram merge.
+
+Hypothesis pins the two guarantees the online SLO engine leans on:
+
+* **rank-error bound** — for any observation list, every reported
+  quantile is within relative error ``alpha`` of the true sample at
+  that rank (DDSketch's defining property);
+* **mergeability** — splitting a sample set arbitrarily, sketching the
+  halves and merging gives *exactly* the sketch of the whole (bucket
+  counts are integers, so below the collapse cap nothing is lost), and
+  serialization round-trips exactly. The same exactness holds for
+  :meth:`HistogramMetric.merge` on its Welford statistics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import HistogramMetric
+from repro.obs.sketch import LatencySketch
+
+latencies = st.lists(
+    st.floats(
+        min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(values=latencies, q=st.integers(min_value=0, max_value=100))
+@settings(max_examples=150)
+def test_quantile_rank_error_bound(values, q):
+    alpha = 0.01
+    sketch = LatencySketch(alpha=alpha)
+    for v in values:
+        sketch.add(v)
+    ordered = sorted(values)
+    rank = int(q * (len(ordered) - 1) / 100)
+    true = ordered[rank]
+    estimate = sketch.quantile(q)
+    if true <= 1e-12:
+        assert estimate == 0.0
+    else:
+        assert abs(estimate - true) <= alpha * true + 1e-9
+
+
+@given(values=latencies, split=st.integers(min_value=0, max_value=200))
+@settings(max_examples=150)
+def test_merge_equals_sketch_of_concatenation(values, split):
+    split = min(split, len(values))
+    left, right, whole = LatencySketch(), LatencySketch(), LatencySketch()
+    for v in values[:split]:
+        left.add(v)
+    for v in values[split:]:
+        right.add(v)
+    for v in values:
+        whole.add(v)
+    left.merge(right)
+    assert left.buckets == whole.buckets
+    assert left.zero_count == whole.zero_count
+    assert left.count == whole.count
+    assert left.minimum == whole.minimum
+    assert left.maximum == whole.maximum
+    assert math.isclose(left.total, whole.total, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(values=latencies)
+@settings(max_examples=100)
+def test_serialization_round_trip_property(values):
+    sketch = LatencySketch(alpha=0.02)
+    for v in values:
+        sketch.add(v)
+    clone = LatencySketch.from_dict(sketch.to_dict())
+    assert clone.buckets == sketch.buckets
+    assert clone.count == sketch.count
+    assert clone.zero_count == sketch.zero_count
+    for q in (0, 50, 95, 99, 100):
+        assert clone.quantile(q) == sketch.quantile(q)
+
+
+samples = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+
+@given(a=samples, b=samples)
+@settings(max_examples=150)
+def test_histogram_merge_welford_exactness(a, b):
+    left, right, whole = (
+        HistogramMetric("h"),
+        HistogramMetric("h"),
+        HistogramMetric("h"),
+    )
+    for v in a:
+        left.observe(v)
+        whole.observe(v)
+    for v in b:
+        right.observe(v)
+        whole.observe(v)
+    left.merge(right)
+    assert left.stats.count == whole.stats.count
+    if whole.stats.count:
+        assert math.isclose(
+            left.stats.mean, whole.stats.mean, rel_tol=1e-9, abs_tol=1e-9
+        )
+        assert left.stats.minimum == whole.stats.minimum
+        assert left.stats.maximum == whole.stats.maximum
+    # Below the buffer cap both strides stay 1: samples concatenate exactly.
+    assert left._samples == a + b
+    assert left._seen == whole._seen
+
+
+@given(a=samples)
+@settings(max_examples=100)
+def test_histogram_serialization_round_trip(a):
+    histogram = HistogramMetric("lat")
+    for v in a:
+        histogram.observe(v)
+    clone = HistogramMetric.from_dict(histogram.to_dict())
+    assert clone.key == histogram.key
+    assert clone.stats.count == histogram.stats.count
+    assert clone._samples == histogram._samples
+    assert clone._stride == histogram._stride
+    assert clone._seen == histogram._seen
+    if a:
+        assert clone.stats.mean == histogram.stats.mean
+        assert clone.stats.minimum == histogram.stats.minimum
+        assert clone.stats.maximum == histogram.stats.maximum
+        assert clone.quantile(95) == histogram.quantile(95)

@@ -176,3 +176,104 @@ def test_fig5_all_toggles_off_equivalence(fig5_baseline, monkeypatch):
     runtime = _run_fig5(profiled=True)
     assert trace_digest(runtime.tracer) == fig5_baseline["trace_digest"]
     assert profile_digest(runtime.prof) == fig5_baseline["profile_digest"]
+
+
+# ----------------------------------------------------------------------
+# SLO engine: off = byte-identical, on = app-trace invisible
+# ----------------------------------------------------------------------
+
+
+def _digest_excluding(tracer, sources: frozenset) -> str:
+    """Trace digest minus records the given observer sources wrote.
+
+    The SLO engine registers extra gauges in the shared metrics registry,
+    so ``obs.metrics`` scrape records legitimately differ with it on; the
+    *application* trace (everything not written by an observer) must not.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for record in tracer:
+        if record.source in sources:
+            continue
+        line = (
+            f"{record.time!r}|{record.source}|{record.event}"
+            f"|{sorted(record.fields.items())!r}\n"
+        )
+        digest.update(line.encode())
+    return digest.hexdigest()
+
+
+_OBSERVER_SOURCES = frozenset({"slo", "obs", "prof"})
+
+
+def _suppress_status_publisher(monkeypatch):
+    """Install enable_slo without the retained-status MQTT publisher.
+
+    The engine's *computation* (taps, timers, sketches) must be invisible
+    to the application trace; the retained ``ifot/ctl/status/slo``
+    publication is deliberate control-plane traffic that shares the
+    simulated WLAN and therefore legitimately perturbs frame timing.
+    Equivalence is asserted on the former.
+    """
+    import repro.obs.slo as slo_module
+
+    real_enable = slo_module.enable_slo
+
+    def quiet_enable(runtime, recipe=None, flows=None, cluster=None, **kwargs):
+        return real_enable(
+            runtime, recipe=recipe, flows=flows, cluster=None, **kwargs
+        )
+
+    monkeypatch.setattr(slo_module, "enable_slo", quiet_enable)
+
+
+def _run_fig5_observed(slo: bool):
+    from repro.bench.scenarios import run_fig5_experiment
+
+    return run_fig5_experiment(
+        seed=55, duration_s=FIG5_DURATION_S, observe=True, slo=slo
+    )
+
+
+def test_fig5_slo_disabled_is_byte_identical(monkeypatch):
+    """``slo=True`` with REPRO_SLO=0 must not move a single byte relative
+    to the plain observed run — the kill switch is a true no-op."""
+    base = _run_fig5_observed(slo=False)
+    monkeypatch.setenv("REPRO_SLO", "0")
+    gated = _run_fig5_observed(slo=True)
+    assert gated.slo is None
+    assert trace_digest(gated.tracer) == trace_digest(base.tracer)
+    assert len(gated.tracer) == len(base.tracer)
+
+
+def test_fig5_slo_on_leaves_app_trace_unchanged(monkeypatch):
+    _suppress_status_publisher(monkeypatch)
+    base = _run_fig5_observed(slo=False)
+    slo_run = _run_fig5_observed(slo=True)
+    assert slo_run.slo is not None
+    assert _digest_excluding(
+        slo_run.tracer, _OBSERVER_SOURCES
+    ) == _digest_excluding(base.tracer, _OBSERVER_SOURCES)
+
+
+def test_failover_slo_disabled_is_byte_identical(monkeypatch):
+    base = run_scenario("failover", seed=0, observe=True)
+    monkeypatch.setenv("REPRO_SLO", "0")
+    gated = run_scenario("failover", seed=0, slo=True)
+    assert gated.slo_engine is None
+    assert gated.trace_digest == base.trace_digest
+    assert gated.trace_records == base.trace_records
+
+
+def test_failover_slo_on_leaves_app_trace_unchanged(monkeypatch):
+    _suppress_status_publisher(monkeypatch)
+    base = run_scenario("failover", seed=0, observe=True)
+    slo_run = run_scenario("failover", seed=0, slo=True)
+    assert slo_run.slo_engine is not None
+    # The engine wrote its own records (the crash window pages)...
+    assert any(r.source == "slo" for r in slo_run.tracer)
+    # ...but the application's records are untouched.
+    assert _digest_excluding(
+        slo_run.tracer, _OBSERVER_SOURCES
+    ) == _digest_excluding(base.tracer, _OBSERVER_SOURCES)
